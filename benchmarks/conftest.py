@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper and prints
+our values next to the paper's (run with ``-s`` to see the tables, or
+read the asserts for the shape-level claims).  Training-based benches
+use the reduced ``tiny``/``small`` profiles so the whole suite runs in
+minutes on a laptop; the hardware-model benches run at the paper's
+exact configurations.
+"""
+
+import sys
+
+import pytest
+
+
+def show(title, body):
+    """Print a labelled block (visible with pytest -s)."""
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}\n{body}", file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_proposed():
+    """One tiny trained proposed model shared by quantisation benches."""
+    from repro.experiments.quantization import trained_proposed_model
+
+    return trained_proposed_model(profile="tiny", epochs=6, n_train_per_class=30)

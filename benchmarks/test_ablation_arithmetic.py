@@ -1,0 +1,63 @@
+"""Ablation: arithmetic flavour of the accelerator datapath.
+
+The paper compares float32 vs 32(16)-24(8) fixed point; this sweep adds
+float16 and narrower fixed formats, charting the latency / DSP / power
+frontier at both deployed geometries.
+"""
+
+from conftest import show
+
+from repro.experiments import format_table
+from repro.experiments.designs import botnet_mhsa_design
+from repro.fixedpoint import QFormat
+from repro.fpga import Arithmetic, ip_power_w
+
+ARITHMETICS = [
+    ("float32", Arithmetic.float32()),
+    ("float16", Arithmetic.float16()),
+    ("fixed 32(16)-24(8)", Arithmetic.fixed(QFormat(32, 16), QFormat(24, 8))),
+    ("fixed 20(10)-16(4)", Arithmetic.fixed(QFormat(20, 10), QFormat(16, 4))),
+    ("fixed 16(8)-12(4)", Arithmetic.fixed(QFormat(16, 8), QFormat(12, 4))),
+]
+
+
+def _run():
+    rows = []
+    for label, arith in ARITHMETICS:
+        d = botnet_mhsa_design(arith)
+        rep = d.resource_report()
+        rows.append(
+            {
+                "arith": label,
+                "ms": d.latency_ms(),
+                "bram": rep.bram,
+                "dsp": rep.dsp,
+                "power_w": ip_power_w(rep, activity=arith.lane.activity),
+                "fits": rep.fits(),
+            }
+        )
+    return rows
+
+
+def test_ablation_arithmetic(benchmark):
+    rows = benchmark.pedantic(_run, rounds=3, iterations=1)
+    show(
+        "Ablation — datapath arithmetic at (512, 3, 3)",
+        format_table(
+            ["arithmetic", "latency ms", "BRAM", "DSP", "IP power W", "fits"],
+            [[r["arith"], f"{r['ms']:.2f}", r["bram"], r["dsp"],
+              f"{r['power_w']:.2f}", "yes" if r["fits"] else "NO"]
+             for r in rows],
+        ),
+    )
+    by = {r["arith"]: r for r in rows}
+    f32, f16 = by["float32"], by["float16"]
+    fx = by["fixed 32(16)-24(8)"]
+    # latency / DSP / power ordering: fixed < float16 < float32
+    assert fx["ms"] < f16["ms"] < f32["ms"]
+    assert fx["dsp"] < f16["dsp"] < f32["dsp"]
+    assert fx["power_w"] < f16["power_w"] < f32["power_w"]
+    # narrower fixed formats shrink BRAM further (same speed: II fixed)
+    assert by["fixed 16(8)-12(4)"]["bram"] < fx["bram"]
+    # every point on the sweep fits the ZCU104 with the shared buffer
+    assert all(r["fits"] for r in rows)

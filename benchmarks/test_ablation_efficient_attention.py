@@ -1,0 +1,87 @@
+"""Ablation: efficient-attention variants (paper Sec. II-B).
+
+Full MHSA costs O(N²·D); the Linear-Transformer kernel trick costs
+O(N·D²/k) and window attention O(N·w²·D).  This bench (1) verifies the
+asymptotic crossover on growing feature maps and (2) trains the
+proposed model with each variant to compare accuracy at matched size.
+"""
+
+import time
+
+import numpy as np
+from conftest import show
+
+from repro import nn
+from repro.experiments import format_table
+from repro.experiments.accuracy import train_one
+from repro.tensor import Tensor, no_grad
+
+
+def _time_forward(module, x, repeats=3):
+    with no_grad():
+        module(x)  # warm-up
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            module(x)
+            times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _scaling_table():
+    rng = np.random.default_rng(0)
+    channels, heads = 32, 4
+    rows = []
+    for size in (8, 16, 32):
+        x = Tensor(rng.normal(size=(1, channels, size, size)).astype(np.float32))
+        full = nn.MHSA2d(channels, size, size, heads=heads, rng=rng)
+        lin = nn.LinearAttention2d(channels, size, size, heads=heads, rng=rng)
+        win = nn.WindowAttention2d(channels, size, size, heads=heads,
+                                   window=4, rng=rng)
+        rows.append(
+            {
+                "n": size * size,
+                "full_ms": _time_forward(full, x) * 1e3,
+                "linear_ms": _time_forward(lin, x) * 1e3,
+                "window_ms": _time_forward(win, x) * 1e3,
+            }
+        )
+    return rows
+
+
+def _accuracy_table():
+    rows = []
+    for kind in ("full", "linear", "window"):
+        _, hist = train_one(
+            "ode_botnet", profile="tiny", epochs=6, n_train_per_class=30,
+            seed=0, augment=False, attention=kind,
+        )
+        rows.append({"attention": kind, "accuracy": hist.best()[1] * 100})
+    return rows
+
+
+def test_ablation_efficient_attention(benchmark):
+    result = benchmark.pedantic(
+        lambda: (_scaling_table(), _accuracy_table()), rounds=1, iterations=1
+    )
+    scaling, accuracy = result
+    show(
+        "Ablation — attention variants: forward-time scaling (ms)",
+        format_table(
+            ["N = H*W", "full MHSA", "linear", "window(4)"],
+            [[r["n"], f"{r['full_ms']:.2f}", f"{r['linear_ms']:.2f}",
+              f"{r['window_ms']:.2f}"] for r in scaling],
+        )
+        + "\n\n"
+        + format_table(
+            ["attention", "best acc % (6 epochs, tiny)"],
+            [[r["attention"], f"{r['accuracy']:.1f}"] for r in accuracy],
+        ),
+    )
+    # asymptotics: full attention's cost grows faster with N than the
+    # efficient variants' (compare growth from smallest to largest map)
+    growth = lambda key: scaling[-1][key] / scaling[0][key]
+    assert growth("full_ms") > growth("linear_ms")
+    assert growth("full_ms") > growth("window_ms")
+    # all variants learn the task
+    assert all(r["accuracy"] > 30 for r in accuracy)

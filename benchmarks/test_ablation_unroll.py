@@ -1,0 +1,58 @@
+"""Ablation: projection-loop unroll factor of the MHSA accelerator.
+
+DESIGN.md ablation #5 — sweeps the unroll factor of the X·W projection
+loop and reports kernel cycles vs DSP cost, exposing the latency/area
+trade the paper resolves at unroll 128.
+"""
+
+import pytest
+from conftest import show
+
+from repro.experiments import FIXED_DEFAULT, format_table
+from repro.experiments.designs import botnet_mhsa_design
+
+UNROLLS = (1, 8, 32, 64, 128, 256, 512)
+
+
+def _run():
+    rows = []
+    for unroll in UNROLLS:
+        d = botnet_mhsa_design(FIXED_DEFAULT, unroll=unroll)
+        rep = d.resource_report()
+        rows.append(
+            {
+                "unroll": unroll,
+                "cycles": d.total_cycles(),
+                "ms": d.latency_ms(),
+                "dsp": rep.dsp,
+                "fits": rep.fits(),
+            }
+        )
+    return rows
+
+
+def test_ablation_unroll(benchmark):
+    rows = benchmark.pedantic(_run, rounds=3, iterations=1)
+    show(
+        "Ablation — unroll factor (512ch fixed-point design)",
+        format_table(
+            ["unroll", "kernel cycles", "latency ms", "DSP", "fits"],
+            [[r["unroll"], r["cycles"], f"{r['ms']:.2f}", r["dsp"],
+              "yes" if r["fits"] else "NO"] for r in rows],
+        ),
+    )
+    cycles = [r["cycles"] for r in rows]
+    dsps = [r["dsp"] for r in rows]
+    # latency monotonically improves, DSP monotonically grows
+    assert cycles == sorted(cycles, reverse=True)
+    assert dsps == sorted(dsps)
+    # diminishing returns: the last doubling buys < 25% once the
+    # non-unrolled attention stages dominate (Amdahl)
+    gain_first = cycles[0] / cycles[1]
+    gain_last = cycles[-2] / cycles[-1]
+    assert gain_first > 4
+    assert gain_last < 1.2
+    # the paper's design point fits the device
+    by = {r["unroll"]: r for r in rows}
+    assert by[128]["fits"]
+    assert by[128]["dsp"] == pytest.approx(137, rel=0.05)

@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the numerical engine's hot paths.
+
+These are true pytest-benchmark timings (not paper tables): conv2d via
+im2col GEMM, the MHSA forward, ODE-block integration and the bit-exact
+fixed-point matmul — the kernels every experiment above is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, ode
+from repro.fixedpoint import QFormat, fixed_matmul
+from repro.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(0)
+
+
+def test_conv2d_forward(benchmark):
+    x = Tensor(RNG.normal(size=(8, 32, 24, 24)).astype(np.float32))
+    w = Tensor(RNG.normal(size=(64, 32, 3, 3)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            return x.conv2d(w, padding=(1, 1))
+
+    out = benchmark(run)
+    assert out.shape == (8, 64, 24, 24)
+
+
+def test_conv2d_backward(benchmark):
+    x = Tensor(
+        RNG.normal(size=(4, 16, 16, 16)).astype(np.float32), requires_grad=True
+    )
+    w = Tensor(RNG.normal(size=(32, 16, 3, 3)).astype(np.float32), requires_grad=True)
+
+    def run():
+        x.grad = None
+        w.grad = None
+        x.conv2d(w, padding=(1, 1)).sum().backward()
+        return x.grad
+
+    g = benchmark(run)
+    assert g.shape == x.shape
+
+
+def test_mhsa_forward_512(benchmark):
+    """The BoTNet MHSA geometry the paper accelerates."""
+    m = nn.MHSA2d(512, 3, 3, heads=4, attention_activation="relu",
+                  out_layernorm=True, rng=RNG)
+    x = RNG.normal(size=(1, 512, 3, 3)).astype(np.float32)
+    out = benchmark(m.forward_numpy, x)
+    assert out.shape == x.shape
+
+
+def test_mhsa_forward_64(benchmark):
+    """The proposed model's (64, 6, 6) geometry."""
+    m = nn.MHSA2d(64, 6, 6, heads=4, attention_activation="relu",
+                  out_layernorm=True, rng=RNG)
+    x = RNG.normal(size=(1, 64, 6, 6)).astype(np.float32)
+    out = benchmark(m.forward_numpy, x)
+    assert out.shape == x.shape
+
+
+def test_ode_block_euler_10_steps(benchmark):
+    func = ode.ConvODEFunc(64, conv="dsc", rng=RNG)
+    block = ode.ODEBlock(func, solver="euler", steps=10)
+    block.eval()
+    x = Tensor(RNG.normal(size=(1, 64, 6, 6)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            return block(x)
+
+    out = benchmark(run)
+    assert out.shape == (1, 64, 6, 6)
+
+
+def test_fixed_matmul_512(benchmark):
+    f = QFormat(32, 16)
+    p = QFormat(24, 8)
+    a = f.quantize(RNG.normal(size=(9, 512)))
+    b = p.quantize(RNG.normal(size=(512, 512)))
+    out = benchmark(fixed_matmul, a, f, b, p, f)
+    assert out.shape == (9, 512)
+
+
+def test_training_step_tiny_proposed(benchmark):
+    from repro.models import build_model
+    from repro.train import SGD, CrossEntropyLoss
+
+    model = build_model("ode_botnet", profile="tiny")
+    opt = SGD(model.parameters(), lr=0.01)
+    loss_fn = CrossEntropyLoss()
+    x = Tensor(RNG.normal(size=(8, 3, 32, 32)).astype(np.float32))
+    y = RNG.integers(0, 10, size=8)
+
+    def step():
+        opt.zero_grad()
+        loss = loss_fn(model(x), y)
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

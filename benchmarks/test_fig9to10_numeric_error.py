@@ -1,0 +1,31 @@
+"""Figs 9-10: mean/max value difference between software and FPGA
+executions at the final FC layer input, per fixed-point format."""
+
+from conftest import show
+
+from repro.experiments import fig9_10_numeric_error, format_table
+
+
+def test_fig9to10_numeric_error(benchmark, trained_tiny_proposed):
+    rows = benchmark.pedantic(
+        lambda: fig9_10_numeric_error(
+            model=trained_tiny_proposed, profile="tiny", n_per_class=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figs 9-10 — |FPGA - SW| at the final FC input",
+        format_table(
+            ["format", "mean abs diff (Fig 9)", "max abs diff (Fig 10)"],
+            [[r["format"], f"{r['mean_abs_diff']:.3e}", f"{r['max_abs_diff']:.3e}"]
+             for r in rows],
+        ),
+    )
+    means = [r["mean_abs_diff"] for r in rows]
+    maxes = [r["max_abs_diff"] for r in rows]
+    # Paper shape: error grows monotonically as the format narrows,
+    # spanning orders of magnitude between 32(16)-24(8) and 16(8)-12(4).
+    assert means == sorted(means)
+    assert maxes[-1] > 10 * maxes[0]
+    assert all(mx >= mn for mx, mn in zip(maxes, means))

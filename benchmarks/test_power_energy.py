@@ -1,0 +1,32 @@
+"""Sec. VI-B7: power consumption and energy efficiency."""
+
+import pytest
+from conftest import show
+
+from repro.experiments import power_summary
+
+
+def test_power_energy(benchmark):
+    s = benchmark.pedantic(lambda: power_summary(n_runs=50), rounds=1, iterations=1)
+    show(
+        "Power & energy (Sec. VI-B7)",
+        "\n".join(
+            [
+                f"IP core fixed : {s['ip_power_fixed_w']:.3f} W "
+                f"(paper {s['paper_ip_fixed']} W)",
+                f"IP core float : {s['ip_power_float_w']:.3f} W "
+                f"(paper {s['paper_ip_float']} W)",
+                f"PS (CPU)      : {s['ps_power_w']:.3f} W",
+                f"speedup fixed : {s['speedup_fixed']:.2f}x "
+                f"(paper {s['paper_speedup_fixed']}x)",
+                f"energy eff.   : {s['energy_efficiency']:.2f}x "
+                f"(paper {s['paper_energy_efficiency']}x)",
+            ]
+        ),
+    )
+    # fixed-point IP draws far less than float (paper: 0.87 vs 3.98 W)
+    assert s["ip_power_fixed_w"] * 3 < s["ip_power_float_w"]
+    # board power rises ~1.33x but latency drops 2.63x -> ~2x energy win
+    assert s["energy_efficiency"] == pytest.approx(1.98, rel=0.10)
+    assert s["ip_power_fixed_w"] == pytest.approx(0.866, rel=0.15)
+    assert s["ip_power_float_w"] == pytest.approx(3.977, rel=0.15)

@@ -1,0 +1,29 @@
+"""Table I: FPGA resources, floating point vs fixed point (512ch, 3x3)."""
+
+from conftest import show
+
+from repro.experiments import format_table, table1_fixed_vs_float
+
+
+def test_table1_fixed_vs_float(benchmark):
+    rows = benchmark.pedantic(table1_fixed_vs_float, rounds=3, iterations=1)
+    show(
+        "Table I — resources, float vs fixed (naive buffers)",
+        format_table(
+            ["config", "BRAM", "DSP", "FF", "LUT",
+             "paper BRAM", "paper DSP", "paper FF", "paper LUT"],
+            [[r["config"], r["bram"], r["dsp"], r["ff"], r["lut"],
+              r["paper_bram"], r["paper_dsp"], r["paper_ff"], r["paper_lut"]]
+             for r in rows],
+        ),
+    )
+    fl, fx = rows
+    # Paper claim: fixed point cuts BRAM by ~53% of capacity and DSP by ~32%
+    # of capacity; at minimum it must cut DSP >4x and reduce BRAM and FF.
+    assert fx["dsp"] * 4 < fl["dsp"]
+    assert fx["bram"] < fl["bram"]
+    assert fx["ff"] < fl["ff"]
+    # within 15% of the paper's absolute numbers
+    for r in rows:
+        assert abs(r["bram"] - r["paper_bram"]) / r["paper_bram"] < 0.15
+        assert abs(r["dsp"] - r["paper_dsp"]) / r["paper_dsp"] < 0.15

@@ -1,0 +1,32 @@
+"""Table IV: parameter size of the proposed and counterpart models."""
+
+import pytest
+from conftest import show
+
+from repro.experiments import format_table, table4_param_size
+
+
+def test_table4_param_size(benchmark):
+    rows = benchmark.pedantic(table4_param_size, rounds=1, iterations=1)
+    show(
+        "Table IV — parameter size (paper profile)",
+        format_table(
+            ["model", "ours", "paper", "ratio", "reduction vs BoTNet50"],
+            [[r["model"], r["params"], r["paper_params"],
+              f"{r['params'] / r['paper_params']:.3f}",
+              f"{r['reduction_vs_botnet']:.1%}"] for r in rows],
+        ),
+    )
+    by = {r["model"]: r for r in rows}
+    # ordering: ViT > ResNet50 > BoTNet50 >> ODENet > proposed
+    assert (by["vit_base"]["params"] > by["resnet50"]["params"]
+            > by["botnet50"]["params"] > by["odenet"]["params"]
+            > by["ode_botnet"]["params"])
+    # the 97.3% headline reduction
+    assert by["ode_botnet"]["reduction_vs_botnet"] == pytest.approx(0.973, abs=0.01)
+    # BoTNet's 19.7% reduction vs ResNet50
+    resnet_reduction = 1 - by["botnet50"]["params"] / by["resnet50"]["params"]
+    assert resnet_reduction == pytest.approx(0.197, abs=0.03)
+    # absolute agreement
+    for r in rows:
+        assert r["params"] == pytest.approx(r["paper_params"], rel=0.15), r["model"]

@@ -1,0 +1,32 @@
+"""Table VII: FPGA resource utilisation of the deployed MHSA builds."""
+
+from conftest import show
+
+from repro.experiments import format_table, table7_resource_utilization
+
+
+def test_table7_resource_utilization(benchmark):
+    rows = benchmark.pedantic(table7_resource_utilization, rounds=3, iterations=1)
+    show(
+        "Table VII — deployed accelerator builds",
+        format_table(
+            ["config", "BRAM", "util", "DSP", "FF", "LUT",
+             "paper BRAM", "paper DSP"],
+            [[r["config"], r["bram"], f"{r['bram_util']:.0%}", r["dsp"],
+              r["ff"], r["lut"], r["paper_bram"], r["paper_dsp"]]
+             for r in rows],
+        ),
+    )
+    assert all(r["fits"] for r in rows)
+    by = {r["config"]: r for r in rows}
+    bot_fl = by["BoTNet (512,3,3) float"]
+    bot_fx = by["BoTNet (512,3,3) fixed"]
+    pro_fl = by["Proposed (64,6,6) float"]
+    pro_fx = by["Proposed (64,6,6) fixed"]
+    # fixed point reduces DSP/FF/LUT significantly at both geometries
+    assert bot_fx["dsp"] * 4 < bot_fl["dsp"]
+    assert pro_fx["dsp"] * 4 < pro_fl["dsp"]
+    assert bot_fx["ff"] < bot_fl["ff"]
+    assert pro_fx["lut"] < pro_fl["lut"]
+    # the proposed geometry needs less BRAM than BoTNet's (smaller D)
+    assert pro_fx["bram"] < bot_fx["bram"]

@@ -1,0 +1,49 @@
+"""Table VIII extended: *full-network* fixed-point accuracy sweep.
+
+The paper quantises only the MHSA block; this extension (its Sec. VII
+future work) runs the entire proposed model in fixed point.  With the
+whole network quantised, the sweep exhibits the paper's characteristic
+collapse — flat at wide formats, a knee, then chance-level accuracy —
+at formats narrow enough for our scaled model's activation range.
+"""
+
+from conftest import show
+
+from repro.experiments import format_table
+from repro.fixedpoint import full_model_quant_accuracy
+
+FORMATS = (
+    "32(16)-24(8)", "24(12)-20(6)", "20(10)-16(4)", "16(8)-12(4)",
+    "8(4)-6(2)", "6(3)-6(2)", "6(3)-4(2)", "4(2)-4(2)",
+)
+
+
+def test_table8_full_model_quantization(benchmark, trained_tiny_proposed):
+    from repro.data import DataLoader, SynthSTL
+
+    test = SynthSTL("test", size=32, n_per_class=20, seed=0)
+    images, labels = next(iter(DataLoader(test, batch_size=len(test))))
+
+    rows = benchmark.pedantic(
+        lambda: full_model_quant_accuracy(
+            trained_tiny_proposed, images, labels, FORMATS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Table VIII (extended) — full-network fixed-point accuracy",
+        format_table(
+            ["format (feature-param)", "accuracy %"],
+            [[r["format"], f"{r['accuracy']:.1f}"] for r in rows],
+        ),
+    )
+    by = {r["format"]: r["accuracy"] for r in rows}
+    wide = by["32(16)-24(8)"]
+    # flat across the paper's deployable formats
+    assert abs(by["24(12)-20(6)"] - wide) < 3
+    assert abs(by["16(8)-12(4)"] - wide) < 3
+    # collapse at very narrow formats (chance is 10%)
+    assert by["4(2)-4(2)"] < wide - 20
+    # the knee is monotone-ish: narrowest <= knee <= wide
+    assert by["4(2)-4(2)"] <= by["8(4)-6(2)"] + 5

@@ -1,0 +1,31 @@
+"""Table VIII: accuracy vs fixed-point number representation."""
+
+import pytest
+from conftest import show
+
+from repro.experiments import format_table, table8_quant_accuracy
+
+
+def test_table8_quant_accuracy(benchmark, trained_tiny_proposed):
+    rows = benchmark.pedantic(
+        lambda: table8_quant_accuracy(
+            model=trained_tiny_proposed, profile="tiny", n_per_class=20
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Table VIII — accuracy vs fixed-point representation",
+        format_table(
+            ["format (feat-param)", "accuracy %", "paper %"],
+            [[r["format"], f"{r['accuracy']:.1f}", r["paper_accuracy"]]
+             for r in rows],
+        ),
+    )
+    by = {r["format"]: r["accuracy"] for r in rows}
+    # Paper shape: 32(16)-24(8) and 24(12)-20(6) show no degradation.
+    assert by["32(16)-24(8)"] == pytest.approx(by["float"], abs=0.5)
+    assert by["24(12)-20(6)"] == pytest.approx(by["float"], abs=2.0)
+    # Narrow formats cannot beat the wide ones by more than noise, and
+    # the narrowest must not exceed float accuracy.
+    assert by["16(8)-12(4)"] <= by["float"] + 1.0

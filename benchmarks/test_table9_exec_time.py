@@ -1,0 +1,31 @@
+"""Table IX: execution time of CPU and FPGA implementations (ms)."""
+
+import pytest
+from conftest import show
+
+from repro.experiments import format_table, table9_execution_time
+
+
+def test_table9_execution_time(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table9_execution_time(n_runs=100), rounds=1, iterations=1
+    )
+    show(
+        "Table IX — execution time of the (512, 3, 3) MHSA block",
+        format_table(
+            ["mode", "mean ms", "max ms", "std ms", "speedup",
+             "paper mean", "paper max", "paper std"],
+            [[r["mode"], f"{r['mean_ms']:.2f}", f"{r['max_ms']:.2f}",
+              f"{r['std_ms']:.3f}", f"{r['speedup_vs_cpu']:.2f}x",
+              r["paper_mean"], r["paper_max"], r["paper_std"]] for r in rows],
+        ),
+    )
+    cpu, fl, fx = rows
+    # ordering + the paper's headline factors
+    assert cpu["mean_ms"] > fl["mean_ms"] > fx["mean_ms"]
+    assert fx["speedup_vs_cpu"] == pytest.approx(2.63, rel=0.07)
+    assert fl["speedup_vs_cpu"] == pytest.approx(1.45, rel=0.10)
+    # absolute latencies within 8%
+    for r in rows:
+        assert r["mean_ms"] == pytest.approx(r["paper_mean"], rel=0.08)
+        assert r["max_ms"] >= r["mean_ms"]

@@ -1,0 +1,96 @@
+"""Domain scenario: acoustic machine monitoring on an edge FPGA.
+
+The paper's motivation is attention-grade accuracy on "low-cost edge
+devices".  This example plays that scenario end to end on a second
+workload: classifying machine-sound spectrograms (normal / bearing
+fault / imbalance / belt slip — a DCASE/MIMII-style task) with a
+single-channel ODE-BoTNet small enough to live entirely on-chip.
+
+Pipeline:
+  1. train the 1-channel proposed model on SynthSpectrogram;
+  2. quantise its MHSA block to the paper's 32(16)-24(8) formats and
+     verify accuracy is preserved;
+  3. size the deployment: accelerator resources, latency and energy per
+     classified window on the ZCU104.
+
+Run:  python examples/edge_anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.data import DataLoader, SynthSpectrogram
+from repro.experiments import FIXED_DEFAULT, format_table
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.quantized_mhsa import use_quantized_mhsa
+from repro.fpga import FullModelDesign, MHSAAccelerator, MHSADesign
+from repro.fpga.power import PS_POWER_W, ip_power_w
+from repro.models import ode_botnet
+from repro.tensor import Tensor, no_grad
+from repro.train import SGD, CosineAnnealingWarmRestarts, Trainer
+
+
+def main():
+    # ------------------------------------------------------------------
+    print("== 1. Train the monitor (1-channel ODE-BoTNet) ==")
+    train = SynthSpectrogram("train", size=32, n_per_class=60, seed=0)
+    test = SynthSpectrogram("test", size=32, n_per_class=30, seed=0)
+    model = ode_botnet(
+        num_classes=4, input_size=32, stage_channels=(8, 16, 32), steps=4,
+        mhsa_inner=16, in_channels=1, rng=np.random.default_rng(0),
+    )
+    print(f"model: {model.num_parameters():,} parameters "
+          f"(MHSA at {model.mhsa.channels}ch, "
+          f"{model.mhsa.height}x{model.mhsa.width})")
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
+    trainer = Trainer(model, opt, CosineAnnealingWarmRestarts(opt, T_0=10))
+    hist = trainer.fit(
+        DataLoader(train, batch_size=32, shuffle=True, seed=1),
+        DataLoader(test, batch_size=120),
+        epochs=10,
+        verbose=True,
+    )
+    print(f"best accuracy: {hist.best()[1]:.1%}\n")
+
+    # ------------------------------------------------------------------
+    print("== 2. Fixed-point deployment check ==")
+    model.eval()
+    images, labels = next(iter(DataLoader(test, batch_size=len(test))))
+    with no_grad():
+        float_acc = float(
+            (np.argmax(model(Tensor(images)).data, -1) == labels).mean()
+        )
+    with use_quantized_mhsa(model, QFormat(32, 16), QFormat(24, 8)):
+        with no_grad():
+            fixed_acc = float(
+                (np.argmax(model(Tensor(images)).data, -1) == labels).mean()
+            )
+    print(f"float accuracy: {float_acc:.1%}   "
+          f"fixed-point MHSA accuracy: {fixed_acc:.1%}\n")
+
+    # ------------------------------------------------------------------
+    print("== 3. Deployment sizing on the ZCU104 ==")
+    mhsa = model.mhsa
+    design = MHSADesign(mhsa.channels, mhsa.height, mhsa.width,
+                        heads=mhsa.heads, arithmetic=FIXED_DEFAULT)
+    acc = MHSAAccelerator(mhsa, design)
+    rep = design.resource_report()
+    full = FullModelDesign(model, arithmetic=FIXED_DEFAULT, unroll=64)
+    ip_w = ip_power_w(rep)
+    rows = [
+        ["MHSA accelerator resources", rep.row()],
+        ["MHSA latency / window", f"{acc.latency().total_ms:.2f} ms"],
+        ["full-model offload latency", f"{full.latency_ms():.2f} ms"],
+        ["weights on-chip (URAM)",
+         f"{full.uram_blocks()}/{full.device.uram} blocks "
+         f"(fits: {full.weights_fit_on_chip()})"],
+        ["board power (PS + IP)", f"{PS_POWER_W + ip_w:.2f} W"],
+        ["energy / classified window",
+         f"{full.latency_ms() * (PS_POWER_W + ip_w):.1f} mJ"],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    print("\nA sub-10k-parameter attention model monitoring a machine "
+          "from on-chip memory — the edge deployment the paper argues for.")
+
+
+if __name__ == "__main__":
+    main()

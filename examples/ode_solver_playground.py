@@ -1,0 +1,86 @@
+"""Explore Neural-ODE solver choices on the proposed model.
+
+The paper trains with fixed-step Euler (Eq. 14) — C weight-shared
+iterations of one block.  This example compares Euler, Heun, RK4 and
+adaptive Dopri5 as *inference-time* integrators of the same trained
+weights, plus the effect of the step count C — an extension/ablation
+the paper leaves as future work.
+
+Run:  python examples/ode_solver_playground.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import DataLoader, SynthSTL
+from repro.experiments import format_table
+from repro.experiments.accuracy import train_one
+from repro.ode import Dopri5, get_solver
+from repro.tensor import Tensor, no_grad
+
+
+def evaluate(model, loader):
+    model.eval()
+    correct = total = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images, _copy=False)).data
+            correct += int((np.argmax(logits, axis=-1) == labels).sum())
+            total += len(labels)
+    return correct / total
+
+
+def main():
+    print("training proposed model with Euler (the paper's configuration)...")
+    model, hist = train_one(
+        "ode_botnet", profile="tiny", epochs=8, n_train_per_class=40, seed=0,
+        augment=False,
+    )
+    test = SynthSTL("test", size=32, n_per_class=20, seed=0)
+    loader = DataLoader(test, batch_size=100)
+
+    blocks = [model.block1, model.block2, model.block3]
+    rows = []
+
+    # 1. swap the inference solver
+    for name in ("euler", "heun", "rk4"):
+        for b in blocks:
+            b.solver = get_solver(name)
+        t0 = time.perf_counter()
+        acc = evaluate(model, loader)
+        rows.append([f"solver={name}", f"{acc:.1%}", f"{time.perf_counter()-t0:.2f}s"])
+
+    # adaptive integration (torchdiffeq-style)
+    for b in blocks:
+        b.solver = Dopri5(rtol=1e-2, atol=1e-3)
+    t0 = time.perf_counter()
+    acc = evaluate(model, loader)
+    rows.append(["solver=dopri5", f"{acc:.1%}", f"{time.perf_counter()-t0:.2f}s"])
+
+    # 2. vary the step count C with Euler
+    for b in blocks:
+        b.solver = get_solver("euler")
+    trained_steps = blocks[0].steps
+    for steps in sorted({1, 2, trained_steps, 2 * trained_steps}):
+        for b in blocks:
+            b.steps = steps
+        t0 = time.perf_counter()
+        acc = evaluate(model, loader)
+        rows.append([f"euler, C={steps}", f"{acc:.1%}",
+                     f"{time.perf_counter()-t0:.2f}s"])
+    for b in blocks:
+        b.steps = trained_steps
+
+    print()
+    print(format_table(["configuration", "test accuracy", "eval time"], rows))
+    print(
+        "\nTakeaways: higher-order solvers reuse the same weights (no "
+        "retraining) at higher compute; accuracy degrades gracefully as C "
+        "shrinks below the training value — the latency/accuracy knob the "
+        "Neural-ODE formulation provides for free."
+    )
+
+
+if __name__ == "__main__":
+    main()

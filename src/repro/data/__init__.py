@@ -1,0 +1,38 @@
+"""Datasets, loaders and augmentations.
+
+The paper evaluates on STL10 (96x96, 10 classes, 5,000 train / 8,000
+test images).  This environment has no network access, so
+:class:`SynthSTL` generates a deterministic synthetic surrogate whose
+classes are defined by *both* local texture (favouring convolutional
+inductive bias) and global blob layout (favouring attention) — the same
+tension the paper's hybrid model design targets.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from .cache import cached_synthstl_arrays
+from .dataset import ArrayDataset, DataLoader, Dataset
+from .spectrogram import SynthSpectrogram, make_spectrogram_arrays
+from .synthstl import SynthSTL, make_synthstl_arrays
+from .transforms import (
+    ColorJitter,
+    Compose,
+    Normalize,
+    RandomErasing,
+    RandomHorizontalFlip,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "SynthSTL",
+    "make_synthstl_arrays",
+    "cached_synthstl_arrays",
+    "SynthSpectrogram",
+    "make_spectrogram_arrays",
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "ColorJitter",
+    "RandomErasing",
+]

@@ -1,0 +1,47 @@
+"""On-disk caching for generated datasets.
+
+Rendering the full 96x96 SynthSTL splits takes a few seconds; caching
+them as ``.npz`` archives makes repeated experiment runs (the 310-epoch
+paper recipe, benchmark sweeps) start instantly.  Cache keys encode the
+full generation parameters, so stale entries cannot be returned.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .synthstl import make_synthstl_arrays
+
+
+def cache_key(split, size, n_per_class, seed) -> str:
+    return f"synthstl_{split}_s{size}_n{n_per_class}_seed{seed}.npz"
+
+
+def cached_synthstl_arrays(split="train", size=96, n_per_class=None, seed=0,
+                           cache_dir=None):
+    """Like :func:`make_synthstl_arrays` but memoised on disk.
+
+    ``cache_dir=None`` disables caching entirely (pure passthrough).
+    Returns ``(images, labels)``.
+    """
+    if n_per_class is None:
+        n_per_class = 500 if split == "train" else 800
+    if cache_dir is None:
+        return make_synthstl_arrays(split=split, size=size,
+                                    n_per_class=n_per_class, seed=seed)
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, cache_key(split, size, n_per_class, seed))
+    if os.path.exists(path):
+        archive = np.load(path)
+        return archive["images"], archive["labels"]
+    images, labels = make_synthstl_arrays(
+        split=split, size=size, n_per_class=n_per_class, seed=seed
+    )
+    # write atomically so a crashed run cannot leave a truncated cache
+    # (name must end in .npz so numpy does not append a suffix)
+    tmp = path + ".tmp.npz"
+    np.savez(tmp, images=images, labels=labels)
+    os.replace(tmp, path)
+    return images, labels

@@ -1,0 +1,70 @@
+"""Map-style datasets and a seeded mini-batch loader."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Dataset:
+    """Abstract map-style dataset: implement ``__len__``/``__getitem__``."""
+
+    def __len__(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, i):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Wrap parallel (images, labels) arrays, with optional transform."""
+
+    def __init__(self, images, labels, transform=None):
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have equal length")
+        self.images = np.asarray(images)
+        self.labels = np.asarray(labels)
+        self.transform = transform
+
+    def __len__(self):
+        return len(self.labels)
+
+    def __getitem__(self, i):
+        img = self.images[i]
+        if self.transform is not None:
+            img = self.transform(img)
+        return img, self.labels[i]
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches.
+
+    Shuffling is driven by an internal ``numpy.random.Generator`` seeded
+    at construction; each epoch draws a fresh permutation from it, so a
+    loader is reproducible end-to-end while still re-shuffling per epoch.
+    """
+
+    def __init__(self, dataset, batch_size=32, shuffle=False, seed=0,
+                 drop_last=False):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self):
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            samples = [self.dataset[int(i)] for i in idx]
+            images = np.stack([s[0] for s in samples]).astype(np.float32)
+            labels = np.asarray([s[1] for s in samples], dtype=np.int64)
+            yield images, labels

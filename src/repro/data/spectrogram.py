@@ -1,0 +1,111 @@
+"""SynthSpectrogram: a second edge workload — machine-sound monitoring.
+
+The paper motivates its model with "low-cost edge devices" (Sec. I);
+a canonical such workload is acoustic anomaly detection on factory
+equipment (cf. the DCASE/MIMII task family).  This generator renders
+single-channel mel-spectrogram-like images of a rotating machine:
+
+* **normal** operation: a harmonic stack (fundamental + overtones) with
+  slow RPM drift and broadband background noise;
+* **anomalies** (3 classes): *bearing fault* — periodic broadband
+  impacts; *imbalance* — strong low-frequency modulation sidebands;
+  *belt slip* — a frequency-dropping glide plus a missing overtone.
+
+Classes are separable by joint time-frequency structure, so the model
+needs both local texture (harmonic ridges) and global layout (impact
+trains across the whole window) — the same conv + attention tension as
+the vision task.  All rendering is vectorised and seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+CLASSES = ("normal", "bearing_fault", "imbalance", "belt_slip")
+
+
+def _render(labels, size, rng):
+    b = len(labels)
+    t = np.linspace(0, 1, size)[None, None, :]      # time axis
+    f = np.linspace(0, 1, size)[None, :, None]      # frequency axis
+
+    base_f0 = rng.uniform(0.12, 0.2, size=b)[:, None, None]
+    drift = rng.normal(0, 0.01, size=b)[:, None, None]
+    f0 = base_f0 + drift * t
+
+    img = np.zeros((b, size, size))
+    # harmonic stack: ridges at k*f0 with decaying amplitude
+    for k in range(1, 5):
+        amp = 0.9 / k
+        ridge = np.exp(-((f - k * f0) ** 2) / (2 * 0.012 ** 2))
+        img += amp * ridge
+
+    noise_floor = rng.uniform(0.05, 0.12, size=b)[:, None, None]
+    img += noise_floor * rng.random((b, size, size))
+
+    for i, label in enumerate(labels):
+        if label == 1:  # bearing fault: periodic broadband impacts
+            period = rng.uniform(0.08, 0.15)
+            phase = rng.uniform(0, period)
+            times = np.arange(phase, 1.0, period)
+            for t0 in times:
+                pulse = np.exp(-((np.linspace(0, 1, size) - t0) ** 2)
+                               / (2 * 0.006 ** 2))
+                img[i] += 0.7 * pulse[None, :] * rng.uniform(0.6, 1.0)
+        elif label == 2:  # imbalance: low-frequency modulation sidebands
+            mod = 0.5 * (1 + np.sin(2 * np.pi * rng.uniform(3, 6)
+                                    * np.linspace(0, 1, size)))
+            band = np.exp(-((np.linspace(0, 1, size) - 0.06) ** 2)
+                          / (2 * 0.03 ** 2))
+            img[i] += 0.8 * band[:, None] * mod[None, :]
+        elif label == 3:  # belt slip: glide down + missing 2nd overtone
+            glide_f = float(base_f0[i, 0, 0]) * (1 - 0.35 * np.linspace(0, 1, size))
+            glide = np.exp(-((np.linspace(0, 1, size)[:, None]
+                              - glide_f[None, :]) ** 2) / (2 * 0.015 ** 2))
+            img[i] += 0.6 * glide
+            # suppress the k=2 ridge
+            ridge2 = np.exp(-((np.linspace(0, 1, size)[:, None]
+                               - 2 * float(base_f0[i, 0, 0])) ** 2)
+                            / (2 * 0.012 ** 2))
+            img[i] -= 0.4 * ridge2 * np.ones((1, size))
+
+    np.clip(img, 0.0, None, out=img)
+    img /= max(img.max(), 1e-6)
+    return img[:, None, :, :].astype(np.float32)  # (B, 1, F, T)
+
+
+def make_spectrogram_arrays(split="train", size=32, n_per_class=50, seed=0):
+    """Generate a split of the machine-monitoring dataset.
+
+    Returns ``(spectrograms, labels)`` with shapes (N, 1, size, size)
+    and (N,); labels index :data:`CLASSES`.
+    """
+    n_classes = len(CLASSES)
+    labels = np.repeat(np.arange(n_classes), n_per_class)
+    split_key = {"train": 0, "test": 1}[split]
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 77, split_key]))
+    images = _render(labels, size, rng)
+    perm = rng.permutation(len(labels))
+    return images[perm], labels[perm].astype(np.int64)
+
+
+class SynthSpectrogram:
+    """Map-style dataset over the machine-sound monitoring task."""
+
+    def __init__(self, split="train", size=32, n_per_class=50, seed=0,
+                 transform=None):
+        self.images, self.labels = make_spectrogram_arrays(
+            split=split, size=size, n_per_class=n_per_class, seed=seed
+        )
+        self.transform = transform
+        self.num_classes = len(CLASSES)
+        self.class_names = CLASSES
+
+    def __len__(self):
+        return len(self.labels)
+
+    def __getitem__(self, i):
+        img = self.images[i]
+        if self.transform is not None:
+            img = self.transform(img)
+        return img, self.labels[i]

@@ -1,0 +1,109 @@
+"""Per-sample image augmentations (CHW float arrays in [0, 1]).
+
+The paper's training recipe (Sec. VI-A2) uses RandomHorizontalFlip,
+ColorJitter and RandomErasing from torchvision; these are faithful
+numpy re-implementations.  Every transform owns an explicit RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, img):
+        for t in self.transforms:
+            img = t(img)
+        return img
+
+
+class Normalize:
+    """Channel-wise ``(x - mean) / std``."""
+
+    def __init__(self, mean, std):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+
+    def __call__(self, img):
+        return (img - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability *p*."""
+
+    def __init__(self, p=0.5, *, rng=None):
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, img):
+        if self.rng.random() < self.p:
+            return img[:, :, ::-1].copy()
+        return img
+
+
+class ColorJitter:
+    """Random brightness / contrast / saturation, torchvision semantics.
+
+    Each factor is drawn from ``[max(0, 1 - v), 1 + v]``.
+    """
+
+    def __init__(self, brightness=0.4, contrast=0.4, saturation=0.4, *, rng=None):
+        self.brightness = brightness
+        self.contrast = contrast
+        self.saturation = saturation
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def _factor(self, v):
+        return self.rng.uniform(max(0.0, 1.0 - v), 1.0 + v)
+
+    def __call__(self, img):
+        out = img.astype(np.float32, copy=True)
+        ops = [0, 1, 2]
+        self.rng.shuffle(ops)
+        for op in ops:
+            if op == 0 and self.brightness:
+                out *= self._factor(self.brightness)
+            elif op == 1 and self.contrast:
+                f = self._factor(self.contrast)
+                mean = out.mean()
+                out = mean + (out - mean) * f
+            elif op == 2 and self.saturation:
+                f = self._factor(self.saturation)
+                grey = out.mean(axis=0, keepdims=True)
+                out = grey + (out - grey) * f
+        return np.clip(out, 0.0, 1.0)
+
+
+class RandomErasing:
+    """Erase a random rectangle (Zhong et al.), torchvision defaults."""
+
+    def __init__(self, p=0.5, scale=(0.02, 0.33), ratio=(0.3, 3.3),
+                 value=0.0, *, rng=None):
+        self.p = p
+        self.scale = scale
+        self.ratio = ratio
+        self.value = value
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, img):
+        if self.rng.random() >= self.p:
+            return img
+        c, h, w = img.shape
+        area = h * w
+        for _ in range(10):
+            target = self.rng.uniform(*self.scale) * area
+            aspect = np.exp(self.rng.uniform(np.log(self.ratio[0]), np.log(self.ratio[1])))
+            eh = int(round(np.sqrt(target * aspect)))
+            ew = int(round(np.sqrt(target / aspect)))
+            if eh < h and ew < w and eh > 0 and ew > 0:
+                y = self.rng.integers(0, h - eh + 1)
+                x = self.rng.integers(0, w - ew + 1)
+                out = img.copy()
+                out[:, y : y + eh, x : x + ew] = self.value
+                return out
+        return img

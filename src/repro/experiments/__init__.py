@@ -1,0 +1,51 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each function returns structured rows (list of dicts) containing both
+our measured/modelled values and the paper's reference numbers, so the
+benchmarks can print side-by-side comparisons and the tests can assert
+shape-level agreement (orderings, factors, crossovers).
+"""
+
+from .accuracy import learning_curves, table5_accuracy
+from .designs import (
+    FIXED_DEFAULT,
+    FLOAT32,
+    botnet_mhsa_design,
+    botnet_mhsa_module,
+    proposed_mhsa_design,
+    proposed_mhsa_module,
+)
+from .quantization import fig9_10_numeric_error, table8_quant_accuracy
+from .report import format_table
+from .tables import (
+    power_summary,
+    table1_fixed_vs_float,
+    table2_buffer_management,
+    table3_parallelization,
+    table4_param_size,
+    table6_mhsa_ratio,
+    table7_resource_utilization,
+    table9_execution_time,
+)
+
+__all__ = [
+    "FLOAT32",
+    "FIXED_DEFAULT",
+    "botnet_mhsa_design",
+    "proposed_mhsa_design",
+    "botnet_mhsa_module",
+    "proposed_mhsa_module",
+    "table1_fixed_vs_float",
+    "table2_buffer_management",
+    "table3_parallelization",
+    "table4_param_size",
+    "table5_accuracy",
+    "table6_mhsa_ratio",
+    "table7_resource_utilization",
+    "table8_quant_accuracy",
+    "table9_execution_time",
+    "power_summary",
+    "learning_curves",
+    "fig9_10_numeric_error",
+    "format_table",
+]

@@ -1,0 +1,63 @@
+"""The paper's two accelerator design points.
+
+* BoTNet50's MHSA: (512 channels, 3x3 feature map, 4 heads) — the
+  configuration of Tables I-III and the first rows of Table VII.
+* The proposed model's MHSA: (64 channels, 6x6 feature map, 4 heads) —
+  the configuration deployed end-to-end (Tables VIII/IX, last rows of
+  Table VII).
+
+The (64, 6, 6) build uses larger unroll/partition factors than the
+(512, 3, 3) one (the smaller kernel leaves resources free); the factors
+below are calibrated from the paper's Table VII DSP counts
+(212 DSP ≈ 200 fixed lanes + misc; 868 ≈ 172 float lanes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fixedpoint import QFormat
+from ..fpga import Arithmetic, MHSADesign
+from ..nn import MHSA2d
+
+#: The paper's default number formats: 32(16) features, 24(8) params.
+FIXED_DEFAULT = Arithmetic.fixed(QFormat(32, 16), QFormat(24, 8))
+FLOAT32 = Arithmetic.float32()
+
+
+def botnet_mhsa_design(arithmetic=FIXED_DEFAULT, shared_weight_buffer=True,
+                       unroll=128, **kw) -> MHSADesign:
+    """The (512, 3, 3) accelerator evaluated in Tables I-III/VII."""
+    return MHSADesign(
+        512, 3, 3, heads=4, arithmetic=arithmetic, unroll=unroll,
+        weight_partition=64, input_partition=64,
+        shared_weight_buffer=shared_weight_buffer, **kw,
+    )
+
+
+def proposed_mhsa_design(arithmetic=FIXED_DEFAULT, shared_weight_buffer=True,
+                         unroll=192, **kw) -> MHSADesign:
+    """The (64, 6, 6) accelerator of the proposed model (Table VII/IX)."""
+    return MHSADesign(
+        64, 6, 6, heads=4, arithmetic=arithmetic, unroll=unroll,
+        weight_partition=128, input_partition=224,
+        shared_weight_buffer=shared_weight_buffer, **kw,
+    )
+
+
+def botnet_mhsa_module(seed=0) -> MHSA2d:
+    """A (512, 3, 3) MHSA module with the paper's modifications."""
+    return MHSA2d(
+        512, 3, 3, heads=4, pos_enc="relative",
+        attention_activation="relu", out_layernorm=True,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def proposed_mhsa_module(seed=0) -> MHSA2d:
+    """A (64, 6, 6) MHSA module with the paper's modifications."""
+    return MHSA2d(
+        64, 6, 6, heads=4, pos_enc="relative",
+        attention_activation="relu", out_layernorm=True,
+        rng=np.random.default_rng(seed),
+    )

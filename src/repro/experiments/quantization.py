@@ -1,0 +1,86 @@
+"""Quantisation experiments: Table VIII and Figs 9-10.
+
+A trained proposed model runs inference with its MHSA block executed
+bit-accurately in each of the paper's fixed-point formats; we record
+end-to-end accuracy (Table VIII) and the mean/max absolute difference
+of the final-FC inputs against the float execution (Figs 9-10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import DataLoader, SynthSTL
+from ..fixedpoint import PAPER_FORMATS, sweep_formats
+from . import report
+from .accuracy import train_one
+
+
+def trained_proposed_model(profile="small", epochs=8, n_train_per_class=40,
+                           seed=0):
+    """Train a proposed model for the quantisation experiments."""
+    model, _ = train_one(
+        "ode_botnet", profile=profile, epochs=epochs,
+        n_train_per_class=n_train_per_class, seed=seed, augment=False,
+    )
+    model.eval()
+    return model
+
+
+def _eval_batch(profile, n_per_class, seed):
+    from ..models.registry import PROFILES
+
+    size = PROFILES[profile]["input_size"]
+    test = SynthSTL("test", size=size, n_per_class=n_per_class, seed=seed)
+    loader = DataLoader(test, batch_size=len(test))
+    images, labels = next(iter(loader))
+    return images, labels
+
+
+def table8_quant_accuracy(model=None, profile="small", n_per_class=20,
+                          formats=PAPER_FORMATS, seed=0):
+    """Table VIII: accuracy vs fixed-point representation."""
+    if model is None:
+        model = trained_proposed_model(profile=profile, seed=seed)
+    images, labels = _eval_batch(profile, n_per_class, seed)
+    # Float reference
+    from ..tensor import Tensor, no_grad
+
+    with no_grad():
+        ref_logits = model(Tensor(images)).data
+    ref_acc = float(np.mean(np.argmax(ref_logits, axis=-1) == labels))
+
+    stats = sweep_formats(model, images, labels, format_pairs=formats)
+    rows = [
+        {
+            "format": "float",
+            "accuracy": ref_acc * 100,
+            "paper_accuracy": report.PAPER_QUANT_ACCURACY["float"],
+        }
+    ]
+    for s in stats:
+        rows.append(
+            {
+                "format": s.format_pair,
+                "accuracy": s.accuracy * 100,
+                "paper_accuracy": report.PAPER_QUANT_ACCURACY.get(s.format_pair),
+            }
+        )
+    return rows
+
+
+def fig9_10_numeric_error(model=None, profile="small", n_per_class=20,
+                          formats=PAPER_FORMATS, seed=0):
+    """Figs 9-10: mean/max |FPGA - SW| of the final-FC inputs per format."""
+    if model is None:
+        model = trained_proposed_model(profile=profile, seed=seed)
+    images, labels = _eval_batch(profile, n_per_class, seed)
+    stats = sweep_formats(model, images, labels, format_pairs=formats)
+    return [
+        {
+            "format": s.format_pair,
+            "mean_abs_diff": s.mean_abs_diff,
+            "max_abs_diff": s.max_abs_diff,
+        }
+        for s in stats
+    ]

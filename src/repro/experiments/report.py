@@ -1,0 +1,73 @@
+"""Formatting helpers and the paper's reference numbers."""
+
+from __future__ import annotations
+
+#: Table IV reference parameter counts.
+PAPER_PARAMS = {
+    "resnet50": 23_522_362,
+    "botnet50": 18_885_962,
+    "odenet": 599_309,
+    "ode_botnet": 513_275,
+    "vit_base": 78_218_506,
+}
+
+#: Table V reference accuracies (%, STL10).
+PAPER_ACCURACY = {
+    "resnet50": 79.20,
+    "botnet50": 81.60,
+    "odenet": 79.81,
+    "ode_botnet": 80.01,
+    "vit_base": 62.59,
+}
+
+#: Table VI reference MHSA time ratios (%).
+PAPER_MHSA_RATIO = {"botnet50": 20.5, "ode_botnet": 50.7}
+
+#: Table VIII reference accuracies (%) per fixed-point format.
+PAPER_QUANT_ACCURACY = {
+    "float": 78.7,
+    "32(16)-24(8)": 78.7,
+    "24(12)-20(6)": 78.7,
+    "20(10)-16(4)": 76.9,
+    "18(9)-14(4)": 59.8,
+    "16(8)-12(4)": 16.9,
+}
+
+#: Table IX reference latencies (ms): mean, max, std.
+PAPER_EXEC_TIME = {
+    "CPU": (35.18, 36.24, 0.20),
+    "FPGA (float)": (24.21, 24.78, 0.07),
+    "FPGA (fixed)": (13.37, 14.49, 0.13),
+}
+
+#: Sec. VI-B7 power references (W).
+PAPER_POWER = {"ip_fixed": 0.866, "ip_float": 3.977, "ps_cpu": 2.647}
+PAPER_ENERGY_EFFICIENCY = 1.98
+PAPER_SPEEDUP_FIXED = 2.63
+PAPER_SPEEDUP_FLOAT = 1.45
+
+
+def format_table(headers, rows, title=None) -> str:
+    """Render a list-of-sequences as an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.4g}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,102 @@
+"""Robustness and loss-surface analysis (paper Sec. II-A).
+
+The paper motivates hybrid models partly through Park & Kim [8]: MHSA
+"not only contributes to improved accuracy, but also to the flat and
+smooth loss surface, thereby increasing the model's robustness".  These
+helpers quantify both halves of that sentence for any trained model:
+
+* :func:`noise_robustness_curve` / :func:`occlusion_robustness_curve`
+  — accuracy under increasing input corruption;
+* :func:`loss_flatness` — mean loss increase under random parameter
+  perturbations of growing radius (a flat minimum degrades slowly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from ..train import CrossEntropyLoss
+
+
+def _accuracy(model, images, labels):
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(images.astype(np.float32), _copy=False)).data
+    return float(np.mean(np.argmax(logits, axis=-1) == labels))
+
+
+def noise_robustness_curve(model, images, labels, sigmas=(0.0, 0.05, 0.1, 0.2, 0.4),
+                           seed=0):
+    """Accuracy vs additive Gaussian pixel noise of std sigma."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for sigma in sigmas:
+        noisy = images + rng.normal(0.0, sigma, size=images.shape)
+        noisy = np.clip(noisy, 0.0, 1.0)
+        rows.append({"sigma": float(sigma),
+                     "accuracy": _accuracy(model, noisy, labels) * 100})
+    return rows
+
+
+def occlusion_robustness_curve(model, images, labels,
+                               fractions=(0.0, 0.1, 0.2, 0.3, 0.5), seed=0):
+    """Accuracy vs a randomly placed square occlusion covering the given
+    fraction of the image area (RandomErasing-style corruption)."""
+    rng = np.random.default_rng(seed)
+    _, _, h, w = images.shape
+    rows = []
+    for frac in fractions:
+        if frac == 0.0:
+            corrupted = images
+        else:
+            side = max(1, int(round(np.sqrt(frac * h * w))))
+            side = min(side, h, w)
+            corrupted = images.copy()
+            for i in range(len(images)):
+                y = rng.integers(0, h - side + 1)
+                x = rng.integers(0, w - side + 1)
+                corrupted[i, :, y : y + side, x : x + side] = 0.0
+        rows.append({"fraction": float(frac),
+                     "accuracy": _accuracy(model, corrupted, labels) * 100})
+    return rows
+
+
+def loss_flatness(model, images, labels, epsilons=(0.0, 0.01, 0.02, 0.05),
+                  n_directions=5, seed=0):
+    """Mean loss under random parameter perturbations of radius eps.
+
+    For each epsilon, parameters are displaced by ``eps * ||θ|| * u`` for
+    ``n_directions`` random unit directions u (filter-normalised); the
+    returned rows give the mean perturbed loss.  A flat minimum —
+    which [8] attributes to MHSA — shows a slow rise.
+    """
+    rng = np.random.default_rng(seed)
+    loss_fn = CrossEntropyLoss()
+    model.eval()
+    params = list(model.parameters())
+    originals = [p.data.copy() for p in params]
+    x = Tensor(images.astype(np.float32), _copy=False)
+
+    def current_loss():
+        with no_grad():
+            return loss_fn(model(x), labels).item()
+
+    rows = []
+    for eps in epsilons:
+        if eps == 0.0:
+            rows.append({"epsilon": 0.0, "loss": current_loss()})
+            continue
+        losses = []
+        for _ in range(n_directions):
+            for p, orig in zip(params, originals):
+                direction = rng.normal(size=orig.shape)
+                norm = np.linalg.norm(direction)
+                if norm > 0:
+                    direction *= np.linalg.norm(orig) / norm
+                p.data[...] = orig + eps * direction
+            losses.append(current_loss())
+        for p, orig in zip(params, originals):
+            p.data[...] = orig
+        rows.append({"epsilon": float(eps), "loss": float(np.mean(losses))})
+    return rows

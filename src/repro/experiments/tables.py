@@ -1,0 +1,276 @@
+"""Hardware-side and static experiments (Tables I-IV, VI, VII, IX, power)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fpga import MHSAAccelerator, ZynqBoard, ip_power_w
+from ..models import build_model
+from ..profiling import mhsa_time_ratio, model_macs
+from ..tensor import Tensor
+from . import report
+from .designs import (
+    FIXED_DEFAULT,
+    FLOAT32,
+    botnet_mhsa_design,
+    botnet_mhsa_module,
+    proposed_mhsa_design,
+    proposed_mhsa_module,
+)
+
+PAPER_TABLE1 = {
+    "float": (1716, 680, 89_912, 112_698),
+    "fixed": (1396, 137, 30_041, 83_116),
+}
+PAPER_TABLE2 = {
+    "before": (1396, 137, 30_041, 83_116),
+    "after": (559, 137, 37_333, 55_842),
+}
+PAPER_TABLE3 = {
+    "proj": (40_158_722, 316_009),
+    "qrt": (74_132, 74_132),
+    "qkt": (78_740, 78_740),
+    "relu": (1_701, 1_701),
+    "av": (370_696, 370_696),
+    "total": (121_866_093, 2_337_954),
+}
+PAPER_TABLE7 = {
+    "botnet-float": (693, 680, 101_851, 90_072),
+    "botnet-fixed": (559, 137, 37_333, 55_842),
+    "proposed-float": (441, 868, 144_263, 124_091),
+    "proposed-fixed": (433, 212, 68_809, 79_476),
+}
+
+
+def _resource_row(label, design, paper):
+    rep = design.resource_report()
+    u = rep.utilization()
+    return {
+        "config": label,
+        "bram": rep.bram,
+        "bram_util": u["BRAM"],
+        "dsp": rep.dsp,
+        "ff": rep.ff,
+        "lut": rep.lut,
+        "fits": rep.fits(),
+        "paper_bram": paper[0],
+        "paper_dsp": paper[1],
+        "paper_ff": paper[2],
+        "paper_lut": paper[3],
+    }
+
+
+def table1_fixed_vs_float():
+    """Table I: (512ch, 3x3) resources, float vs fixed, naive buffers."""
+    rows = [
+        _resource_row(
+            "512ch 3x3 float",
+            botnet_mhsa_design(FLOAT32, shared_weight_buffer=False),
+            PAPER_TABLE1["float"],
+        ),
+        _resource_row(
+            "512ch 3x3 fixed",
+            botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=False),
+            PAPER_TABLE1["fixed"],
+        ),
+    ]
+    return rows
+
+
+def table2_buffer_management():
+    """Table II: fixed-point resources before/after the shared W buffer."""
+    return [
+        _resource_row(
+            "before (7 buffers)",
+            botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=False),
+            PAPER_TABLE2["before"],
+        ),
+        _resource_row(
+            "after (5 buffers)",
+            botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=True),
+            PAPER_TABLE2["after"],
+        ),
+    ]
+
+
+def table3_parallelization():
+    """Table III: per-stage cycles, original vs parallelized."""
+    design = botnet_mhsa_design(FIXED_DEFAULT)
+    orig = design.stage_cycles(parallel=False)
+    par = design.stage_cycles(parallel=True)
+    key_map = {
+        "XW^q, XW^k, XW^v (each)": "proj",
+        "QR^T": "qrt",
+        "QK^T": "qkt",
+        "ReLU(QK^T + QR^T)": "relu",
+        "ReLU(.)V": "av",
+    }
+    rows = []
+    clock = design.device.clock_ns
+    for name in orig:
+        pk = key_map.get(name)
+        rows.append(
+            {
+                "stage": name,
+                "orig_cycles": orig[name],
+                "orig_ns": orig[name] * clock,
+                "par_cycles": par[name],
+                "par_ns": par[name] * clock,
+                "paper_orig": PAPER_TABLE3[pk][0] if pk else None,
+                "paper_par": PAPER_TABLE3[pk][1] if pk else None,
+            }
+        )
+    rows.append(
+        {
+            "stage": "Total",
+            "orig_cycles": design.total_cycles(False),
+            "orig_ns": design.latency_ns(False),
+            "par_cycles": design.total_cycles(True),
+            "par_ns": design.latency_ns(True),
+            "paper_orig": PAPER_TABLE3["total"][0],
+            "paper_par": PAPER_TABLE3["total"][1],
+        }
+    )
+    return rows
+
+
+def table4_param_size(profile="paper"):
+    """Table IV: parameter counts of the five models."""
+    rows = []
+    for name in ("resnet50", "botnet50", "odenet", "ode_botnet", "vit_base"):
+        model = build_model(name, profile=profile)
+        rows.append(
+            {
+                "model": name,
+                "params": model.num_parameters(),
+                "paper_params": report.PAPER_PARAMS[name],
+            }
+        )
+    # headline reduction: proposed vs BoTNet50
+    by = {r["model"]: r["params"] for r in rows}
+    for r in rows:
+        r["reduction_vs_botnet"] = 1.0 - r["params"] / by["botnet50"]
+    return rows
+
+
+def table6_mhsa_ratio(repeats=5, seed=0):
+    """Table VI: MHSA share of MHSABlock software execution time.
+
+    Measured with wall clocks on this host (the paper measured on the
+    ZCU104's Cortex-A53); the reproduction target is the *ordering* —
+    the proposed model's block is attention-dominated, BoTNet's is
+    convolution-dominated.
+    """
+    rng = np.random.default_rng(seed)
+
+    # BoTNet: a stage-5 MHSABlock at (512, 3, 3), input 2048ch.
+    from ..models.botnet import MHSABlock
+
+    bot_block = MHSABlock(2048, 512, stride=1, fmap_size=3, rng=rng)
+    bot_block.eval()
+    x_bot = Tensor(rng.normal(size=(1, 2048, 3, 3)).astype(np.float32))
+    bot = mhsa_time_ratio(bot_block, x_bot, repeats=repeats)
+
+    # Proposed: the ODE MHSA block at (256 -> 64, 6x6).
+    from ..ode import MHSABottleneckODEFunc, ODEBlock
+
+    func = MHSABottleneckODEFunc(256, 64, 6, 6, heads=4, rng=rng)
+    ode_block = ODEBlock(func, solver="euler", steps=10)
+    ode_block.eval()
+    x_ode = Tensor(rng.normal(size=(1, 256, 6, 6)).astype(np.float32))
+    prop = mhsa_time_ratio(ode_block, x_ode, repeats=repeats)
+
+    return [
+        {
+            "model": "botnet50",
+            "ratio": bot["ratio"],
+            "paper_ratio": report.PAPER_MHSA_RATIO["botnet50"] / 100,
+        },
+        {
+            "model": "ode_botnet",
+            "ratio": prop["ratio"],
+            "paper_ratio": report.PAPER_MHSA_RATIO["ode_botnet"] / 100,
+        },
+    ]
+
+
+def table7_resource_utilization():
+    """Table VII: resources for the four deployed accelerator builds."""
+    return [
+        _resource_row(
+            "BoTNet (512,3,3) float",
+            botnet_mhsa_design(FLOAT32),
+            PAPER_TABLE7["botnet-float"],
+        ),
+        _resource_row(
+            "BoTNet (512,3,3) fixed",
+            botnet_mhsa_design(FIXED_DEFAULT),
+            PAPER_TABLE7["botnet-fixed"],
+        ),
+        _resource_row(
+            "Proposed (64,6,6) float",
+            proposed_mhsa_design(FLOAT32),
+            PAPER_TABLE7["proposed-float"],
+        ),
+        _resource_row(
+            "Proposed (64,6,6) fixed",
+            proposed_mhsa_design(FIXED_DEFAULT),
+            PAPER_TABLE7["proposed-fixed"],
+        ),
+    ]
+
+
+def table9_execution_time(n_runs=100):
+    """Table IX: CPU vs FPGA(float) vs FPGA(fixed) latency of the
+    (512, 3, 3) MHSA block, with mean/max/std over repeated runs."""
+    board = ZynqBoard()
+    mhsa = botnet_mhsa_module()
+    rows = []
+    sw = board.run_software(botnet_mhsa_design(FIXED_DEFAULT), n=n_runs)
+    rows.append(_exec_row("CPU", sw))
+    for arith, label in ((FLOAT32, "FPGA (float)"), (FIXED_DEFAULT, "FPGA (fixed)")):
+        res = board.run_accelerated(mhsa, botnet_mhsa_design(arith), n=n_runs)
+        rows.append(_exec_row(label, res))
+    cpu_mean = rows[0]["mean_ms"]
+    for r in rows:
+        r["speedup_vs_cpu"] = cpu_mean / r["mean_ms"]
+    return rows
+
+
+def _exec_row(label, res):
+    paper = report.PAPER_EXEC_TIME[label]
+    return {
+        "mode": label,
+        "mean_ms": res.mean_ms,
+        "max_ms": res.max_ms,
+        "std_ms": res.std_ms,
+        "power_w": res.power_w,
+        "paper_mean": paper[0],
+        "paper_max": paper[1],
+        "paper_std": paper[2],
+    }
+
+
+def power_summary(n_runs=100):
+    """Sec. VI-B7: IP power, board power and energy efficiency."""
+    board = ZynqBoard()
+    fixed_design = botnet_mhsa_design(FIXED_DEFAULT)
+    float_design = botnet_mhsa_design(FLOAT32)
+    ip_fixed = ip_power_w(fixed_design.resource_report(), activity=1.0)
+    ip_float = ip_power_w(float_design.resource_report(), activity=2.0)
+
+    mhsa = botnet_mhsa_module()
+    hw = board.run_accelerated(mhsa, fixed_design, n=n_runs)
+    eff = board.energy_efficiency(fixed_design, hw.mean_ms)
+    sw_ms = board.software_latency_ms(fixed_design)
+    return {
+        "ip_power_fixed_w": ip_fixed,
+        "ip_power_float_w": ip_float,
+        "ps_power_w": report.PAPER_POWER["ps_cpu"],
+        "speedup_fixed": sw_ms / hw.mean_ms,
+        "energy_efficiency": eff,
+        "paper_ip_fixed": report.PAPER_POWER["ip_fixed"],
+        "paper_ip_float": report.PAPER_POWER["ip_float"],
+        "paper_energy_efficiency": report.PAPER_ENERGY_EFFICIENCY,
+        "paper_speedup_fixed": report.PAPER_SPEEDUP_FIXED,
+    }

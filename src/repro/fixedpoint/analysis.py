@@ -1,0 +1,75 @@
+"""Quantisation-error analysis (Table VIII, Figs 9-10).
+
+The paper measures the *mean* and *maximum* absolute difference between
+the inputs to the final FC layer of the FPGA (fixed-point) and software
+(float) executions, per number format, plus end-to-end accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .qformat import PAPER_FORMATS, parse_format_pair
+from .quantized_mhsa import use_quantized_mhsa
+
+
+@dataclass
+class ErrorStats:
+    """Difference statistics between float and fixed-point executions."""
+
+    format_pair: str
+    mean_abs_diff: float
+    max_abs_diff: float
+    accuracy: float
+
+
+def _final_fc_inputs(model, images):
+    """Run *model* and capture the input of the final FC layer.
+
+    Works for any model exposing ``.fc`` (ResNet/ODENet families): the
+    FC input is re-computed by hooking the Linear forward.
+    """
+    captured = {}
+    fc = model.fc
+    original = fc.forward
+
+    def hook(x, _orig=original):
+        captured["fc_in"] = np.array(x.data, copy=True)
+        return _orig(x)
+
+    object.__setattr__(fc, "forward", hook)
+    try:
+        with no_grad():
+            logits = model(Tensor(images, _copy=False))
+    finally:
+        object.__setattr__(fc, "forward", original)
+    return captured["fc_in"], logits.data
+
+
+def error_statistics(model, images, labels, format_pair: str) -> ErrorStats:
+    """Compare float vs fixed-point MHSA execution of *model*.
+
+    Returns mean/max absolute difference of final-FC inputs (Figs 9-10)
+    and fixed-point accuracy (Table VIII).
+    """
+    model.eval()
+    feat_fmt, param_fmt = parse_format_pair(format_pair)
+    ref_fc_in, _ = _final_fc_inputs(model, images)
+    with use_quantized_mhsa(model, feat_fmt, param_fmt):
+        q_fc_in, q_logits = _final_fc_inputs(model, images)
+    diff = np.abs(ref_fc_in - q_fc_in)
+    acc = float(np.mean(np.argmax(q_logits, axis=-1) == np.asarray(labels)))
+    return ErrorStats(
+        format_pair=format_pair,
+        mean_abs_diff=float(diff.mean()),
+        max_abs_diff=float(diff.max()),
+        accuracy=acc,
+    )
+
+
+def sweep_formats(model, images, labels, format_pairs=PAPER_FORMATS):
+    """Run :func:`error_statistics` over the Table VIII format list."""
+    return [error_statistics(model, images, labels, fp) for fp in format_pairs]

@@ -1,0 +1,84 @@
+"""Fixed-point arithmetic kernels in the integer domain.
+
+All functions take/return int64 *raw* arrays tagged with their
+:class:`~repro.fixedpoint.QFormat`.  Products and accumulations run at
+full int64 width (the HLS kernel uses wide accumulators the same way);
+results are rescaled into the output format with round-half-even and
+saturation — the two operations that create the quantisation error
+measured in Table VIII and Figs 9-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qformat import QFormat
+
+
+def _rescale(raw: np.ndarray, from_frac: int, to_fmt: QFormat) -> np.ndarray:
+    """Shift raw values from ``from_frac`` fractional bits into *to_fmt*,
+    rounding half-to-even, then saturate."""
+    shift = from_frac - to_fmt.frac_bits
+    if shift == 0:
+        out = raw
+    elif shift < 0:
+        out = raw << (-shift)
+    else:
+        # round-half-even on a right shift of `shift` bits
+        half = np.int64(1) << (shift - 1)
+        mask = (np.int64(1) << shift) - 1
+        quotient = raw >> shift
+        remainder = raw & mask
+        round_up = (remainder > half) | ((remainder == half) & ((quotient & 1) == 1))
+        out = quotient + round_up.astype(np.int64)
+    return to_fmt.saturate(out)
+
+
+def requantize(raw: np.ndarray, from_fmt: QFormat, to_fmt: QFormat) -> np.ndarray:
+    """Convert raw values between formats (an ``ap_fixed`` cast)."""
+    return _rescale(np.asarray(raw, dtype=np.int64), from_fmt.frac_bits, to_fmt)
+
+
+def fixed_matmul(a_raw, a_fmt: QFormat, b_raw, b_fmt: QFormat,
+                 out_fmt: QFormat) -> np.ndarray:
+    """``a @ b`` with int64 accumulation, output in *out_fmt*.
+
+    Overflow note: with the paper's widest formats (32-bit features x
+    24-bit params) products are ≤ 2^55 and the accumulation depth in the
+    MHSA block is ≤ 512, keeping sums within int64.
+    """
+    a = np.asarray(a_raw, dtype=np.int64)
+    b = np.asarray(b_raw, dtype=np.int64)
+    acc = a @ b  # exact in int64
+    return _rescale(acc, a_fmt.frac_bits + b_fmt.frac_bits, out_fmt)
+
+
+def fixed_mul(a_raw, a_fmt: QFormat, b_raw, b_fmt: QFormat,
+              out_fmt: QFormat) -> np.ndarray:
+    """Element-wise product with rescale into *out_fmt*."""
+    acc = np.asarray(a_raw, dtype=np.int64) * np.asarray(b_raw, dtype=np.int64)
+    return _rescale(acc, a_fmt.frac_bits + b_fmt.frac_bits, out_fmt)
+
+
+def fixed_add(a_raw, a_fmt: QFormat, b_raw, b_fmt: QFormat,
+              out_fmt: QFormat) -> np.ndarray:
+    """Element-wise sum; operands are aligned to the wider fraction first."""
+    frac = max(a_fmt.frac_bits, b_fmt.frac_bits)
+    a = np.asarray(a_raw, dtype=np.int64) << (frac - a_fmt.frac_bits)
+    b = np.asarray(b_raw, dtype=np.int64) << (frac - b_fmt.frac_bits)
+    return _rescale(a + b, frac, out_fmt)
+
+
+def fixed_relu(raw: np.ndarray) -> np.ndarray:
+    """ReLU is format-preserving: max(0, x). One comparator + one mux in
+    hardware — the reason the paper swaps softmax for ReLU (Sec. V-A)."""
+    return np.maximum(np.asarray(raw, dtype=np.int64), 0)
+
+
+def fixed_scale(raw, fmt: QFormat, constant: float, const_fmt: QFormat,
+                out_fmt: QFormat) -> np.ndarray:
+    """Multiply by a compile-time constant quantised in *const_fmt*
+    (e.g. the 1/sqrt(D_h) attention scaling)."""
+    c = const_fmt.quantize(np.array(constant))
+    acc = np.asarray(raw, dtype=np.int64) * int(c)
+    return _rescale(acc, fmt.frac_bits + const_fmt.frac_bits, out_fmt)

@@ -1,0 +1,124 @@
+"""Quantization-aware training (QAT) for the MHSA block.
+
+Post-training quantisation (what the paper evaluates in Table VIII)
+collapses once the number format stops covering the activation range.
+The standard remedy — used by the paper's cited VAQF [20] — is to
+expose the quantisation error *during training* so the optimizer routes
+around it: the forward pass rounds values through the target format
+while the backward pass passes gradients straight through (the
+straight-through estimator, STE).
+
+:class:`FakeQuantize` implements the STE as an autograd op;
+:func:`prepare_qat` wraps every :class:`~repro.nn.MHSA2d` of a model so
+its inputs, weights and outputs are fake-quantised with the target
+formats.  After training, deploy exactly as before — the deployed
+fixed-point arithmetic then sees the same value grid the model was
+trained on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.attention import MHSA2d
+from ..tensor import Tensor
+from ..tensor.function import Function
+from .qformat import QFormat
+
+
+class FakeQuantize(Function):
+    """Round-through-format with a straight-through gradient.
+
+    Forward: ``y = dequantize(quantize(x))`` (round-half-even with
+    saturation).  Backward: identity inside the representable range,
+    zero outside it (gradients must not push values further into
+    saturation).
+    """
+
+    @staticmethod
+    def forward(ctx, x, fmt: QFormat = None):
+        ctx.save_for_backward(
+            ((x >= fmt.value_min) & (x <= fmt.value_max))
+        )
+        return fmt.roundtrip(x).astype(x.dtype)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (in_range,) = ctx.saved
+        return (grad * in_range,)
+
+
+def fake_quantize(x: Tensor, fmt: QFormat) -> Tensor:
+    """Apply :class:`FakeQuantize` to a tensor."""
+    return FakeQuantize.apply(x, fmt=fmt)
+
+
+class QATMHSA2d(MHSA2d):
+    """An :class:`MHSA2d` whose forward sees the target number grid.
+
+    Weights and relative-position vectors are fake-quantised in the
+    parameter format, the input/output feature maps in the feature
+    format — matching where :class:`QuantizedMHSA2d` casts at inference.
+    """
+
+    def __init__(self, *args, feature_fmt: QFormat, param_fmt: QFormat, **kw):
+        super().__init__(*args, **kw)
+        self.feature_fmt = feature_fmt
+        self.param_fmt = param_fmt
+
+    @classmethod
+    def from_mhsa(cls, mhsa: MHSA2d, feature_fmt: QFormat, param_fmt: QFormat):
+        """Wrap an existing module, sharing its parameters in place."""
+        obj = cls(
+            mhsa.channels, mhsa.height, mhsa.width, heads=mhsa.heads,
+            pos_enc=mhsa.pos_enc,
+            attention_activation=mhsa.attention_activation,
+            out_layernorm=mhsa.norm is not None,
+            feature_fmt=feature_fmt, param_fmt=param_fmt,
+        )
+        obj.w_q = mhsa.w_q
+        obj.w_k = mhsa.w_k
+        obj.w_v = mhsa.w_v
+        if mhsa.pos_enc == "relative":
+            obj.rel = mhsa.rel
+        if mhsa.norm is not None:
+            obj.norm = mhsa.norm
+        return obj
+
+    def forward(self, x):
+        ffmt, pfmt = self.feature_fmt, self.param_fmt
+        x = fake_quantize(x, ffmt)
+        # temporarily swap in fake-quantised projection weights
+        saved = (self.w_q, self.w_k, self.w_v)
+        object.__setattr__(self, "w_q", fake_quantize(saved[0], pfmt))
+        object.__setattr__(self, "w_k", fake_quantize(saved[1], pfmt))
+        object.__setattr__(self, "w_v", fake_quantize(saved[2], pfmt))
+        try:
+            out = super().forward(x)
+        finally:
+            object.__setattr__(self, "w_q", saved[0])
+            object.__setattr__(self, "w_k", saved[1])
+            object.__setattr__(self, "w_v", saved[2])
+        return fake_quantize(out, ffmt)
+
+
+def prepare_qat(model, feature_fmt: QFormat, param_fmt: QFormat):
+    """Replace every MHSA2d in *model* with a parameter-sharing QAT
+    wrapper. Returns the list of replaced module paths."""
+    replaced = []
+
+    def walk(mod, prefix):
+        for name, child in list(mod._modules.items()):
+            path = f"{prefix}.{name}" if prefix else name
+            if type(child) is MHSA2d:
+                setattr(mod, name, QATMHSA2d.from_mhsa(
+                    child, feature_fmt, param_fmt
+                ))
+                replaced.append(path)
+            else:
+                walk(child, path)
+
+    walk(model, "")
+    if not replaced:
+        raise ValueError("model contains no MHSA2d to prepare for QAT")
+    return replaced

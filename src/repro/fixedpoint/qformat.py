@@ -1,0 +1,115 @@
+"""Q-format descriptor and float <-> fixed conversion.
+
+Follows the Vivado ``ap_fixed<W, I>`` convention: ``W`` total bits,
+``I`` integer bits *including* the sign bit, ``W - I`` fractional bits.
+Representable range is ``[-2^(I-1), 2^(I-1) - 2^-(W-I)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format: *total_bits* wide, *int_bits* integer."""
+
+    total_bits: int
+    int_bits: int
+
+    def __post_init__(self):
+        if self.total_bits < 2 or self.total_bits > 62:
+            raise ValueError(f"total_bits out of range: {self.total_bits}")
+        if self.int_bits < 1 or self.int_bits > self.total_bits:
+            raise ValueError(
+                f"int_bits must be in [1, total_bits], got {self.int_bits}"
+            )
+
+    @property
+    def frac_bits(self) -> int:
+        return self.total_bits - self.int_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one LSB: 2^-frac_bits."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def raw_min(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def raw_max(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def value_min(self) -> float:
+        return self.raw_min * self.scale
+
+    @property
+    def value_max(self) -> float:
+        return self.raw_max * self.scale
+
+    # ------------------------------------------------------------------
+    def saturate(self, raw: np.ndarray) -> np.ndarray:
+        """Clip int64 raw values into this format's representable range."""
+        return np.clip(raw, self.raw_min, self.raw_max)
+
+    def quantize(self, values: np.ndarray, rounding="nearest",
+                 rng=None) -> np.ndarray:
+        """Float -> int64 raw with saturation.
+
+        ``rounding='nearest'`` (default) is round-half-even, matching
+        Vivado's ``AP_RND_CONV``.  ``rounding='stochastic'`` rounds up
+        with probability equal to the fractional remainder (requires an
+        explicit ``rng``) — the unbiased mode FPGA training
+        accelerators use to keep tiny gradient updates from vanishing.
+        """
+        scaled = np.asarray(values, dtype=np.float64) * (1 << self.frac_bits)
+        if rounding == "nearest":
+            raw = np.rint(scaled).astype(np.int64)
+        elif rounding == "stochastic":
+            if rng is None:
+                raise ValueError("stochastic rounding requires an rng")
+            floor = np.floor(scaled)
+            frac = scaled - floor
+            raw = (floor + (rng.random(scaled.shape) < frac)).astype(np.int64)
+        else:
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+        return self.saturate(raw)
+
+    def dequantize(self, raw: np.ndarray) -> np.ndarray:
+        """Int64 raw -> float64 values."""
+        return np.asarray(raw, dtype=np.float64) * self.scale
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Float -> fixed -> float (the representable value nearest x)."""
+        return self.dequantize(self.quantize(values))
+
+    def __str__(self):
+        return f"{self.total_bits}({self.int_bits})"
+
+    @classmethod
+    def parse(cls, text: str) -> "QFormat":
+        """Parse ``"32(16)"`` into QFormat(32, 16)."""
+        total, rest = text.split("(")
+        return cls(int(total), int(rest.rstrip(")")))
+
+
+def parse_format_pair(text: str):
+    """Parse the paper's ``"32(16)-24(8)"`` notation into a
+    ``(feature_format, param_format)`` pair."""
+    feat, param = text.split("-")
+    return QFormat.parse(feat), QFormat.parse(param)
+
+
+#: The five configurations evaluated in Table VIII, most to least precise.
+PAPER_FORMATS = (
+    "32(16)-24(8)",
+    "24(12)-20(6)",
+    "20(10)-16(4)",
+    "18(9)-14(4)",
+    "16(8)-12(4)",
+)

@@ -1,0 +1,123 @@
+"""Bit-accurate fixed-point inference kernels for whole networks.
+
+The paper quantises only the MHSA block (the part on the PL); its
+future work — "implementing the proposed model on the FPGA entirely" —
+needs every layer in fixed point.  This module provides the remaining
+kernels: convolution (integer im2col GEMM), folded batch-norm, linear,
+pooling and the Euler state update, all in the same integer-domain
+``ap_fixed`` semantics as :mod:`repro.fixedpoint.ops`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor._util import as_strided_patches
+from .ops import _rescale, fixed_add, fixed_matmul, requantize
+from .qformat import QFormat
+
+
+def fixed_conv2d(x_raw, x_fmt: QFormat, w_raw, w_fmt: QFormat,
+                 out_fmt: QFormat, bias_raw=None, bias_fmt: QFormat = None,
+                 stride=(1, 1), padding=(0, 0), groups=1) -> np.ndarray:
+    """Integer-domain 2-D convolution, NCHW.
+
+    im2col patches of the int64 input are contracted against the int64
+    weights with full-precision accumulation, then rescaled into
+    *out_fmt* (one ``ap_fixed`` cast per output, as the HLS kernel
+    does).  An optional bias is aligned and added before the cast.
+    """
+    x = np.asarray(x_raw, dtype=np.int64)
+    w = np.asarray(w_raw, dtype=np.int64)
+    n, c, h, wd = x.shape
+    f, cg, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (wd + 2 * pw - kw) // sw + 1
+    patches = as_strided_patches(x, kh, kw, sh, sw)  # (N,C,OH,OW,KH,KW)
+    fg = f // groups
+    pg = patches.reshape(n, groups, cg, oh, ow, kh, kw)
+    wg = w.reshape(groups, fg, cg, kh, kw)
+    acc = np.einsum("ngcxykl,gfckl->ngfxy", pg, wg, optimize=True)
+    acc = acc.reshape(n, f, oh, ow)
+    acc_frac = x_fmt.frac_bits + w_fmt.frac_bits
+    if bias_raw is not None:
+        shift = acc_frac - bias_fmt.frac_bits
+        acc = acc + (np.asarray(bias_raw, dtype=np.int64) << shift).reshape(
+            1, -1, 1, 1
+        )
+    return _rescale(acc, acc_frac, out_fmt)
+
+
+def fold_batchnorm(bn, param_fmt: QFormat):
+    """Fold an eval-mode BatchNorm into per-channel (scale, shift).
+
+    ``y = x * s + t`` with ``s = γ/√(σ²+ε)`` and ``t = β − μ·s``; both
+    quantised into the parameter format, as a hardware implementation
+    would bake them at bitstream-build time.
+    """
+    inv = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    gamma = bn.weight.data if bn.weight is not None else 1.0
+    beta = bn.bias.data if bn.bias is not None else 0.0
+    scale = gamma * inv
+    shift = beta - bn.running_mean * scale
+    return param_fmt.quantize(scale), param_fmt.quantize(shift)
+
+
+def fixed_bn_apply(x_raw, x_fmt: QFormat, scale_raw, shift_raw,
+                   param_fmt: QFormat, out_fmt: QFormat) -> np.ndarray:
+    """Apply folded batch-norm per channel on NCHW raw values."""
+    s = np.asarray(scale_raw, dtype=np.int64).reshape(1, -1, 1, 1)
+    acc = np.asarray(x_raw, dtype=np.int64) * s
+    x_scaled = _rescale(acc, x_fmt.frac_bits + param_fmt.frac_bits, out_fmt)
+    t = requantize(
+        np.asarray(shift_raw, dtype=np.int64).reshape(1, -1, 1, 1),
+        param_fmt, out_fmt,
+    )
+    return out_fmt.saturate(x_scaled + t)
+
+
+def fixed_linear(x_raw, x_fmt: QFormat, w_raw, w_fmt: QFormat,
+                 out_fmt: QFormat, bias_raw=None, bias_fmt: QFormat = None
+                 ) -> np.ndarray:
+    """``x @ W^T + b`` in the integer domain (torch weight layout)."""
+    acc = np.asarray(x_raw, dtype=np.int64) @ np.asarray(w_raw, dtype=np.int64).T
+    acc_frac = x_fmt.frac_bits + w_fmt.frac_bits
+    if bias_raw is not None:
+        acc = acc + (np.asarray(bias_raw, dtype=np.int64)
+                     << (acc_frac - bias_fmt.frac_bits))
+    return _rescale(acc, acc_frac, out_fmt)
+
+
+def fixed_maxpool2d(x_raw, kernel_size, stride=None, padding=(0, 0)) -> np.ndarray:
+    """Max pooling on raw values (format-preserving, exact)."""
+    kh, kw = kernel_size
+    sh, sw = stride if stride is not None else kernel_size
+    ph, pw = padding
+    x = np.asarray(x_raw, dtype=np.int64)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                   constant_values=np.iinfo(np.int64).min)
+    patches = as_strided_patches(x, kh, kw, sh, sw)
+    return patches.max(axis=(4, 5))
+
+
+def fixed_global_avgpool(x_raw, fmt: QFormat) -> np.ndarray:
+    """Global average pool: exact integer sum, one rounding division."""
+    x = np.asarray(x_raw, dtype=np.int64)
+    n = x.shape[2] * x.shape[3]
+    return fmt.saturate(np.rint(x.sum(axis=(2, 3)) / n).astype(np.int64))
+
+
+def fixed_euler_update(z_raw, f_raw, fmt: QFormat, h: float,
+                       h_fmt: QFormat) -> np.ndarray:
+    """``z + h · f`` with the step size h as a fixed-point constant."""
+    h_q = int(h_fmt.quantize(np.array(h)))
+    scaled = _rescale(
+        np.asarray(f_raw, dtype=np.int64) * h_q,
+        fmt.frac_bits + h_fmt.frac_bits, fmt,
+    )
+    return fixed_add(z_raw, fmt, scaled, fmt, fmt)

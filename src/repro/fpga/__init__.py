@@ -1,0 +1,77 @@
+"""Behavioural + analytical simulator of the paper's FPGA accelerator.
+
+The paper implements the MHSA block on a Xilinx ZCU104 (Zynq UltraScale+
+MPSoC) using Vivado HLS: fixed-point arithmetic, a shared Q/K/V weight
+buffer, and unrolled/partitioned matrix-product loops, with data moved
+over a 32-bit AXI HP port by a DMA engine (Sec. V).  This package
+reproduces all of the paper's hardware-side accounting:
+
+* :mod:`~repro.fpga.device` — device resource inventories (ZCU104 etc.).
+* :mod:`~repro.fpga.hls` — loop-nest cycle estimation (trip counts,
+  initiation interval, unroll, pipeline depth), HLS-report style.
+* :mod:`~repro.fpga.resources` — BRAM/DSP/FF/LUT cost models for
+  buffers and MAC lanes (float vs fixed), Tables I/II/VII.
+* :mod:`~repro.fpga.buffers` — naive vs shared buffer plans (Table II).
+* :mod:`~repro.fpga.mhsa_design` — ties the above into a full design
+  point: per-stage cycles (Table III) + resource report.
+* :mod:`~repro.fpga.axi` — DMA/AXI-Stream transfer model.
+* :mod:`~repro.fpga.power` — power/energy model (Sec. VI-B7).
+* :mod:`~repro.fpga.accelerator` — behavioural execution: bit-accurate
+  fixed-point output plus modelled latency (Table IX).
+* :mod:`~repro.fpga.board` — HW/SW co-execution: PS runs the rest of
+  the network, PL runs MHSA.
+
+Where the model needs schedule- or implementation-specific constants
+(iteration latencies, per-lane FF/LUT costs, unit powers), they are
+declared in one place with the paper-derived calibration recorded in
+the docstring; everything else scales from first principles.
+"""
+
+from .accelerator import LatencyReport, MHSAAccelerator
+from .axi import AxiPort, dma_cycles
+from .board import ZynqBoard
+from .buffers import Buffer, BufferPlan
+from .deploy import (
+    export_deployment_bundle,
+    generate_testbench,
+    load_deployment_bundle,
+)
+from .device import ZCU102, ZCU104, DeviceSpec
+from .full_model import FullModelDesign
+from .hls import LoopNest, matmul_nest
+from .hls_codegen import generate_hls_kernel
+from .mhsa_design import Arithmetic, MHSADesign
+from .power import energy_efficiency, ip_power_w
+from .report import hls_report
+from .resources import ResourceReport, bram_blocks
+from .trace import TraceEvent, execution_trace, format_gantt
+
+__all__ = [
+    "DeviceSpec",
+    "ZCU104",
+    "ZCU102",
+    "LoopNest",
+    "matmul_nest",
+    "Buffer",
+    "BufferPlan",
+    "ResourceReport",
+    "bram_blocks",
+    "Arithmetic",
+    "MHSADesign",
+    "AxiPort",
+    "dma_cycles",
+    "ip_power_w",
+    "energy_efficiency",
+    "MHSAAccelerator",
+    "LatencyReport",
+    "ZynqBoard",
+    "FullModelDesign",
+    "hls_report",
+    "generate_hls_kernel",
+    "export_deployment_bundle",
+    "load_deployment_bundle",
+    "generate_testbench",
+    "execution_trace",
+    "format_gantt",
+    "TraceEvent",
+]

@@ -1,0 +1,75 @@
+"""Command-line inspection of accelerator designs.
+
+Usage::
+
+    python -m repro.fpga report   [--config botnet|proposed] [--arith fixed|float]
+    python -m repro.fpga kernel   [--config ...] [--out FILE]
+    python -m repro.fpga compare  # Table IX style latency comparison
+
+``report`` prints a Vivado-style synthesis report, ``kernel`` emits the
+HLS C++ source, ``compare`` runs the CPU / FPGA latency model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..experiments.designs import (
+    FIXED_DEFAULT,
+    FLOAT32,
+    botnet_mhsa_design,
+    botnet_mhsa_module,
+    proposed_mhsa_design,
+)
+from .board import ZynqBoard
+from .hls_codegen import generate_hls_kernel
+from .report import hls_report
+
+
+def _design(args):
+    arith = FIXED_DEFAULT if args.arith == "fixed" else FLOAT32
+    factory = botnet_mhsa_design if args.config == "botnet" else proposed_mhsa_design
+    return factory(arith)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["report", "kernel", "compare"])
+    parser.add_argument("--config", choices=["botnet", "proposed"],
+                        default="botnet")
+    parser.add_argument("--arith", choices=["fixed", "float"], default="fixed")
+    parser.add_argument("--out", default="-")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        print(hls_report(_design(args)))
+        return
+
+    if args.command == "kernel":
+        src = generate_hls_kernel(_design(args))
+        if args.out == "-":
+            print(src)
+        else:
+            with open(args.out, "w") as fh:
+                fh.write(src)
+            print(f"wrote {args.out}", file=sys.stderr)
+        return
+
+    board = ZynqBoard()
+    mhsa = botnet_mhsa_module()
+    results = board.compare(
+        mhsa,
+        {
+            "FPGA (float)": botnet_mhsa_design(FLOAT32),
+            "FPGA (fixed)": botnet_mhsa_design(FIXED_DEFAULT),
+        },
+    )
+    for r in results:
+        print(f"{r.mode:14s} mean {r.mean_ms:6.2f} ms  max {r.max_ms:6.2f}  "
+              f"std {r.std_ms:.3f}  power {r.power_w:.2f} W  "
+              f"energy {r.energy_mj:.1f} mJ")
+
+
+if __name__ == "__main__":
+    main()

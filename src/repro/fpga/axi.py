@@ -1,0 +1,65 @@
+"""AXI / DMA transfer model (board-level data movement, Fig. 5).
+
+The accelerator receives parameters, inputs and outputs over the 32-bit
+high-performance slave port (HP0) using AXI4-Stream via a DMA engine;
+control registers go over AXI-Lite on HPM0.  We model a stream transfer
+as one beat per 32-bit word plus a fixed per-descriptor setup cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AxiPort:
+    """A streaming port: data width and per-transfer setup overhead."""
+
+    width_bits: int = 32
+    setup_cycles: int = 120  # DMA descriptor programming + interrupt
+
+    def beats(self, words: int, word_bits: int = 32) -> int:
+        """Beats to move *words* values of *word_bits* each.
+
+        Values narrower than the port are still one beat each (the
+        paper streams 24-bit weights unpacked in 32-bit beats); wider
+        values take multiple beats.
+        """
+        per_word = max(1, math.ceil(word_bits / self.width_bits))
+        return words * per_word
+
+    def transfer_cycles(self, words: int, word_bits: int = 32) -> int:
+        return self.setup_cycles + self.beats(words, word_bits)
+
+
+HP0 = AxiPort(width_bits=32)
+
+
+def dma_cycles(design, port: AxiPort = HP0) -> dict:
+    """Cycles for all DMA traffic of one MHSA invocation.
+
+    Returns a dict with 'weights', 'input', 'output', 'total'.  Weight
+    streaming overlaps the projection compute only partially (the shared
+    buffer must be refilled *between* projections), so the weight term
+    also appears inside the kernel's total cycle count; input/output
+    transfers happen strictly before/after compute.
+    """
+    d, n = design.channels, design.n_tokens
+    dh, k = design.dim_head, design.heads
+    weights = port.transfer_cycles(3 * d * d, design.arithmetic.param_bits)
+    rel = (
+        port.transfer_cycles(k * (design.height + design.width) * dh,
+                             design.arithmetic.param_bits)
+        if design.use_relative_pos
+        else 0
+    )
+    inp = port.transfer_cycles(n * d, design.arithmetic.feature_bits)
+    out = port.transfer_cycles(n * d, design.arithmetic.feature_bits)
+    return {
+        "weights": weights,
+        "rel_pos": rel,
+        "input": inp,
+        "output": out,
+        "total": weights + rel + inp + out,
+    }

@@ -1,0 +1,125 @@
+"""Board-level HW/SW co-execution (Fig. 5, Table IX).
+
+``ZynqBoard`` models the Zynq UltraScale+ MPSoC: the PS (quad
+Cortex-A53) runs the software parts of the network; the PL runs the
+MHSA IP core.  PS software throughput is modelled as an effective
+MAC rate calibrated to the paper's CPU measurement (35.18 ms for the
+512-channel MHSA block, i.e. ≈ 0.42 effective GMAC/s for naive
+single-thread loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .accelerator import MHSAAccelerator
+from .device import ZCU104, DeviceSpec
+from .mhsa_design import MHSADesign
+from .power import PS_POWER_W, board_power_w, energy_efficiency, ip_power_w
+
+
+def mhsa_macs(design: MHSADesign) -> int:
+    """Multiply-accumulate count of one MHSA invocation."""
+    n, d = design.n_tokens, design.channels
+    k, dh = design.heads, design.dim_head
+    macs = 3 * n * d * d          # projections
+    macs += k * n * n * dh        # QK^T
+    if design.use_relative_pos:
+        macs += k * n * n * dh    # QR^T
+    macs += k * n * n * dh        # A V
+    if design.use_layernorm:
+        macs += 2 * n * d         # mean/var passes
+    return macs
+
+
+@dataclass
+class ExecutionResult:
+    """Latency statistics (ms) plus power/energy for one execution mode."""
+
+    mode: str
+    mean_ms: float
+    max_ms: float
+    std_ms: float
+    power_w: float
+    energy_mj: float
+
+
+class ZynqBoard:
+    """PS + PL co-execution model of the ZCU104.
+
+    Parameters
+    ----------
+    device:
+        PL inventory (default ZCU104).
+    ps_gmacs:
+        effective PS software MAC throughput in GMAC/s; the default is
+        calibrated to the paper's 35.18 ms CPU execution of the
+        (512, 3, 3) MHSA block.
+    """
+
+    def __init__(self, device: DeviceSpec = ZCU104, ps_gmacs: float = 0.205,
+                 sw_jitter: float = 0.006):
+        self.device = device
+        self.ps_gmacs = ps_gmacs
+        self.sw_jitter = sw_jitter
+
+    # ------------------------------------------------------------------
+    def software_latency_ms(self, design: MHSADesign) -> float:
+        """PS-only execution time of the MHSA block."""
+        return mhsa_macs(design) / (self.ps_gmacs * 1e9) * 1e3
+
+    def run_software(self, design: MHSADesign, n=100, seed=0) -> ExecutionResult:
+        base = self.software_latency_ms(design)
+        rng = np.random.default_rng(seed)
+        s = base * (1.0 + self.sw_jitter * np.abs(rng.normal(size=n)))
+        power = board_power_w(None)
+        return ExecutionResult(
+            mode="CPU",
+            mean_ms=float(s.mean()),
+            max_ms=float(s.max()),
+            std_ms=float(s.std()),
+            power_w=power,
+            energy_mj=float(s.mean() * power),
+        )
+
+    def run_accelerated(self, mhsa, design: MHSADesign, n=100, seed=1) -> ExecutionResult:
+        acc = MHSAAccelerator(mhsa, design)
+        stats = acc.latency_stats(n=n, seed=seed)
+        ip_w = ip_power_w(
+            design.resource_report(), activity=design.arithmetic.lane.activity
+        )
+        power = board_power_w(ip_w)
+        mode = f"FPGA ({design.arithmetic.kind})"
+        return ExecutionResult(
+            mode=mode,
+            mean_ms=stats["mean"],
+            max_ms=stats["max"],
+            std_ms=stats["std"],
+            power_w=power,
+            energy_mj=stats["mean"] * power,
+        )
+
+    # ------------------------------------------------------------------
+    def compare(self, mhsa, designs: dict, n=100) -> list:
+        """Run software + each design; returns [ExecutionResult, ...].
+
+        ``designs`` maps label -> MHSADesign. The software row uses the
+        first design's geometry.
+        """
+        first = next(iter(designs.values()))
+        results = [self.run_software(first, n=n)]
+        for seed, (label, design) in enumerate(designs.items(), start=1):
+            r = self.run_accelerated(mhsa, design, n=n, seed=seed)
+            r.mode = label
+            results.append(r)
+        return results
+
+    def energy_efficiency(self, design: MHSADesign, hw_mean_ms: float) -> float:
+        ip_w = ip_power_w(
+            design.resource_report(), activity=design.arithmetic.lane.activity
+        )
+        return energy_efficiency(
+            self.software_latency_ms(design), hw_mean_ms, ip_w
+        )

@@ -1,0 +1,84 @@
+"""On-chip buffer planning (Sec. V-B2, Table II).
+
+The naive MHSA dataflow keeps seven buffers live: W^q, W^k, W^v, X, Q,
+K, V.  Because the three D x D weight matrices dominate BRAM, the paper
+instead allocates **one** shared weight buffer and streams W^q, W^k,
+W^v through it sequentially from DDR — five buffers total, cutting BRAM
+below the ZCU104's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resources import bram_blocks
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One on-chip array: name, payload bits and partition factor."""
+
+    name: str
+    bits: int
+    partition: int = 1
+
+    def bram(self) -> int:
+        return bram_blocks(self.bits, self.partition)
+
+
+@dataclass
+class BufferPlan:
+    """A set of live buffers for one dataflow variant."""
+
+    buffers: list
+
+    def total_bram(self) -> int:
+        return sum(b.bram() for b in self.buffers)
+
+    def total_banks(self) -> int:
+        return sum(b.partition for b in self.buffers)
+
+    def by_name(self) -> dict:
+        return {b.name: b for b in self.buffers}
+
+    def __len__(self):
+        return len(self.buffers)
+
+
+def mhsa_buffer_plan(
+    n_tokens: int,
+    channels: int,
+    heads: int,
+    feature_bits: int,
+    param_bits: int,
+    shared_weight_buffer: bool = True,
+    weight_partition: int = 64,
+    input_partition: int = 64,
+) -> BufferPlan:
+    """Build the buffer plan for an MHSA kernel.
+
+    Parameters mirror the paper's design: the weight buffer and the X
+    buffer are partitioned (64 sub-buffers) to feed the 128-wide
+    unrolled loop; Q/K/V/output/logit buffers are not.
+    """
+    d = channels
+    n = n_tokens
+    dh = d // heads
+    w_bits = d * d * param_bits
+    feat_bits = n * d * feature_bits
+    buffers = []
+    if shared_weight_buffer:
+        buffers.append(Buffer("W_shared", w_bits, weight_partition))
+    else:
+        buffers.append(Buffer("W_q", w_bits, weight_partition))
+        buffers.append(Buffer("W_k", w_bits, weight_partition))
+        buffers.append(Buffer("W_v", w_bits, weight_partition))
+    buffers.append(Buffer("X", feat_bits, input_partition))
+    buffers.append(Buffer("Q", feat_bits))
+    buffers.append(Buffer("K", feat_bits))
+    buffers.append(Buffer("V", feat_bits))
+    # Auxiliary arrays: relative-position table, attention logits, output.
+    buffers.append(Buffer("R", heads * n * dh * param_bits))
+    buffers.append(Buffer("A", heads * n * n * feature_bits))
+    buffers.append(Buffer("Out", feat_bits))
+    return BufferPlan(buffers)

@@ -1,0 +1,169 @@
+"""Deployment bundles and HLS verification artifacts.
+
+In the paper's flow, deploying the accelerator means flashing a
+bitstream plus shipping the *quantised parameters* the PS-side driver
+streams into the IP core.  This module produces those artifacts:
+
+* :func:`export_deployment_bundle` — one ``.npz`` holding the raw
+  integer weights (in the parameter format), the design geometry and
+  number formats; :func:`load_deployment_bundle` restores a runnable
+  :class:`~repro.fixedpoint.QuantizedMHSA2d` from it without the
+  original float model.
+* :func:`generate_testbench` — golden input/output vectors plus a C++
+  test bench for verifying the generated HLS kernel in csim/cosim, the
+  standard Vivado HLS verification flow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..fixedpoint import QFormat, QuantizedMHSA2d
+from .mhsa_design import Arithmetic, MHSADesign
+
+
+def export_deployment_bundle(mhsa, design: MHSADesign, path) -> None:
+    """Write the quantised parameter set + geometry for *design*.
+
+    The bundle is self-describing: geometry, formats and raw int64
+    parameter planes, exactly what the PS driver needs at run time.
+    Only fixed-point designs can be bundled (the float build ships
+    float weights directly).
+    """
+    if design.arithmetic.kind != "fixed":
+        raise ValueError("deployment bundles are for fixed-point designs")
+    q = QuantizedMHSA2d(
+        mhsa, design.arithmetic.feature_fmt, design.arithmetic.param_fmt
+    )
+    meta = {
+        "channels": design.channels,
+        "height": design.height,
+        "width": design.width,
+        "heads": design.heads,
+        "feature_fmt": str(design.arithmetic.feature_fmt),
+        "param_fmt": str(design.arithmetic.param_fmt),
+        "attention_activation": mhsa.attention_activation,
+        "pos_enc": mhsa.pos_enc,
+        "layernorm": mhsa.norm is not None,
+    }
+    payload = {
+        "meta_json": np.array(json.dumps(meta)),
+        "w_q": q.wq,
+        "w_k": q.wk,
+        "w_v": q.wv,
+    }
+    if q.r_table is not None:
+        payload["r_table"] = q.r_table
+    if mhsa.norm is not None:
+        payload["ln_gamma"] = q.ln_gamma
+        payload["ln_beta"] = q.ln_beta
+    np.savez(path, **payload)
+
+
+class DeployedMHSA:
+    """A :class:`QuantizedMHSA2d` reconstructed from a bundle, without
+    the original float module."""
+
+    def __init__(self, archive):
+        meta = json.loads(str(archive["meta_json"]))
+        self.meta = meta
+        feature_fmt = QFormat.parse(meta["feature_fmt"])
+        param_fmt = QFormat.parse(meta["param_fmt"])
+        # Rebuild a skeleton float module, then overwrite the quantised
+        # planes with the shipped integers (bit-exact).
+        from ..nn import MHSA2d
+
+        skeleton = MHSA2d(
+            meta["channels"], meta["height"], meta["width"],
+            heads=meta["heads"], pos_enc=meta["pos_enc"],
+            attention_activation=meta["attention_activation"],
+            out_layernorm=meta["layernorm"],
+            rng=np.random.default_rng(0),
+        )
+        self.q = QuantizedMHSA2d(skeleton, feature_fmt, param_fmt)
+        self.q.wq = archive["w_q"]
+        self.q.wk = archive["w_k"]
+        self.q.wv = archive["w_v"]
+        if "r_table" in archive.files:
+            self.q.r_table = archive["r_table"]
+        if "ln_gamma" in archive.files:
+            self.q.ln_gamma = archive["ln_gamma"]
+            self.q.ln_beta = archive["ln_beta"]
+
+    def __call__(self, x):
+        return self.q.forward(x)
+
+
+def load_deployment_bundle(path) -> DeployedMHSA:
+    """Restore a runnable fixed-point MHSA from a bundle file."""
+    return DeployedMHSA(np.load(path, allow_pickle=False))
+
+
+def generate_testbench(mhsa, design: MHSADesign, out_dir,
+                       n_vectors=2, seed=0) -> dict:
+    """Write golden vectors + a C++ test bench for the HLS kernel.
+
+    Produces ``golden_in.txt`` / ``golden_out.txt`` (one value per
+    line, float) and ``tb.cpp`` referencing them.  The golden outputs
+    come from the bit-accurate fixed-point model, so a matching csim
+    run proves the synthesised kernel agrees with this simulator.
+
+    Returns the paths written.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(
+        size=(n_vectors, design.channels, design.height, design.width)
+    ).astype(np.float32)
+    if design.arithmetic.kind == "fixed":
+        q = QuantizedMHSA2d(
+            mhsa, design.arithmetic.feature_fmt, design.arithmetic.param_fmt
+        )
+        y = q.forward(x)
+    else:
+        y = mhsa.forward_numpy(x)
+
+    in_path = os.path.join(out_dir, "golden_in.txt")
+    out_path = os.path.join(out_dir, "golden_out.txt")
+    np.savetxt(in_path, x.reshape(-1), fmt="%.9g")
+    np.savetxt(out_path, y.reshape(-1), fmt="%.9g")
+
+    tb_path = os.path.join(out_dir, "tb.cpp")
+    n = design.n_tokens * design.channels
+    with open(tb_path, "w") as fh:
+        fh.write(
+            "// Auto-generated csim test bench for the MHSA kernel\n"
+            "#include <cstdio>\n#include <cmath>\n#include <hls_stream.h>\n"
+            "#include <ap_axi_sdata.h>\n"
+            "typedef ap_axiu<32, 0, 0, 0> axi_word;\n"
+            "void mhsa_kernel(hls::stream<axi_word>&, hls::stream<axi_word>&);\n"
+            f"#define N_VEC {n_vectors}\n"
+            f"#define N_VALS {n}\n"
+            "int main() {\n"
+            "    FILE *fin = fopen(\"golden_in.txt\", \"r\");\n"
+            "    FILE *fout = fopen(\"golden_out.txt\", \"r\");\n"
+            "    double max_err = 0.0;\n"
+            "    for (int v = 0; v < N_VEC; v++) {\n"
+            "        hls::stream<axi_word> in_s, out_s;\n"
+            "        for (int i = 0; i < N_VALS; i++) {\n"
+            "            float val; fscanf(fin, \"%f\", &val);\n"
+            "            axi_word w; w.data = *(unsigned*)&val;\n"
+            "            in_s.write(w);\n"
+            "        }\n"
+            "        mhsa_kernel(in_s, out_s);\n"
+            "        for (int i = 0; i < N_VALS; i++) {\n"
+            "            float golden; fscanf(fout, \"%f\", &golden);\n"
+            "            axi_word w = out_s.read();\n"
+            "            float got = *(float*)&w.data;\n"
+            "            double err = fabs(got - golden);\n"
+            "            if (err > max_err) max_err = err;\n"
+            "        }\n"
+            "    }\n"
+            "    printf(\"max abs error vs golden: %g\\n\", max_err);\n"
+            "    return max_err < 1e-3 ? 0 : 1;\n"
+            "}\n"
+        )
+    return {"golden_in": in_path, "golden_out": out_path, "testbench": tb_path}

@@ -1,0 +1,51 @@
+"""FPGA device inventories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Programmable-logic resource inventory of a Zynq part.
+
+    ``bram_18k`` counts RAMB18 units (one RAMB36 = two RAMB18), matching
+    the "BRAM" rows of the paper's tables, whose "Available" line for
+    the ZCU104 is 624.
+    """
+
+    name: str
+    bram_18k: int
+    dsp: int
+    ff: int
+    lut: int
+    uram: int
+    clock_mhz: float = 200.0
+
+    @property
+    def clock_ns(self) -> float:
+        return 1000.0 / self.clock_mhz
+
+
+#: Xilinx ZCU104 (XCZU7EV) — the paper's target board (Table I).
+ZCU104 = DeviceSpec(
+    name="ZCU104",
+    bram_18k=624,
+    dsp=1728,
+    ff=460_800,
+    lut=230_400,
+    uram=96,
+    clock_mhz=200.0,
+)
+
+#: Xilinx ZCU102 (XCZU9EG) — the larger board used by VAQF et al.,
+#: included for the related-work comparison in Sec. II-C.
+ZCU102 = DeviceSpec(
+    name="ZCU102",
+    bram_18k=1824,
+    dsp=2520,
+    ff=548_160,
+    lut=274_080,
+    uram=0,
+    clock_mhz=200.0,
+)

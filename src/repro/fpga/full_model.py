@@ -1,0 +1,188 @@
+"""Whole-network FPGA offload estimate (the paper's future work).
+
+The paper accelerates only the MHSA block and leaves "implementing the
+proposed model on the FPGA entirely" as future work (Sec. VII).  Its
+abstract already hints at the enabler: the model is small enough to
+"fully exploit on-chip BRAM/URAM resources".  This module sizes that
+design:
+
+* **weights stay resident on-chip** — 0.5 M parameters x 24 bits fit in
+  URAM (ZCU104: 96 blocks x 288 Kb), removing all per-inference weight
+  DMA;
+* a shared MAC array (``unroll`` lanes, pipelined II) executes every
+  convolution and the MHSA GEMMs layer by layer;
+* activations ping-pong between two BRAM buffers sized by the largest
+  layer;
+* one driver invocation per *inference* instead of one per ODE step —
+  the C-fold driver overhead of MHSA-only offload disappears.
+
+The estimate reuses the calibrated arithmetic of
+:mod:`~repro.fpga.mhsa_design` where it applies and standard HLS
+scheduling arithmetic elsewhere; it is a *design study*, so the tests
+assert orderings and budgets, not paper numbers (the paper has none for
+this configuration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..models.odenet import ODENet
+from ..ode import ConvODEFunc, MHSABottleneckODEFunc
+from .board import mhsa_macs as _mhsa_macs
+from .device import ZCU104, DeviceSpec
+from .hls import LoopNest
+from .mhsa_design import Arithmetic, MHSADesign
+from .resources import BRAM18K_BITS, datapath_resources
+
+URAM_BITS = 288 * 1024
+
+#: Pipelined MAC-array initiation interval for the layer-by-layer
+#: dataflow (the future-work design pipelines each GEMM, unlike the
+#: paper's measured II ~ 17 projection loop).
+PIPELINED_II = 2.0
+#: Per-layer control overhead (cycles): load/flush, FSM transitions.
+LAYER_OVERHEAD = 200
+
+
+@dataclass
+class LayerCost:
+    name: str
+    macs: int
+    cycles: int
+    out_bits: int
+
+
+class FullModelDesign:
+    """Latency/resource estimate for running an entire ODENet on the PL."""
+
+    def __init__(self, model: ODENet, arithmetic=None, unroll=128,
+                 device: DeviceSpec = ZCU104):
+        if not isinstance(model, ODENet):
+            raise TypeError(f"expected ODENet, got {type(model).__name__}")
+        self.model = model
+        self.arithmetic = arithmetic if arithmetic is not None else Arithmetic.float32()
+        self.unroll = unroll
+        self.device = device
+        self.layers = self._build_layer_table()
+
+    # ------------------------------------------------------------------
+    def _gemm_cycles(self, macs: int) -> int:
+        ii = PIPELINED_II * self.arithmetic.ii_factor
+        return LoopNest(trip=macs, ii=ii, unroll=self.unroll,
+                        depth=LAYER_OVERHEAD).cycles()
+
+    def _conv_macs(self, conv, hw):
+        h, w = hw
+        kh, kw = conv.kernel_size
+        sh, sw = conv.stride
+        ph, pw = conv.padding
+        oh = (h + 2 * ph - kh) // sh + 1
+        ow = (w + 2 * pw - kw) // sw + 1
+        macs = conv.out_channels * oh * ow * (
+            conv.in_channels // conv.groups
+        ) * kh * kw
+        return macs, (oh, ow), conv.out_channels
+
+    def _dsc_macs(self, dsc, hw):
+        m1, hw1, _ = self._conv_macs(dsc.depthwise, hw)
+        m2, hw2, c2 = self._conv_macs(dsc.pointwise, hw1)
+        return m1 + m2, hw2, c2
+
+    def _time_conv_macs(self, layer, hw):
+        from ..nn import DepthwiseSeparableConv2d
+
+        inner = layer.conv
+        if isinstance(inner, DepthwiseSeparableConv2d):
+            return self._dsc_macs(inner, hw)
+        return self._conv_macs(inner, hw)
+
+    def _build_layer_table(self):
+        m = self.model
+        fb = self.arithmetic.feature_bits
+        layers = []
+        size = m.input_size
+
+        stem_conv = m.stem[0]
+        macs, hw, c = self._conv_macs(stem_conv, (size, size))
+        hw = (hw[0] // 2, hw[1] // 2)  # stem maxpool (3x3 s2 p1)
+        layers.append(LayerCost("stem", macs, self._gemm_cycles(macs),
+                                c * hw[0] * hw[1] * fb))
+
+        for block_name, block, down in (
+            ("block1", m.block1, m.down1),
+            ("block2", m.block2, m.down2),
+            ("block3", m.block3, None),
+        ):
+            func = block.func
+            if isinstance(func, ConvODEFunc):
+                m1, _, _ = self._time_conv_macs(func.conv1, hw)
+                m2, _, c = self._time_conv_macs(func.conv2, hw)
+                step_macs = m1 + m2
+                step_cycles = self._gemm_cycles(step_macs)
+            elif isinstance(func, MHSABottleneckODEFunc):
+                md, _, _ = self._time_conv_macs(func.down, hw)
+                mu, _, c = self._time_conv_macs(func.up, hw)
+                mhsa_design = MHSADesign(
+                    func.mhsa.channels, func.mhsa.height, func.mhsa.width,
+                    heads=func.mhsa.heads, arithmetic=self.arithmetic,
+                    unroll=self.unroll, device=self.device,
+                )
+                mhsa_cycles = (
+                    mhsa_design.total_cycles(parallel=True)
+                    - mhsa_design.weight_stream_cycles()  # weights resident
+                )
+                step_macs = md + mu + _mhsa_macs(mhsa_design)
+                step_cycles = self._gemm_cycles(md + mu) + mhsa_cycles
+            else:  # pragma: no cover - defensive
+                raise NotImplementedError(type(func).__name__)
+            total = step_cycles * block.steps
+            layers.append(LayerCost(
+                block_name, step_macs * block.steps, total,
+                c * hw[0] * hw[1] * fb,
+            ))
+            if down is not None:
+                macs, hw, c = self._conv_macs(down.conv, hw)
+                layers.append(LayerCost(
+                    f"down_{block_name}", macs, self._gemm_cycles(macs),
+                    c * hw[0] * hw[1] * fb,
+                ))
+
+        fc_macs = m.fc.in_features * m.fc.out_features
+        layers.append(LayerCost("fc", fc_macs, self._gemm_cycles(fc_macs),
+                                m.fc.out_features * fb))
+        return layers
+
+    # ------------------------------------------------------------------
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    def total_cycles(self) -> int:
+        return sum(l.cycles for l in self.layers)
+
+    def latency_ms(self) -> float:
+        return self.total_cycles() * self.device.clock_ns * 1e-6
+
+    # ------------------------------------------------------------------
+    def weight_bits(self) -> int:
+        return self.model.num_parameters() * self.arithmetic.param_bits
+
+    def uram_blocks(self) -> int:
+        """URAM blocks needed to keep all weights resident on-chip."""
+        return math.ceil(self.weight_bits() / URAM_BITS)
+
+    def weights_fit_on_chip(self) -> bool:
+        return self.uram_blocks() <= self.device.uram
+
+    def activation_bram(self) -> int:
+        """Double-buffered activation storage for the largest layer."""
+        worst = max(l.out_bits for l in self.layers)
+        return 2 * math.ceil(worst / BRAM18K_BITS)
+
+    def resource_report(self):
+        return datapath_resources(
+            self.arithmetic.lane, lanes=self.unroll,
+            banks=2 * self.unroll, bram=self.activation_bram(),
+            device=self.device,
+        )

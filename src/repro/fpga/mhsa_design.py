@@ -1,0 +1,291 @@
+"""One MHSA accelerator design point: cycles + resources.
+
+Cycle model
+-----------
+The paper's Table III reconciles exactly as:
+
+* the "XW^q, XW^k, XW^v" row is the cycle count of **one** projection;
+  with the shared weight buffer (Sec. V-B2) the three projections run
+  sequentially, so the kernel total contains it three times;
+* the projection loop has a measured iteration latency of ~17 cycles
+  (unpipelined MAC with BRAM loads); unrolling by 128 divides the issue
+  count, reproducing the paper's 127.08x speed-up (316,009 cycles);
+* the attention GEMMs (QR^T, QK^T, A·V) and the ReLU stage are not
+  unrolled; their IIs (1.8 / 1.9 / 9.0 / 5.25) are taken from the
+  paper's per-stage cycle counts divided by the stage trip counts;
+* the kernel total additionally contains the LayerNorm stage
+  (II ≈ 17: divide + rsqrt) and the DDR weight streaming
+  (D² beats per matrix over the 32-bit HP port).
+
+With these constants the model reproduces the paper's 'Original' total
+121,866,093 cycles to within 0.1% and the 'Parallelized' total
+2,337,954 to within 1% — and, because every term scales with the
+(D, H, W, heads) configuration, it extrapolates to the proposed model's
+(64, 6, 6) accelerator.
+
+Floating-point designs use the same schedule with a 2.4x iteration
+latency factor (deeper FP add/mul pipelines), calibrated from the
+paper's Table IX float/fixed latency ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fixedpoint import QFormat
+from .buffers import mhsa_buffer_plan
+from .device import ZCU104, DeviceSpec
+from .hls import LoopNest
+from .resources import FIXED_LANE, FLOAT16_LANE, FLOAT_LANE, datapath_resources
+
+# Schedule constants (see module docstring for their derivation).
+PROJ_II = 17.0
+QR_II = 1.8
+QK_II = 1.9
+RELU_II = 5.25
+AV_II = 9.0
+LN_II = 17.0
+FLOAT_II_FACTOR = 2.4
+FLOAT16_II_FACTOR = 1.7
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """Number representation of a design: float32, float16 or a
+    fixed-point format pair."""
+
+    kind: str  # 'float', 'float16' or 'fixed'
+    feature_fmt: Optional[QFormat] = None
+    param_fmt: Optional[QFormat] = None
+
+    @classmethod
+    def float32(cls):
+        return cls(kind="float")
+
+    @classmethod
+    def float16(cls):
+        return cls(kind="float16")
+
+    @classmethod
+    def fixed(cls, feature_fmt: QFormat, param_fmt: QFormat):
+        return cls(kind="fixed", feature_fmt=feature_fmt, param_fmt=param_fmt)
+
+    @property
+    def feature_bits(self) -> int:
+        if self.kind == "float":
+            return 32
+        if self.kind == "float16":
+            return 16
+        return self.feature_fmt.total_bits
+
+    @property
+    def param_bits(self) -> int:
+        if self.kind == "float":
+            return 32
+        if self.kind == "float16":
+            return 16
+        return self.param_fmt.total_bits
+
+    @property
+    def lane(self):
+        return {
+            "float": FLOAT_LANE,
+            "float16": FLOAT16_LANE,
+            "fixed": FIXED_LANE,
+        }[self.kind]
+
+    @property
+    def ii_factor(self) -> float:
+        return {
+            "float": FLOAT_II_FACTOR,
+            "float16": FLOAT16_II_FACTOR,
+            "fixed": 1.0,
+        }[self.kind]
+
+    def __str__(self):
+        if self.kind in ("float", "float16"):
+            return "float32" if self.kind == "float" else "float16"
+        return f"fixed {self.feature_fmt}-{self.param_fmt}"
+
+
+class MHSADesign:
+    """An MHSA accelerator configuration on a target device.
+
+    Parameters
+    ----------
+    channels, height, width, heads:
+        the attention geometry; the paper evaluates (512, 3, 3) for
+        BoTNet50 and (64, 6, 6) for the proposed model, both with 4
+        heads.
+    arithmetic:
+        :class:`Arithmetic` flavour.
+    unroll:
+        lanes of the projection loop (128 in the paper).
+    weight_partition / input_partition:
+        array-partition factors (64 in the paper).
+    shared_weight_buffer:
+        stream W^q/W^k/W^v through one buffer (Sec. V-B2) vs three
+        separate buffers.
+    use_relative_pos / use_layernorm:
+        include the QR^T stage / output LayerNorm (paper: both on).
+    """
+
+    def __init__(
+        self,
+        channels,
+        height,
+        width,
+        heads=4,
+        arithmetic=None,
+        unroll=128,
+        weight_partition=64,
+        input_partition=64,
+        shared_weight_buffer=True,
+        use_relative_pos=True,
+        use_layernorm=True,
+        dataflow=False,
+        device: DeviceSpec = ZCU104,
+    ):
+        if channels % heads:
+            raise ValueError("channels must divide heads")
+        self.channels = channels
+        self.height = height
+        self.width = width
+        self.heads = heads
+        self.arithmetic = arithmetic if arithmetic is not None else Arithmetic.float32()
+        self.unroll = unroll
+        self.weight_partition = weight_partition
+        self.input_partition = input_partition
+        self.shared_weight_buffer = shared_weight_buffer
+        self.use_relative_pos = use_relative_pos
+        self.use_layernorm = use_layernorm
+        self.dataflow = dataflow
+        self.device = device
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tokens(self) -> int:
+        return self.height * self.width
+
+    @property
+    def dim_head(self) -> int:
+        return self.channels // self.heads
+
+    # ------------------------------------------------------------------
+    # cycle model
+    # ------------------------------------------------------------------
+    def stage_cycles(self, parallel=True) -> "OrderedDict[str, int]":
+        """Per-stage cycle counts, Table III style.
+
+        ``parallel=False`` gives the 'Original' (unroll 1) schedule.
+        """
+        n, d, k, dh = self.n_tokens, self.channels, self.heads, self.dim_head
+        f = self.arithmetic.ii_factor
+        unroll = self.unroll if parallel else 1
+
+        stages = OrderedDict()
+        proj = LoopNest(trip=n * d * d, ii=PROJ_II * f, unroll=unroll).cycles()
+        stages["XW^q, XW^k, XW^v (each)"] = proj
+        if self.use_relative_pos:
+            stages["QR^T"] = LoopNest(trip=k * n * n * dh, ii=QR_II * f).cycles()
+        stages["QK^T"] = LoopNest(trip=k * n * n * dh, ii=QK_II * f).cycles()
+        stages["ReLU(QK^T + QR^T)"] = LoopNest(trip=k * n * n, ii=RELU_II * f).cycles()
+        stages["ReLU(.)V"] = LoopNest(trip=k * n * n * dh, ii=AV_II * f).cycles()
+        if self.use_layernorm:
+            stages["LayerNorm"] = LoopNest(trip=n * d, ii=LN_II * f).cycles()
+        return stages
+
+    def weight_stream_cycles(self) -> int:
+        """Cycles to stream all three weight matrices from DDR (one
+        value per 32-bit HP-port beat, overlapping nothing)."""
+        return 3 * self.channels * self.channels
+
+    def total_cycles(self, parallel=True) -> int:
+        """Kernel total including the 3x projection repetition and the
+        weight streaming (this is the paper's 'Total' row).
+
+        With ``dataflow=True`` a second (ping-pong) weight buffer lets
+        the next matrix stream in *during* the current projection, so
+        the weight-stream term overlaps compute: each projection slot
+        costs ``max(proj, D²)`` instead of ``proj + D²/3`` — a design
+        extension beyond the paper's sequential schedule (costing one
+        extra W buffer of BRAM, see :meth:`buffer_plan`).
+        """
+        stages = self.stage_cycles(parallel=parallel)
+        proj = stages["XW^q, XW^k, XW^v (each)"]
+        other = sum(c for n, c in stages.items() if not n.startswith("XW"))
+        stream_each = self.weight_stream_cycles() // 3
+        if self.dataflow:
+            # first W load is exposed; the remaining two overlap compute
+            return stream_each + 3 * max(proj, stream_each) + other
+        return 3 * proj + other + self.weight_stream_cycles()
+
+    def latency_ns(self, parallel=True) -> float:
+        return self.total_cycles(parallel=parallel) * self.device.clock_ns
+
+    def latency_ms(self, parallel=True) -> float:
+        return self.latency_ns(parallel=parallel) * 1e-6
+
+    # ------------------------------------------------------------------
+    # resource model
+    # ------------------------------------------------------------------
+    def buffer_plan(self):
+        plan = mhsa_buffer_plan(
+            self.n_tokens,
+            self.channels,
+            self.heads,
+            self.arithmetic.feature_bits,
+            self.arithmetic.param_bits,
+            shared_weight_buffer=self.shared_weight_buffer,
+            weight_partition=self.weight_partition,
+            input_partition=self.input_partition,
+        )
+        if self.dataflow and self.shared_weight_buffer:
+            # ping-pong partner for the shared weight buffer
+            from .buffers import Buffer
+
+            w = plan.by_name()["W_shared"]
+            plan.buffers.append(Buffer("W_shadow", w.bits, w.partition))
+        return plan
+
+    def resource_report(self, allow_uram=False):
+        """Resource estimate; with ``allow_uram=True`` the weight
+        buffers spill to UltraRAM when the design overflows BRAM — the
+        option the paper notes makes even the floating-point BoTNet
+        build implementable (Table VII footnote).
+        """
+        plan = self.buffer_plan()
+        bram = plan.total_bram()
+        uram = 0
+        if allow_uram and bram > self.device.bram_18k:
+            import math
+
+            from .resources import URAM_BITS
+
+            weight_bufs = [b for b in plan.buffers if b.name.startswith("W")]
+            other_bram = sum(
+                b.bram() for b in plan.buffers if not b.name.startswith("W")
+            )
+            uram = sum(
+                math.ceil(b.bits / URAM_BITS) for b in weight_bufs
+            )
+            bram = other_bram
+        return datapath_resources(
+            self.arithmetic.lane,
+            lanes=self.unroll,
+            banks=plan.total_banks(),
+            bram=bram,
+            device=self.device,
+            uram=uram,
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"MHSA ({self.channels}ch, {self.height}x{self.width}, "
+            f"{self.heads} heads, {self.arithmetic}, unroll {self.unroll}, "
+            f"{'shared' if self.shared_weight_buffer else 'naive'} W buffer)"
+        )

@@ -1,0 +1,69 @@
+"""Vivado-HLS-style text reports for accelerator designs.
+
+Renders an :class:`~repro.fpga.MHSADesign` the way ``vivado_hls``
+prints its synthesis report: a latency summary, a per-loop table and a
+utilisation-estimate table — handy for docs, examples and eyeballing a
+design against the paper's tables.
+"""
+
+from __future__ import annotations
+
+from .mhsa_design import MHSADesign
+
+
+def hls_report(design: MHSADesign, parallel=True) -> str:
+    """Return a synthesis-report-style description of *design*."""
+    clock = design.device.clock_ns
+    stages = design.stage_cycles(parallel=parallel)
+    total = design.total_cycles(parallel=parallel)
+    rep = design.resource_report()
+    util = rep.utilization()
+
+    lines = []
+    lines.append("=" * 68)
+    lines.append("== Performance & Resource Estimates")
+    lines.append("=" * 68)
+    lines.append(f"* Design:     {design.describe()}")
+    lines.append(f"* Device:     {design.device.name} "
+                 f"(target clock {clock:.1f} ns / {design.device.clock_mhz:.0f} MHz)")
+    lines.append("")
+    lines.append("+ Latency (clock cycles / absolute):")
+    lines.append(f"    kernel total : {total:>14,} cycles   "
+                 f"{total * clock * 1e-6:10.3f} ms")
+    lines.append("")
+    lines.append("+ Loop summary:")
+    header = f"    {'loop':<28}{'cycles':>14}{'latency (ns)':>16}"
+    lines.append(header)
+    lines.append("    " + "-" * (len(header) - 4))
+    for name, cyc in stages.items():
+        lines.append(f"    {name:<28}{cyc:>14,}{cyc * clock:>16,.0f}")
+    lines.append(f"    {'DDR weight stream':<28}"
+                 f"{design.weight_stream_cycles():>14,}"
+                 f"{design.weight_stream_cycles() * clock:>16,.0f}")
+    lines.append("")
+    lines.append("+ Utilization estimates:")
+    header = f"    {'resource':<10}{'used':>12}{'available':>12}{'util%':>8}"
+    lines.append(header)
+    lines.append("    " + "-" * (len(header) - 4))
+    d = design.device
+    for label, used, avail in (
+        ("BRAM_18K", rep.bram, d.bram_18k),
+        ("DSP", rep.dsp, d.dsp),
+        ("FF", rep.ff, d.ff),
+        ("LUT", rep.lut, d.lut),
+    ):
+        lines.append(
+            f"    {label:<10}{used:>12,}{avail:>12,}"
+            f"{used / avail:>8.0%}"
+        )
+    lines.append("")
+    lines.append("+ Buffer plan:")
+    for buf in design.buffer_plan().buffers:
+        lines.append(
+            f"    {buf.name:<10} {buf.bits:>12,} bits   "
+            f"partition {buf.partition:>4}   {buf.bram():>5} BRAM"
+        )
+    verdict = "MEETS" if rep.fits() else "EXCEEDS"
+    lines.append("")
+    lines.append(f"* Result: design {verdict} device capacity")
+    return "\n".join(lines)

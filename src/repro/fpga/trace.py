@@ -1,0 +1,89 @@
+"""Event-level execution traces of one accelerator invocation.
+
+Expands the cycle model of :class:`~repro.fpga.MHSADesign` into a
+timeline of scheduled events (DMA bursts, weight loads, pipeline
+stages) and renders it as an ASCII Gantt chart — the quickest way to
+*see* why the weight stream dominates the sequential schedule and what
+the dataflow variant overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .axi import HP0, dma_cycles
+from .mhsa_design import MHSADesign
+
+
+@dataclass
+class TraceEvent:
+    """One scheduled interval, in cycles since invocation start."""
+
+    name: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+def execution_trace(design: MHSADesign, parallel=True) -> list:
+    """Schedule of one kernel invocation, honouring the design's
+    sequential or dataflow weight streaming."""
+    stages = design.stage_cycles(parallel=parallel)
+    proj = stages["XW^q, XW^k, XW^v (each)"]
+    stream_each = design.weight_stream_cycles() // 3
+    dma = dma_cycles(design, HP0)
+
+    events = []
+    t = 0
+
+    def emit(name, duration, at=None):
+        nonlocal t
+        start = t if at is None else at
+        events.append(TraceEvent(name, start, start + duration))
+        if at is None:
+            t = start + duration
+        return start + duration
+
+    emit("DMA: X in", dma["input"])
+    if design.use_relative_pos:
+        emit("DMA: R in", dma["rel_pos"])
+
+    names = ("W^q", "W^k", "W^v")
+    if design.dataflow:
+        # ping-pong: next W load overlaps the current projection
+        load_end = emit(f"load {names[0]}", stream_each)
+        for i in range(3):
+            proj_start = max(t, load_end)
+            if i < 2:
+                load_end = emit(
+                    f"load {names[i + 1]}", stream_each, at=proj_start
+                )
+            events.append(TraceEvent(f"proj X·{names[i]}", proj_start,
+                                     proj_start + proj))
+            t = proj_start + proj
+    else:
+        for i in range(3):
+            emit(f"load {names[i]}", stream_each)
+            emit(f"proj X·{names[i]}", proj)
+
+    for name in stages:
+        if name.startswith("XW"):
+            continue
+        emit(name, stages[name])
+    emit("DMA: out", dma["output"])
+    return events
+
+
+def format_gantt(events, width=60) -> str:
+    """Render events as an ASCII Gantt chart (one row per event)."""
+    total = max(e.end for e in events)
+    lines = [f"{'event':<22}{'cycles':>12}  timeline (total {total:,} cycles)"]
+    for e in events:
+        start_col = int(e.start / total * width)
+        end_col = max(start_col + 1, int(e.end / total * width))
+        bar = " " * start_col + "#" * (end_col - start_col)
+        lines.append(f"{e.name:<22}{e.duration:>12,}  |{bar:<{width}}|")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""The paper's five evaluated models (Table IV/V) plus building blocks.
+
+* :func:`resnet50` — the CNN baseline.
+* :func:`botnet50` — ResNet50 with MHSA replacing the 3x3 convolutions
+  of the last stage (Srinivas et al.).
+* :func:`odenet` — dsODENet-style Neural-ODE backbone ([21]): stem +
+  three ODEBlocks + two downsampling layers.
+* :func:`ode_botnet` — **the proposed model**: odenet with the final
+  ODEBlock replaced by an MHSA bottleneck ODE block.
+* :func:`vit_base` — the pure-attention counterpart.
+
+Each builder accepts a size *profile*: ``"paper"`` reproduces the
+paper-scale architectures (used for parameter counting and single-image
+latency), while ``"small"``/``"tiny"`` are width/size-scaled variants
+that keep architecture shape but train in CPU-tractable time.
+"""
+
+from .alternet import AlterNet, alternet50
+from .botnet import BoTNet, MHSABlock, botnet50
+from .odenet import ODENet, ode_botnet, odenet
+from .registry import MODELS, PROFILES, build_model
+from .resnet import Bottleneck, ResNet, resnet50
+from .vit import ViT, vit_base
+
+__all__ = [
+    "ResNet",
+    "Bottleneck",
+    "resnet50",
+    "BoTNet",
+    "MHSABlock",
+    "botnet50",
+    "AlterNet",
+    "alternet50",
+    "ODENet",
+    "odenet",
+    "ode_botnet",
+    "ViT",
+    "vit_base",
+    "build_model",
+    "MODELS",
+    "PROFILES",
+]

@@ -1,0 +1,68 @@
+"""AlterNet-style hybrid (Park & Kim [8], cited in paper Sec. II-A).
+
+"AlterNet is proposed in [8] to suppress the dispersion of feature maps
+by adding MHSA to the final layer of each stage in ResNet, where
+dispersion peaks."  Implemented here as a ResNet whose *last* block of
+every stage is a BoTNet-style MHSA block — a third point on the
+convolution-attention spectrum between pure ResNet and BoTNet, used by
+the extended accuracy comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .botnet import MHSABlock
+from .resnet import ResNet
+
+
+class AlterNet(ResNet):
+    """ResNet with MHSA replacing the 3x3 conv of each stage's last block."""
+
+    def __init__(
+        self,
+        block_counts=(3, 4, 6, 3),
+        base_width=64,
+        num_classes=10,
+        input_size=96,
+        heads=4,
+        attention_activation="softmax",
+        pos_enc="relative",
+        *,
+        rng=None,
+    ):
+        def factory(in_channels, width, stride, fmap_size, block_rng):
+            return MHSABlock(
+                in_channels,
+                width,
+                stride=stride,
+                fmap_size=fmap_size,
+                heads=heads,
+                attention_activation=attention_activation,
+                pos_enc=pos_enc,
+                rng=block_rng,
+            )
+
+        super().__init__(
+            block_counts=block_counts,
+            base_width=base_width,
+            num_classes=num_classes,
+            input_size=input_size,
+            block_factory=factory,
+            attention_stages=tuple(range(len(block_counts))),
+            attention_blocks="last",
+            rng=rng,
+        )
+
+
+def alternet50(num_classes=10, input_size=96, block_counts=(3, 4, 6, 3),
+               base_width=64, heads=4, *, rng=None):
+    """AlterNet-50: ResNet50 with per-stage trailing MHSA blocks."""
+    return AlterNet(
+        block_counts=block_counts,
+        base_width=base_width,
+        num_classes=num_classes,
+        input_size=input_size,
+        heads=heads,
+        rng=rng,
+    )

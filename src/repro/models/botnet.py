@@ -1,0 +1,124 @@
+"""BoTNet: ResNet with MHSA replacing the last stage's 3x3 convolutions.
+
+Following Srinivas et al. (the paper's [7]): every bottleneck block of
+the final stage swaps its 3x3 spatial convolution for multi-head
+self-attention with 2-D relative position encoding.  When the block is
+strided, attention runs at the input resolution and a 2x2 average pool
+provides the downsampling, as in the original BoTNet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .resnet import Bottleneck, ResNet
+
+
+class MHSABlock(nn.Module):
+    """BoTNet bottleneck block: 1x1 -> MHSA -> (avgpool) -> 1x1.
+
+    This module — at configuration (512 channels, 3x3 feature map) for
+    BoTNet50 and (64, 6x6) for the proposed model — is exactly the unit
+    the paper implements on the FPGA (Tables I-III, VII, IX).
+    """
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels,
+        width,
+        stride=1,
+        fmap_size=3,
+        heads=4,
+        attention_activation="softmax",
+        pos_enc="relative",
+        out_layernorm=False,
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        out_channels = width * self.expansion
+        self.stride = stride
+        self.conv1 = nn.Conv2d(in_channels, width, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(width)
+        self.mhsa = nn.MHSA2d(
+            width,
+            fmap_size,
+            fmap_size,
+            heads=heads,
+            pos_enc=pos_enc,
+            attention_activation=attention_activation,
+            out_layernorm=out_layernorm,
+            rng=rng,
+        )
+        self.pool = nn.AvgPool2d(2) if stride == 2 else nn.Identity()
+        self.bn2 = nn.BatchNorm2d(width)
+        self.conv3 = nn.Conv2d(width, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        h = self.bn1(self.conv1(x)).relu()
+        h = self.pool(self.mhsa(h))
+        h = self.bn2(h).relu()
+        h = self.bn3(self.conv3(h))
+        return (h + self.shortcut(x)).relu()
+
+
+class BoTNet(ResNet):
+    """ResNet whose final stage uses :class:`MHSABlock`."""
+
+    def __init__(
+        self,
+        block_counts=(3, 4, 6, 3),
+        base_width=64,
+        num_classes=10,
+        input_size=96,
+        heads=4,
+        attention_activation="softmax",
+        pos_enc="relative",
+        *,
+        rng=None,
+    ):
+        def factory(in_channels, width, stride, fmap_size, block_rng):
+            return MHSABlock(
+                in_channels,
+                width,
+                stride=stride,
+                fmap_size=fmap_size,
+                heads=heads,
+                attention_activation=attention_activation,
+                pos_enc=pos_enc,
+                rng=block_rng,
+            )
+
+        super().__init__(
+            block_counts=block_counts,
+            base_width=base_width,
+            num_classes=num_classes,
+            input_size=input_size,
+            block_factory=factory,
+            attention_stages=(len(block_counts) - 1,),
+            rng=rng,
+        )
+
+
+def botnet50(num_classes=10, input_size=96, block_counts=(3, 4, 6, 3),
+             base_width=64, heads=4, *, rng=None):
+    """BoTNet50 counterpart of Table IV (18.9M parameters at 10 classes)."""
+    return BoTNet(
+        block_counts=block_counts,
+        base_width=base_width,
+        num_classes=num_classes,
+        input_size=input_size,
+        heads=heads,
+        rng=rng,
+    )

@@ -1,0 +1,177 @@
+"""ODENet backbone and the proposed ODE-BoTNet model (paper Sec. IV).
+
+Architecture (Fig. 2): stem -> ODEBlock1 -> downsample -> ODEBlock2 ->
+downsample -> ODEBlock3 -> global pool -> FC.  Each downsampling layer
+halves the spatial size and doubles the channel count.  In the proposed
+model, ODEBlock3 is replaced by an MHSA bottleneck ODE block whose
+attention runs at the (inner_channels, H, W) = (64, 6, 6) configuration
+the paper deploys on the FPGA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..ode import ConvODEFunc, MHSABottleneckODEFunc, ODEBlock
+
+
+class Downsample(nn.Module):
+    """Halve spatial size, double channels: (C,H,W) -> (2C,H/2,W/2)."""
+
+    def __init__(self, in_channels, out_channels, *, rng=None):
+        super().__init__()
+        self.conv = nn.Conv2d(
+            in_channels, out_channels, 3, stride=2, padding=1, bias=False, rng=rng
+        )
+        self.bn = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x):
+        return self.bn(self.conv(x)).relu()
+
+
+class ODENet(nn.Module):
+    """dsODENet-style classifier: 3 ODE stages with weight reuse.
+
+    Parameters
+    ----------
+    stage_channels:
+        channel widths of the three ODE stages (doubling by design).
+    steps:
+        integration steps C per ODEBlock; parameters are *shared* across
+        all C iterations — the compression mechanism of Neural ODE.
+    conv:
+        'dsc' (depthwise separable, paper default) or 'full'.
+    solver:
+        any registered solver name; 'euler' matches Eq. (14).
+    final_block:
+        'conv' for plain ODENet, 'mhsa' for the proposed ODE-BoTNet.
+    """
+
+    def __init__(
+        self,
+        stage_channels=(64, 128, 256),
+        num_classes=10,
+        input_size=96,
+        steps=10,
+        conv="dsc",
+        solver="euler",
+        final_block="conv",
+        mhsa_inner=64,
+        heads=4,
+        attention_activation="relu",
+        pos_enc="relative",
+        attention="full",
+        window=2,
+        in_channels=3,
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        c1, c2, c3 = stage_channels
+        if input_size % 16:
+            raise ValueError(f"input_size must be divisible by 16, got {input_size}")
+        self.input_size = input_size
+        self.final_block_kind = final_block
+
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, c1, 7, stride=2, padding=3, bias=False, rng=rng),
+            nn.BatchNorm2d(c1),
+            nn.ReLU(),
+            nn.MaxPool2d(3, stride=2, padding=1),
+        )
+        fmap = input_size // 4
+
+        self.block1 = ODEBlock(
+            ConvODEFunc(c1, conv=conv, rng=rng), solver=solver, steps=steps
+        )
+        self.down1 = Downsample(c1, c2, rng=rng)
+        fmap //= 2
+        self.block2 = ODEBlock(
+            ConvODEFunc(c2, conv=conv, rng=rng), solver=solver, steps=steps
+        )
+        self.down2 = Downsample(c2, c3, rng=rng)
+        fmap //= 2
+        self.final_fmap = fmap
+        self.final_channels = c3
+
+        if final_block == "conv":
+            func3 = ConvODEFunc(c3, conv=conv, rng=rng)
+        elif final_block == "mhsa":
+            func3 = MHSABottleneckODEFunc(
+                c3,
+                mhsa_inner,
+                fmap,
+                fmap,
+                heads=heads,
+                attention_activation=attention_activation,
+                pos_enc=pos_enc,
+                attention=attention,
+                window=window,
+                rng=rng,
+            )
+        else:
+            raise ValueError(f"unknown final_block {final_block!r}")
+        self.block3 = ODEBlock(func3, solver=solver, steps=steps)
+
+        self.head_norm = nn.BatchNorm2d(c3)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(c3, num_classes, rng=rng)
+
+    def forward(self, x):
+        h = self.stem(x)
+        h = self.block1(h)
+        h = self.down1(h)
+        h = self.block2(h)
+        h = self.down2(h)
+        h = self.block3(h)
+        h = self.head_norm(h).relu()
+        return self.fc(self.pool(h))
+
+    @property
+    def mhsa(self):
+        """The MHSA submodule (proposed model only), for acceleration."""
+        if self.final_block_kind != "mhsa":
+            raise AttributeError("this ODENet has no MHSA block")
+        return self.block3.func.mhsa
+
+
+def odenet(num_classes=10, input_size=96, stage_channels=(64, 128, 256),
+           steps=10, conv="dsc", solver="euler", *, rng=None):
+    """The Neural ODE baseline of Table IV (~0.6M parameters)."""
+    return ODENet(
+        stage_channels=stage_channels,
+        num_classes=num_classes,
+        input_size=input_size,
+        steps=steps,
+        conv=conv,
+        solver=solver,
+        final_block="conv",
+        rng=rng,
+    )
+
+
+def ode_botnet(num_classes=10, input_size=96, stage_channels=(64, 128, 256),
+               steps=10, conv="dsc", solver="euler", mhsa_inner=64, heads=4,
+               attention_activation="relu", pos_enc="relative",
+               attention="full", window=2, in_channels=3, *, rng=None):
+    """**The proposed model** (Table IV, ~0.5M parameters): ODENet with
+    the final ODEBlock replaced by a BoTNet-style MHSA bottleneck."""
+    return ODENet(
+        stage_channels=stage_channels,
+        num_classes=num_classes,
+        input_size=input_size,
+        steps=steps,
+        conv=conv,
+        solver=solver,
+        final_block="mhsa",
+        mhsa_inner=mhsa_inner,
+        heads=heads,
+        attention_activation=attention_activation,
+        pos_enc=pos_enc,
+        attention=attention,
+        window=window,
+        in_channels=in_channels,
+        rng=rng,
+    )

@@ -1,0 +1,124 @@
+"""Model registry and size profiles.
+
+``build_model(name, profile)`` is the single entry point used by the
+examples, tests and benchmark harnesses.
+
+Profiles
+--------
+``paper``
+    The architecture sizes the paper evaluates (96x96 STL10 input).
+    Used for parameter counting (Table IV), software/FPGA latency and
+    quantisation experiments. Training these on CPU/numpy is possible
+    but slow.
+``small``
+    Same architecture shapes at reduced width/resolution (48x48).
+    Used for the accuracy experiments (Table V, Figs 6-8) where the
+    *relative ordering* of models is the reproduction target.
+``tiny``
+    Minimum sizes for fast unit tests (24x24).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .botnet import botnet50
+from .odenet import ode_botnet, odenet
+from .resnet import resnet50
+from .vit import vit_base
+
+PROFILES = {
+    "paper": {
+        "input_size": 96,
+        "resnet": dict(block_counts=(3, 4, 6, 3), base_width=64),
+        "odenet": dict(stage_channels=(64, 128, 256), steps=10, mhsa_inner=64),
+        "vit": dict(dim_profile="base"),
+    },
+    "small": {
+        "input_size": 48,
+        "resnet": dict(block_counts=(1, 1, 1, 1), base_width=16),
+        "odenet": dict(stage_channels=(16, 32, 64), steps=4, mhsa_inner=32),
+        "vit": dict(dim_profile="small"),
+    },
+    "tiny": {
+        "input_size": 32,
+        "resnet": dict(block_counts=(1, 1, 1, 1), base_width=8),
+        "odenet": dict(stage_channels=(8, 16, 32), steps=2, mhsa_inner=16),
+        "vit": dict(dim_profile="tiny"),
+    },
+}
+
+_VIT_DIMS = {
+    "base": dict(dim=768, depth=12, heads=12, patch_size=16),
+    "small": dict(dim=96, depth=4, heads=4, patch_size=8),
+    "tiny": dict(dim=32, depth=2, heads=2, patch_size=8),
+}
+
+
+def _build_vit(profile_cfg, input_size, num_classes, rng):
+    from .vit import ViT
+
+    cfg = _VIT_DIMS[profile_cfg["dim_profile"]]
+    return ViT(
+        image_size=input_size,
+        patch_size=cfg["patch_size"],
+        dim=cfg["dim"],
+        depth=cfg["depth"],
+        heads=cfg["heads"],
+        num_classes=num_classes,
+        rng=rng,
+    )
+
+
+def build_model(name, profile="paper", num_classes=10, seed=0, **overrides):
+    """Construct one of the paper's models.
+
+    Parameters
+    ----------
+    name:
+        'resnet50', 'botnet50', 'odenet', 'ode_botnet' (the proposed
+        model) or 'vit_base'.
+    profile:
+        'paper', 'small' or 'tiny' (see module docstring).
+    overrides:
+        forwarded to the underlying builder (e.g. ``steps=4``,
+        ``solver='rk4'``, ``attention_activation='softmax'``).
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose {sorted(PROFILES)}")
+    cfg = PROFILES[profile]
+    rng = np.random.default_rng(seed)
+    input_size = overrides.pop("input_size", cfg["input_size"])
+
+    if name == "resnet50":
+        kw = dict(cfg["resnet"])
+        kw.update(overrides)
+        return resnet50(num_classes=num_classes, input_size=input_size, rng=rng, **kw)
+    if name == "botnet50":
+        kw = dict(cfg["resnet"])
+        kw.update(overrides)
+        return botnet50(num_classes=num_classes, input_size=input_size, rng=rng, **kw)
+    if name == "alternet50":
+        from .alternet import alternet50
+
+        kw = dict(cfg["resnet"])
+        kw.update(overrides)
+        return alternet50(num_classes=num_classes, input_size=input_size, rng=rng, **kw)
+    if name == "odenet":
+        kw = dict(cfg["odenet"])
+        kw.pop("mhsa_inner", None)
+        kw.update(overrides)
+        return odenet(num_classes=num_classes, input_size=input_size, rng=rng, **kw)
+    if name == "ode_botnet":
+        kw = dict(cfg["odenet"])
+        kw.update(overrides)
+        return ode_botnet(num_classes=num_classes, input_size=input_size, rng=rng, **kw)
+    if name == "vit_base":
+        return _build_vit(cfg["vit"], input_size, num_classes, rng)
+    raise ValueError(f"unknown model {name!r}; choose {sorted(MODELS)}")
+
+
+#: The paper's five evaluated models; 'alternet50' ([8]) is additionally
+#: available via :func:`build_model` for the extended comparisons.
+MODELS = ("resnet50", "botnet50", "odenet", "ode_botnet", "vit_base")
+EXTRA_MODELS = ("alternet50",)

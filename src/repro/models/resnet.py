@@ -1,0 +1,137 @@
+"""ResNet with bottleneck blocks (He et al.), the paper's CNN baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+
+class Bottleneck(nn.Module):
+    """1x1 reduce -> 3x3 spatial -> 1x1 expand, with identity shortcut.
+
+    ``expansion = 4`` as in ResNet50. The 3x3 convolution is the layer
+    BoTNet swaps for MHSA (see :mod:`repro.models.botnet`).
+    """
+
+    expansion = 4
+
+    def __init__(self, in_channels, width, stride=1, *, rng=None):
+        super().__init__()
+        out_channels = width * self.expansion
+        self.conv1 = nn.Conv2d(in_channels, width, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(width)
+        self.conv2 = nn.Conv2d(
+            width, width, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn2 = nn.BatchNorm2d(width)
+        self.conv3 = nn.Conv2d(width, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        h = self.bn1(self.conv1(x)).relu()
+        h = self.bn2(self.conv2(h)).relu()
+        h = self.bn3(self.conv3(h))
+        return (h + self.shortcut(x)).relu()
+
+
+class ResNet(nn.Module):
+    """Configurable bottleneck ResNet.
+
+    Parameters
+    ----------
+    block_counts:
+        number of bottleneck blocks per stage, e.g. (3, 4, 6, 3) for
+        ResNet50.
+    base_width:
+        width of the first stage's bottleneck (64 for ResNet50).
+    input_size:
+        spatial size of the (square) input image; recorded so attention
+        variants know their feature-map sizes.
+    block_factory:
+        callable ``(in_channels, width, stride, fmap_size, rng) -> Module``
+        used for stages listed in ``attention_stages`` by BoTNet.
+    """
+
+    def __init__(
+        self,
+        block_counts=(3, 4, 6, 3),
+        base_width=64,
+        num_classes=10,
+        input_size=96,
+        in_channels=3,
+        block_factory=None,
+        attention_stages=(),
+        attention_blocks="all",
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        stem_channels = base_width
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, stem_channels, 7, stride=2, padding=3, bias=False, rng=rng),
+            nn.BatchNorm2d(stem_channels),
+            nn.ReLU(),
+            nn.MaxPool2d(3, stride=2, padding=1),
+        )
+        fmap = input_size // 4  # stem stride 2 + pool stride 2
+
+        stages = []
+        channels = stem_channels
+        for stage_idx, count in enumerate(block_counts):
+            width = base_width * (2 ** stage_idx)
+            stride = 1 if stage_idx == 0 else 2
+            blocks = []
+            for block_idx in range(count):
+                s = stride if block_idx == 0 else 1
+                in_fmap = fmap
+                if s == 2:
+                    fmap //= 2
+                use_attention = (
+                    stage_idx in attention_stages
+                    and block_factory
+                    and (attention_blocks == "all" or block_idx == count - 1)
+                )
+                if use_attention:
+                    block = block_factory(
+                        channels, width, s, in_fmap, rng
+                    )
+                else:
+                    block = Bottleneck(channels, width, stride=s, rng=rng)
+                blocks.append(block)
+                channels = width * Bottleneck.expansion
+            stages.append(nn.Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3, self.stage4 = stages
+        self.final_fmap = fmap
+        self.final_channels = channels
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        h = self.stem(x)
+        h = self.stage1(h)
+        h = self.stage2(h)
+        h = self.stage3(h)
+        h = self.stage4(h)
+        return self.fc(self.pool(h))
+
+
+def resnet50(num_classes=10, input_size=96, block_counts=(3, 4, 6, 3),
+             base_width=64, *, rng=None):
+    """The ResNet50 baseline of Table IV (23.5M parameters at 10 classes)."""
+    return ResNet(
+        block_counts=block_counts,
+        base_width=base_width,
+        num_classes=num_classes,
+        input_size=input_size,
+        rng=rng,
+    )

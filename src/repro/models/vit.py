@@ -1,0 +1,130 @@
+"""Vision Transformer (Dosovitskiy et al.), the pure-attention counterpart.
+
+Included because Table IV/V compare the proposed hybrid against
+ViT-Base, whose ~78M parameters and poor small-dataset accuracy motivate
+the paper's convolution + attention design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, cat
+
+
+class TokenMHSA(nn.Module):
+    """Standard token-sequence multi-head self-attention (Eq. 6/9)."""
+
+    def __init__(self, dim, heads, *, rng=None):
+        super().__init__()
+        if dim % heads:
+            raise ValueError("dim must divide heads")
+        self.dim = dim
+        self.heads = heads
+        self.dim_head = dim // heads
+        self.qkv = nn.Linear(dim, 3 * dim, rng=rng)
+        self.proj = nn.Linear(dim, dim, rng=rng)
+
+    def forward(self, x):
+        b, n, d = x.shape
+        qkv = self.qkv(x)  # (B, N, 3D)
+        qkv = qkv.reshape(b, n, 3, self.heads, self.dim_head)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, heads, N, Dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        logits = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.dim_head))
+        attn = logits.softmax(axis=-1)
+        out = attn @ v  # (B, heads, N, Dh)
+        out = out.transpose(0, 2, 1, 3).reshape(b, n, d)
+        return self.proj(out)
+
+
+class EncoderBlock(nn.Module):
+    """Pre-norm transformer encoder block."""
+
+    def __init__(self, dim, heads, mlp_ratio=4, dropout=0.0, *, rng=None):
+        super().__init__()
+        hidden = dim * mlp_ratio
+        self.norm1 = nn.LayerNorm(dim)
+        self.attn = TokenMHSA(dim, heads, rng=rng)
+        self.norm2 = nn.LayerNorm(dim)
+        self.fc1 = nn.Linear(dim, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, dim, rng=rng)
+        self.drop = nn.Dropout(dropout, rng=np.random.default_rng(0)) if dropout else None
+
+    def forward(self, x):
+        x = x + self.attn(self.norm1(x))
+        h = self.fc1(self.norm2(x)).gelu()
+        if self.drop is not None:
+            h = self.drop(h)
+        return x + self.fc2(h)
+
+
+class ViT(nn.Module):
+    """Vision Transformer classifier.
+
+    Default hyper-parameters are ViT-Base: 12 layers, dim 768, 12 heads,
+    MLP ratio 4, patch 16 — at 96x96 input that is 36 patches + CLS.
+    """
+
+    def __init__(
+        self,
+        image_size=96,
+        patch_size=16,
+        dim=768,
+        depth=12,
+        heads=12,
+        mlp_ratio=4,
+        num_classes=10,
+        in_channels=3,
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if image_size % patch_size:
+            raise ValueError("image_size must divide patch_size")
+        self.input_size = image_size
+        self.num_patches = (image_size // patch_size) ** 2
+        self.dim = dim
+        # Patch embedding as a strided conv (equivalent to per-patch Linear).
+        self.patch_embed = nn.Conv2d(
+            in_channels, dim, patch_size, stride=patch_size, rng=rng
+        )
+        self.cls_token = nn.Parameter(rng.normal(0.0, 0.02, size=(1, 1, dim)))
+        self.pos_embed = nn.Parameter(
+            rng.normal(0.0, 0.02, size=(1, self.num_patches + 1, dim))
+        )
+        self.blocks = nn.ModuleList(
+            [EncoderBlock(dim, heads, mlp_ratio=mlp_ratio, rng=rng) for _ in range(depth)]
+        )
+        for block in self.blocks:
+            # token count for analytical MAC accounting (repro.profiling)
+            block.attn._n_tokens = self.num_patches + 1
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.Linear(dim, num_classes, rng=rng)
+
+    def forward(self, x):
+        b = x.shape[0]
+        patches = self.patch_embed(x)  # (B, dim, H/p, W/p)
+        tokens = patches.reshape(b, self.dim, self.num_patches).transpose(0, 2, 1)
+        cls = self.cls_token.broadcast_to((b, 1, self.dim))
+        tokens = cat([cls, tokens], axis=1) + self.pos_embed
+        for block in self.blocks:
+            tokens = block(tokens)
+        cls_out = self.norm(tokens)[:, 0, :]
+        return self.head(cls_out)
+
+
+def vit_base(num_classes=10, image_size=96, patch_size=16, *, rng=None):
+    """ViT-Base as compared in Table IV (~78-86M parameters)."""
+    return ViT(
+        image_size=image_size,
+        patch_size=patch_size,
+        dim=768,
+        depth=12,
+        heads=12,
+        mlp_ratio=4,
+        num_classes=num_classes,
+        rng=rng,
+    )

@@ -1,0 +1,52 @@
+"""Neural-network layers on top of :mod:`repro.tensor`.
+
+Mirrors the (small) subset of ``torch.nn`` the paper's models need, plus
+the BoTNet-style :class:`MHSA2d` block with 2-D relative position
+encoding and the hardware-friendly ReLU-attention variant the paper
+deploys on the FPGA (Eqs. 15-17).
+"""
+
+from .activation import GELU, Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .attention import MHSA2d, RelativePositionEncoding2d, SinusoidalPositionEncoding
+from .container import ModuleList, Sequential
+from .conv import Conv2d, DepthwiseSeparableConv2d
+from .dropout import Dropout
+from .efficient_attention import LinearAttention2d, WindowAttention2d
+from .flatten import Flatten
+from .linear import Linear
+from .module import Module, Parameter
+from .norm import BatchNorm2d, GroupNorm, LayerNorm
+from .pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from .summary import model_summary
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "DepthwiseSeparableConv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "GroupNorm",
+    "ReLU",
+    "LeakyReLU",
+    "GELU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Identity",
+    "Dropout",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "GlobalAvgPool2d",
+    "MHSA2d",
+    "LinearAttention2d",
+    "WindowAttention2d",
+    "RelativePositionEncoding2d",
+    "SinusoidalPositionEncoding",
+    "model_summary",
+]

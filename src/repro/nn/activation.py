@@ -1,0 +1,48 @@
+"""Activation layers (thin Module wrappers over tensor ops)."""
+
+from __future__ import annotations
+
+from .module import Module
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope=0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return x.leaky_relu(self.negative_slope)
+
+
+class GELU(Module):
+    def forward(self, x):
+        return x.gelu()
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()
+
+
+class Softmax(Module):
+    def __init__(self, axis=-1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x):
+        return x.softmax(axis=self.axis)
+
+
+class Identity(Module):
+    def forward(self, x):
+        return x

@@ -1,0 +1,54 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from .module import Module
+
+
+class Sequential(Module):
+    """Chain modules; ``forward`` threads the input through each in order."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        for i, m in enumerate(modules):
+            setattr(self, str(i), m)
+        self._order = [str(i) for i in range(len(modules))]
+
+    def forward(self, x):
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+    def __getitem__(self, i):
+        return self._modules[self._order[i]]
+
+
+class ModuleList(Module):
+    """Hold submodules in a list; iteration order is insertion order."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._order = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module):
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+    def __getitem__(self, i):
+        return self._modules[self._order[i]]

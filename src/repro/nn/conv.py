@@ -1,0 +1,102 @@
+"""Convolution layers: dense, grouped and depthwise-separable."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+
+
+def _pair(v):
+    return tuple(v) if isinstance(v, (tuple, list)) else (v, v)
+
+
+class Conv2d(Module):
+    """2-D convolution (cross-correlation), NCHW.
+
+    Weight shape (out_channels, in_channels // groups, kh, kw).
+    """
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        groups=1,
+        bias=True,
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.groups = groups
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in/out channels must be divisible by groups")
+        wshape = (out_channels, in_channels // groups, *self.kernel_size)
+        self.weight = Parameter(init.kaiming_normal(rng, wshape))
+        if bias:
+            fan_in = (in_channels // groups) * self.kernel_size[0] * self.kernel_size[1]
+            self.bias = Parameter(init.uniform_bias(rng, (out_channels,), fan_in))
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        out = x.conv2d(
+            self.weight, stride=self.stride, padding=self.padding, groups=self.groups
+        )
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+        return out
+
+    def __repr__(self):
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, "
+            f"g={self.groups}, bias={self.bias is not None})"
+        )
+
+
+class DepthwiseSeparableConv2d(Module):
+    """Depthwise separable convolution (MobileNet/Xception style).
+
+    The paper's ODEBlocks use DSC to shrink the conv parameter count by
+    ~K^2: a KxK depthwise conv (groups = channels) followed by a 1x1
+    pointwise conv.  Parameter size is N*K^2 + N*M versus N*M*K^2 for a
+    dense conv (Sec. IV of the paper).
+    """
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size=3,
+        stride=1,
+        padding=1,
+        bias=True,
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.depthwise = Conv2d(
+            in_channels,
+            in_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=in_channels,
+            bias=False,
+            rng=rng,
+        )
+        self.pointwise = Conv2d(in_channels, out_channels, 1, bias=bias, rng=rng)
+
+    def forward(self, x):
+        return self.pointwise(self.depthwise(x))

@@ -1,0 +1,30 @@
+"""Dropout with an explicit per-layer random stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    Each layer owns a ``numpy.random.Generator`` (seedable for
+    reproducibility) rather than touching global RNG state.
+    """
+
+    def __init__(self, p=0.5, *, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask, _copy=False)

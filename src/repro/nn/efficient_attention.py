@@ -1,0 +1,191 @@
+"""Efficient attention variants (paper Sec. II-B).
+
+The paper surveys approaches to MHSA's O(N²) cost: kernel methods
+(Linear Transformer [13]), fixed patterns (Swin [17]), low rank
+(Linformer [15]).  Two representatives are implemented here as drop-in
+replacements for :class:`~repro.nn.MHSA2d` over NCHW feature maps:
+
+* :class:`LinearAttention2d` — the kernel trick of Katharopoulos et
+  al.: ``Attn(Q,K,V) ≈ φ(Q) (φ(K)ᵀ V) / (φ(Q) Σφ(K))`` which is
+  O(N·D²/k) instead of O(N²·D);
+* :class:`WindowAttention2d` — exact attention restricted to local
+  windows (the fixed-pattern family), O(N·w²·D) for window size w.
+
+Both preserve the (B, C, H, W) interface, head splitting and optional
+output LayerNorm, so they slot into the proposed model's MHSA block for
+the efficiency ablation (``benchmarks/test_ablation_efficient_attention.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, where
+from . import init
+from .module import Module, Parameter
+from .norm import LayerNorm
+
+
+def _elu1(x):
+    """φ(x) = ELU(x) + 1 > 0 (the Linear Transformer feature map)."""
+    neg = (x.clip(hi=0.0)).exp()  # e^x for x<=0, 1 for x>0 region unused
+    return where(x.data > 0, x + 1.0, neg)
+
+
+class LinearAttention2d(Module):
+    """Kernelised linear attention over a feature map.
+
+    Parameters mirror :class:`MHSA2d`; position encoding is not
+    supported (the kernel trick has no QRᵀ term — the fixed-pattern
+    variant below keeps it instead).
+    """
+
+    def __init__(self, channels, height, width, heads=4, phi="elu1",
+                 out_layernorm=False, *, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if channels % heads:
+            raise ValueError("channels must divide heads")
+        if phi not in ("elu1", "relu"):
+            raise ValueError(f"unknown feature map {phi!r}")
+        self.channels = channels
+        self.height = height
+        self.width = width
+        self.heads = heads
+        self.dim_head = channels // heads
+        self.phi = phi
+        d = channels
+        self.w_q = Parameter(init.xavier_uniform(rng, (d, d)))
+        self.w_k = Parameter(init.xavier_uniform(rng, (d, d)))
+        self.w_v = Parameter(init.xavier_uniform(rng, (d, d)))
+        self.norm = LayerNorm(channels) if out_layernorm else None
+
+    def _feature_map(self, t):
+        if self.phi == "elu1":
+            return _elu1(t)
+        return t.relu() + 1e-6
+
+    def forward(self, x):
+        b, d, h, w = x.shape
+        if (d, h, w) != (self.channels, self.height, self.width):
+            raise ValueError(
+                f"LinearAttention2d configured for ({self.channels},"
+                f"{self.height},{self.width}), got ({d},{h},{w})"
+            )
+        n = h * w
+        tokens = x.reshape(b, d, n).transpose(0, 2, 1)
+
+        def split(t):
+            return t.reshape(b, n, self.heads, self.dim_head).transpose(0, 2, 1, 3)
+
+        q = self._feature_map(split(tokens @ self.w_q))
+        k = self._feature_map(split(tokens @ self.w_k))
+        v = split(tokens @ self.w_v)
+
+        # O(N D^2): aggregate keys once, then per-query lookups.
+        kv = k.transpose(0, 1, 3, 2) @ v                    # (B,h,Dh,Dh)
+        num = q @ kv                                        # (B,h,N,Dh)
+        ksum = k.sum(axis=2)                                # (B,h,Dh)
+        denom = (q * ksum.reshape(b, self.heads, 1, self.dim_head)).sum(
+            axis=-1, keepdims=True
+        )
+        out = num / (denom + 1e-6)
+        out = out.transpose(0, 2, 1, 3).reshape(b, n, d)
+        if self.norm is not None:
+            out = self.norm(out)
+        return out.transpose(0, 2, 1).reshape(b, d, h, w)
+
+
+class WindowAttention2d(Module):
+    """Exact MHSA inside non-overlapping local windows.
+
+    ``window`` must divide both spatial dimensions.  Within each window
+    the computation is identical to :class:`MHSA2d` (including optional
+    per-window relative position encoding and ReLU attention), so cost
+    scales linearly in N for fixed window size.
+    """
+
+    def __init__(self, channels, height, width, heads=4, window=2,
+                 pos_enc="relative", attention_activation="softmax",
+                 out_layernorm=False, *, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if channels % heads:
+            raise ValueError("channels must divide heads")
+        if height % window or width % window:
+            raise ValueError(
+                f"window {window} must divide feature map {height}x{width}"
+            )
+        if attention_activation not in ("softmax", "relu"):
+            raise ValueError(f"unknown activation {attention_activation!r}")
+        self.channels = channels
+        self.height = height
+        self.width = width
+        self.heads = heads
+        self.dim_head = channels // heads
+        self.window = window
+        self.attention_activation = attention_activation
+        self.pos_enc = pos_enc
+        d = channels
+        self.w_q = Parameter(init.xavier_uniform(rng, (d, d)))
+        self.w_k = Parameter(init.xavier_uniform(rng, (d, d)))
+        self.w_v = Parameter(init.xavier_uniform(rng, (d, d)))
+        if pos_enc == "relative":
+            from .attention import RelativePositionEncoding2d
+
+            self.rel = RelativePositionEncoding2d(
+                heads, window, window, self.dim_head, rng=rng
+            )
+        self.norm = LayerNorm(channels) if out_layernorm else None
+
+    def _to_windows(self, x):
+        """(B, D, H, W) -> (B·nw, D, w, w) token windows."""
+        b, d, h, w = x.shape
+        win = self.window
+        xw = x.reshape(b, d, h // win, win, w // win, win)
+        xw = xw.transpose(0, 2, 4, 1, 3, 5)  # (B, nh, nw, D, win, win)
+        return xw.reshape(-1, d, win, win)
+
+    def _from_windows(self, xw, b):
+        d = self.channels
+        win = self.window
+        nh = self.height // win
+        nw = self.width // win
+        x = xw.reshape(b, nh, nw, d, win, win)
+        x = x.transpose(0, 3, 1, 4, 2, 5)
+        return x.reshape(b, d, self.height, self.width)
+
+    def forward(self, x):
+        b, d, h, w = x.shape
+        if (d, h, w) != (self.channels, self.height, self.width):
+            raise ValueError(
+                f"WindowAttention2d configured for ({self.channels},"
+                f"{self.height},{self.width}), got ({d},{h},{w})"
+            )
+        win = self.window
+        n = win * win
+        xw = self._to_windows(x)  # (B', D, win, win)
+        bp = xw.shape[0]
+        tokens = xw.reshape(bp, d, n).transpose(0, 2, 1)
+
+        def split(t):
+            return t.reshape(bp, n, self.heads, self.dim_head).transpose(0, 2, 1, 3)
+
+        q = split(tokens @ self.w_q)
+        k = split(tokens @ self.w_k)
+        v = split(tokens @ self.w_v)
+        logits = q @ k.transpose(0, 1, 3, 2)
+        if self.pos_enc == "relative":
+            r = self.rel.table()
+            logits = logits + (q @ r.transpose(0, 2, 1))
+        logits = logits * (1.0 / np.sqrt(self.dim_head))
+        attn = (
+            logits.softmax(axis=-1)
+            if self.attention_activation == "softmax"
+            else logits.relu()
+        )
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(bp, n, d)
+        if self.norm is not None:
+            out = self.norm(out)
+        out = out.transpose(0, 2, 1).reshape(bp, d, win, win)
+        return self._from_windows(out, b)

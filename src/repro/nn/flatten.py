@@ -1,0 +1,16 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+from .module import Module
+
+
+class Flatten(Module):
+    """Flatten all dimensions after ``start_dim`` (default: keep batch)."""
+
+    def __init__(self, start_dim=1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x):
+        return x.flatten(self.start_dim)

@@ -1,0 +1,67 @@
+"""Weight initialisers.
+
+All functions take an explicit ``numpy.random.Generator`` — library code
+never touches numpy's global RNG — and return numpy arrays suitable for
+wrapping in a :class:`~repro.nn.Parameter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fan_in_out(shape):
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv: (out, in/groups, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape[1:])) or 1
+    return fan_in, fan_out
+
+
+def kaiming_normal(rng: np.random.Generator, shape, gain=np.sqrt(2.0)):
+    """He initialisation for ReLU networks (fan-in mode)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(rng: np.random.Generator, shape, gain=np.sqrt(2.0)):
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape, gain=1.0):
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, shape, gain=1.0):
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(rng: np.random.Generator, shape, std=0.02):
+    """Plain Gaussian init — used for the relative-position vectors,
+    which the paper draws from a normal distribution."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_bias(rng: np.random.Generator, shape, fan_in):
+    """Torch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape):
+    return np.zeros(shape)
+
+
+def ones(shape):
+    return np.ones(shape)

@@ -1,0 +1,41 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """``y = x W^T + b`` over the last dimension of *x*.
+
+    Weight shape is (out_features, in_features), matching torch, so
+    parameter counts line up with the paper's Table IV.
+    """
+
+    def __init__(self, in_features, out_features, bias=True, *, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform(rng, (out_features, in_features), gain=1.0)
+        )
+        if bias:
+            self.bias = Parameter(init.uniform_bias(rng, (out_features,), in_features))
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

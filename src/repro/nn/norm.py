@@ -1,0 +1,127 @@
+"""Normalisation layers: BatchNorm2d, LayerNorm, GroupNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel, NCHW layout.
+
+    Training mode normalises with batch statistics and maintains
+    exponential running averages (momentum convention as in torch:
+    ``running = (1 - momentum) * running + momentum * batch``);
+    eval mode uses the running estimates.
+    """
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1, affine=True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        else:
+            self.weight = None
+            self.bias = None
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        self.register_buffer("num_batches_tracked", np.array(0))
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            with_n = x.shape[0] * x.shape[2] * x.shape[3]
+            # Update running stats (unbiased variance, as torch does).
+            m = self.momentum
+            unbiased = var.data.reshape(-1) * with_n / max(with_n - 1, 1)
+            self._set_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mean.data.reshape(-1),
+            )
+            self._set_buffer(
+                "running_var", (1 - m) * self.running_var + m * unbiased
+            )
+            self._set_buffer("num_batches_tracked", self.num_batches_tracked + 1)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1), _copy=False)
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1), _copy=False)
+        inv = (var + self.eps) ** -0.5
+        out = (x - mean) * inv
+        if self.weight is not None:
+            out = out * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(
+                1, -1, 1, 1
+            )
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing ``len(normalized_shape)`` dims.
+
+    The paper adds LayerNorm at the output of the modified MHSA block
+    (Eq. 17) to stabilise training with ReLU attention.
+    """
+
+    def __init__(self, normalized_shape, eps=1e-5, affine=True):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        if affine:
+            self.weight = Parameter(np.ones(self.normalized_shape))
+            self.bias = Parameter(np.zeros(self.normalized_shape))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x):
+        axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
+        if tuple(x.shape[a] for a in axes) != self.normalized_shape:
+            raise ValueError(
+                f"LayerNorm({self.normalized_shape}) got input {x.shape}"
+            )
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        out = (x - mean) * ((var + self.eps) ** -0.5)
+        if self.weight is not None:
+            out = out * self.weight + self.bias
+        return out
+
+
+class GroupNorm(Module):
+    """Group normalisation (used in ablations; batch-size independent)."""
+
+    def __init__(self, num_groups, num_channels, eps=1e-5, affine=True):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError("num_channels must divide num_groups")
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        if affine:
+            self.weight = Parameter(np.ones(num_channels))
+            self.bias = Parameter(np.zeros(num_channels))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x):
+        n, c, h, w = x.shape
+        g = self.num_groups
+        xg = x.reshape(n, g, c // g, h, w)
+        mean = xg.mean(axis=(2, 3, 4), keepdims=True)
+        var = xg.var(axis=(2, 3, 4), keepdims=True)
+        out = ((xg - mean) * ((var + self.eps) ** -0.5)).reshape(n, c, h, w)
+        if self.weight is not None:
+            out = out * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(
+                1, -1, 1, 1
+            )
+        return out

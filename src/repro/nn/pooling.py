@@ -1,0 +1,61 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from .module import Module
+
+
+def _pair(v):
+    return tuple(v) if isinstance(v, (tuple, list)) else (v, v)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else None
+        self.padding = _pair(padding)
+
+    def forward(self, x):
+        return x.max_pool2d(self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else None
+        self.padding = _pair(padding)
+
+    def forward(self, x):
+        return x.avg_pool2d(self.kernel_size, self.stride, self.padding)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x):
+        return x.mean(axis=(2, 3))
+
+
+class AdaptiveAvgPool2d(Module):
+    """Adaptive average pooling to a fixed output size.
+
+    Only exact-division cases are supported (all the paper's models pool
+    to (1, 1) or by integer factors), keeping the implementation a single
+    reshape + mean.
+    """
+
+    def __init__(self, output_size):
+        super().__init__()
+        self.output_size = _pair(output_size)
+
+    def forward(self, x):
+        n, c, h, w = x.shape
+        oh, ow = self.output_size
+        if h % oh or w % ow:
+            raise ValueError(
+                f"AdaptiveAvgPool2d: input {h}x{w} not divisible by {oh}x{ow}"
+            )
+        fh, fw = h // oh, w // ow
+        return x.reshape(n, c, oh, fh, ow, fw).mean(axis=(3, 5))

@@ -1,0 +1,85 @@
+"""Model summaries: layer table with parameter counts and output shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .module import Module
+
+
+def model_summary(model: Module, input_shape, batch=1) -> str:
+    """Render a keras-style summary table.
+
+    Parameters
+    ----------
+    model:
+        any Module.
+    input_shape:
+        per-sample shape, e.g. ``(3, 96, 96)``.
+
+    Traces one forward pass, recording each *leaf* module's output
+    shape; the model is left untouched.
+    """
+    records = []
+    patched = []
+
+    def leaves(mod, prefix):
+        # Atomic units: childless modules, and modules that own direct
+        # parameters besides their children (e.g. MHSA2d's projection
+        # weights) — splitting those would orphan their parameters.
+        if not mod._modules or mod._parameters:
+            yield prefix or type(mod).__name__, mod
+            return
+        for name, child in mod._modules.items():
+            yield from leaves(child, f"{prefix}.{name}" if prefix else name)
+
+    for name, module in leaves(model, ""):
+        original = module.forward
+        entry = {
+            "name": name,
+            "kind": type(module).__name__,
+            "params": module.num_parameters(),
+            "shape": None,
+            "calls": 0,
+        }
+        records.append(entry)
+
+        def traced(*args, _orig=original, _entry=entry, **kwargs):
+            out = _orig(*args, **kwargs)
+            _entry["calls"] += 1
+            if hasattr(out, "shape"):
+                _entry["shape"] = tuple(out.shape)
+            return out
+
+        object.__setattr__(module, "forward", traced)
+        patched.append((module, original))
+
+    try:
+        x = Tensor(np.zeros((batch, *input_shape), dtype=np.float32))
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            model(x)
+        if was_training:
+            model.train()
+    finally:
+        for module, original in patched:
+            object.__setattr__(module, "forward", original)
+
+    lines = [f"{'layer':<42}{'type':<24}{'output shape':<20}{'params':>12}{'calls':>7}"]
+    lines.append("=" * len(lines[0]))
+    total = 0
+    for r in records:
+        if r["calls"] == 0:
+            continue
+        total += r["params"]
+        shape = str(r["shape"]) if r["shape"] else "-"
+        lines.append(
+            f"{r['name']:<42}{r['kind']:<24}{shape:<20}"
+            f"{r['params']:>12,}{r['calls']:>7}"
+        )
+    lines.append("=" * len(lines[0]))
+    lines.append(f"total parameters: {model.num_parameters():,} "
+                 f"(traced: {total:,})")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Neural Ordinary Differential Equations (Sec. III-B of the paper).
+
+An ``ODEBlock`` integrates learned dynamics ``dz/dt = f(z, t, θ)`` with an
+explicit solver; with the Euler method and C steps it is exactly a stack
+of C ResBlocks *sharing one parameter set* (Eq. 14) — the compression
+mechanism the paper uses to shrink BoTNet by 97.3%.
+
+Training is discretize-then-optimize: gradients flow through the
+unrolled solver steps via :mod:`repro.tensor` autograd, which matches
+how the paper trains (fixed-step Euler, backprop through the loop).
+"""
+
+from .adjoint import AdjointODEBlock
+from .odeblock import (
+    ConvODEFunc,
+    MHSABottleneckODEFunc,
+    ODEBlock,
+    TimeConcatConv2d,
+    TimeConcatDSC2d,
+)
+from .solvers import (
+    Bosh3,
+    Dopri5,
+    EmbeddedRKSolver,
+    Euler,
+    Heun,
+    Midpoint,
+    RK4,
+    available_solvers,
+    get_solver,
+    odeint,
+)
+
+__all__ = [
+    "Euler",
+    "Midpoint",
+    "Heun",
+    "RK4",
+    "Dopri5",
+    "Bosh3",
+    "EmbeddedRKSolver",
+    "get_solver",
+    "available_solvers",
+    "odeint",
+    "ODEBlock",
+    "AdjointODEBlock",
+    "ConvODEFunc",
+    "MHSABottleneckODEFunc",
+    "TimeConcatConv2d",
+    "TimeConcatDSC2d",
+]

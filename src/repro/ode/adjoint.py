@@ -1,0 +1,147 @@
+"""Memory-efficient backward passes for ODE blocks.
+
+The paper trains discretize-then-optimize (backprop through the unrolled
+Euler loop), which stores every intermediate activation — memory grows
+linearly with the step count C.  Chen et al.'s Neural ODE paper instead
+integrates an *adjoint* system backwards.  This module provides both
+memory-reduction strategies on top of our autograd engine:
+
+``checkpoint``
+    store only the C state tensors during the forward pass and rebuild
+    each step's local graph on demand during backward.  Gradients are
+    *bit-identical* to full backprop, while peak graph memory drops from
+    O(C · graph) to O(1 · graph).
+
+``adjoint``
+    reconstruct states backwards from the output alone
+    (z_i ≈ z_{i+1} − h·f(t_i, z_{i+1})), the O(1)-memory continuous
+    adjoint discretised with Euler.  Gradients match backprop up to
+    O(h) reconstruction error.
+
+Both are exposed through :class:`AdjointODEBlock`, a drop-in
+replacement for :class:`~repro.ode.ODEBlock` (Euler only — the solver
+the paper deploys).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+from ..tensor.function import Function
+
+
+def _step_vjp(func, params, t, z_data, a_data, h):
+    """One reverse Euler step.
+
+    Forward was ``z_{i+1} = z_i + h f(t_i, z_i)``; given the incoming
+    adjoint ``a = dL/dz_{i+1}`` this returns
+    ``dL/dz_i = a + h · aᵀ ∂f/∂z`` and accumulates ``h · aᵀ ∂f/∂θ``
+    into each parameter's ``.grad``.
+    """
+    z_leaf = Tensor(z_data, requires_grad=True, _copy=False)
+    f_val = func(t, z_leaf)
+    # Clear parameter grads into a side buffer so we can scale by h.
+    saved = [(p, p.grad) for p in params]
+    for p in params:
+        p.grad = None
+    f_val.backward(a_data)
+    a_prev = a_data + h * (z_leaf.grad if z_leaf.grad is not None else 0.0)
+    new_grads = []
+    for p, old in saved:
+        step_grad = p.grad if p.grad is not None else 0.0
+        total = h * step_grad + (old if old is not None else 0.0)
+        p.grad = total if isinstance(total, np.ndarray) else None
+        new_grads.append(p.grad)
+    return a_prev
+
+
+class _EulerIntegrate(Function):
+    """Forward Euler with checkpoint/adjoint backward.
+
+    apply(z0, *params, func=..., steps=..., t0=..., t1=..., mode=...)
+    """
+
+    @staticmethod
+    def forward(ctx, z0, *param_arrays, func=None, steps=8, t0=0.0, t1=1.0,
+                mode="checkpoint"):
+        h = (t1 - t0) / steps
+        z = z0
+        checkpoints = [z0] if mode == "checkpoint" else None
+        from ..tensor import no_grad
+
+        with no_grad():
+            for i in range(steps):
+                t = t0 + i * h
+                dz = func(t, Tensor(z, _copy=False)).data
+                z = z + h * dz
+                if checkpoints is not None and i < steps - 1:
+                    checkpoints.append(z)
+        ctx.func = func
+        ctx.steps = steps
+        ctx.t0, ctx.h = t0, h
+        ctx.mode = mode
+        ctx.checkpoints = checkpoints
+        ctx.z_final = z
+        return z
+
+    @staticmethod
+    def backward(ctx, grad):
+        func, steps, t0, h = ctx.func, ctx.steps, ctx.t0, ctx.h
+        params = list(func.parameters())
+        a = grad.copy()
+        z_next = ctx.z_final
+        for i in reversed(range(steps)):
+            t = t0 + i * h
+            if ctx.mode == "checkpoint":
+                z_i = ctx.checkpoints[i]
+            else:
+                # O(1)-memory reconstruction (continuous adjoint, O(h)):
+                from ..tensor import no_grad
+
+                with no_grad():
+                    z_i = z_next - h * func(t, Tensor(z_next, _copy=False)).data
+            a = _step_vjp(func, params, t, z_i, a, h)
+            z_next = z_i
+        # z0 gradient, then None for each param input (their grads were
+        # accumulated directly via .grad inside _step_vjp).
+        return (a,) + (None,) * len(params)
+
+
+class AdjointODEBlock(nn.Module):
+    """Euler ODE block with memory-efficient backward.
+
+    Parameters
+    ----------
+    func:
+        dynamics module ``forward(t, z) -> dz``.
+    steps:
+        Euler step count C.
+    mode:
+        'checkpoint' (exact gradients, O(C) state memory) or
+        'adjoint' (O(1) memory, O(h) gradient error).
+    """
+
+    def __init__(self, func, steps=8, t0=0.0, t1=1.0, mode="checkpoint"):
+        super().__init__()
+        if mode not in ("checkpoint", "adjoint"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.func = func
+        self.steps = steps
+        self.t0 = t0
+        self.t1 = t1
+        self.mode = mode
+
+    def forward(self, z):
+        params = list(self.func.parameters())
+        return _EulerIntegrate.apply(
+            z, *params, func=self.func, steps=self.steps,
+            t0=self.t0, t1=self.t1, mode=self.mode,
+        )
+
+    def __repr__(self):
+        return (
+            f"AdjointODEBlock({type(self.func).__name__}, steps={self.steps}, "
+            f"mode={self.mode})"
+        )

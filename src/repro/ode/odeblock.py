@@ -1,0 +1,195 @@
+"""ODE blocks: learned dynamics + solver = weight-shared deep stages.
+
+``ODEBlock`` wraps a dynamics module and integrates it over t ∈ [0, 1];
+with Euler and C steps the block is computationally identical to C
+ResBlocks sharing one parameter set (paper Eq. 14 and Fig. 2).
+
+Two dynamics families are provided:
+
+* :class:`ConvODEFunc` — the dsODENet-style block of [21]: two
+  time-concatenated depthwise-separable (or dense) convolutions with
+  BatchNorm/ReLU pre-activations.
+* :class:`MHSABottleneckODEFunc` — the paper's MHSABlock dynamics
+  (Fig. 3): a BoTNet bottleneck where the spatial convolution is
+  replaced by :class:`~repro.nn.MHSA2d`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, cat
+from .solvers import FixedGridSolver, get_solver
+
+
+class TimeConcatConv2d(nn.Module):
+    """Conv2d over input with the scalar time appended as a channel.
+
+    The standard trick (Chen et al. 2018) to make the dynamics
+    time-dependent without extra structure: ``f([z; t·1])``.
+    """
+
+    def __init__(self, in_channels, out_channels, kernel_size=3, stride=1,
+                 padding=1, bias=True, *, rng=None):
+        super().__init__()
+        self.conv = nn.Conv2d(
+            in_channels + 1, out_channels, kernel_size, stride=stride,
+            padding=padding, bias=bias, rng=rng,
+        )
+
+    def forward(self, t, x):
+        n, _, h, w = x.shape
+        tt = Tensor(
+            np.full((n, 1, h, w), float(t), dtype=x.data.dtype), _copy=False
+        )
+        return self.conv(cat([x, tt], axis=1))
+
+
+class TimeConcatDSC2d(nn.Module):
+    """Depthwise-separable convolution with time channel concatenation."""
+
+    def __init__(self, in_channels, out_channels, kernel_size=3, stride=1,
+                 padding=1, bias=True, *, rng=None):
+        super().__init__()
+        self.conv = nn.DepthwiseSeparableConv2d(
+            in_channels + 1, out_channels, kernel_size, stride=stride,
+            padding=padding, bias=bias, rng=rng,
+        )
+
+    def forward(self, t, x):
+        n, _, h, w = x.shape
+        tt = Tensor(
+            np.full((n, 1, h, w), float(t), dtype=x.data.dtype), _copy=False
+        )
+        return self.conv(cat([x, tt], axis=1))
+
+
+class ConvODEFunc(nn.Module):
+    """dsODENet dynamics: (BN → ReLU → time-conv) × 2.
+
+    ``conv='dsc'`` (paper default, Sec. IV) uses depthwise-separable
+    convolutions which cost N·K² + N·M parameters instead of N·M·K².
+    """
+
+    def __init__(self, channels, conv="dsc", kernel_size=3, *, rng=None):
+        super().__init__()
+        conv_cls = {"dsc": TimeConcatDSC2d, "full": TimeConcatConv2d}[conv]
+        pad = kernel_size // 2
+        self.norm1 = nn.BatchNorm2d(channels)
+        self.conv1 = conv_cls(channels, channels, kernel_size, padding=pad, rng=rng)
+        self.norm2 = nn.BatchNorm2d(channels)
+        self.conv2 = conv_cls(channels, channels, kernel_size, padding=pad, rng=rng)
+        self.nfe = 0  # number of function evaluations (diagnostics)
+
+    def forward(self, t, z):
+        self.nfe += 1
+        h = self.conv1(t, self.norm1(z).relu())
+        h = self.conv2(t, self.norm2(h).relu())
+        return h
+
+
+class MHSABottleneckODEFunc(nn.Module):
+    """The paper's MHSABlock dynamics (Fig. 3, BoTNet bottleneck form).
+
+    z -> BN -> ReLU -> 1x1 conv (C -> C_inner)
+      -> MHSA (C_inner, H, W)  [ReLU attention + LayerNorm, Eq. 16-17]
+      -> BN -> ReLU -> 1x1 conv (C_inner -> C)
+
+    ``C_inner`` corresponds to the (64, 6, 6) accelerator configuration
+    evaluated on the FPGA; the BoTNet50 counterpart runs at (512, 3, 3).
+    """
+
+    def __init__(
+        self,
+        channels,
+        inner_channels,
+        height,
+        width,
+        heads=4,
+        attention_activation="relu",
+        pos_enc="relative",
+        out_layernorm=True,
+        attention="full",
+        window=2,
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        self.norm1 = nn.BatchNorm2d(channels)
+        self.down = TimeConcatConv2d(
+            channels, inner_channels, kernel_size=1, padding=0, rng=rng
+        )
+        if attention == "full":
+            self.mhsa = nn.MHSA2d(
+                inner_channels,
+                height,
+                width,
+                heads=heads,
+                pos_enc=pos_enc,
+                attention_activation=attention_activation,
+                out_layernorm=out_layernorm,
+                rng=rng,
+            )
+        elif attention == "linear":
+            self.mhsa = nn.LinearAttention2d(
+                inner_channels, height, width, heads=heads,
+                out_layernorm=out_layernorm, rng=rng,
+            )
+        elif attention == "window":
+            self.mhsa = nn.WindowAttention2d(
+                inner_channels, height, width, heads=heads, window=window,
+                pos_enc=pos_enc, attention_activation=attention_activation,
+                out_layernorm=out_layernorm, rng=rng,
+            )
+        else:
+            raise ValueError(f"unknown attention kind {attention!r}")
+        self.norm2 = nn.BatchNorm2d(inner_channels)
+        self.up = TimeConcatConv2d(
+            inner_channels, channels, kernel_size=1, padding=0, rng=rng
+        )
+        self.nfe = 0
+
+    def forward(self, t, z):
+        self.nfe += 1
+        h = self.down(t, self.norm1(z).relu())
+        h = self.mhsa(h)
+        h = self.up(t, self.norm2(h).relu())
+        return h
+
+
+class ODEBlock(nn.Module):
+    """Integrate dynamics ``func`` over t ∈ [t0, t1].
+
+    Parameters
+    ----------
+    func:
+        a module with ``forward(t, z) -> dz``.
+    solver:
+        solver name or instance ('euler' reproduces the paper).
+    steps:
+        number of integration steps C — the weight-reuse factor.
+    """
+
+    def __init__(self, func, solver="euler", steps=8, t0=0.0, t1=1.0, **solver_kwargs):
+        super().__init__()
+        self.func = func
+        self.solver = (
+            solver
+            if isinstance(solver, (FixedGridSolver,)) or hasattr(solver, "integrate")
+            else get_solver(solver, **solver_kwargs)
+        )
+        self.steps = steps
+        self.t0 = t0
+        self.t1 = t1
+
+    def forward(self, z):
+        return self.solver.integrate(
+            self.func, z, t0=self.t0, t1=self.t1, steps=self.steps
+        )
+
+    def __repr__(self):
+        return (
+            f"ODEBlock({type(self.func).__name__}, solver={self.solver.name}, "
+            f"steps={self.steps})"
+        )

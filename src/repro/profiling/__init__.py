@@ -1,0 +1,47 @@
+"""Profiling utilities: wall-clock timers, MAC/FLOP counting and the
+MHSA execution-time breakdown of Table VI.
+
+Per the project's HPC guides: measure before claiming — the Table VI
+numbers come from real timers around the module forwards, not from
+op-count proxies (both are provided; they are compared in the tests).
+"""
+
+from .attention_stats import (
+    attention_entropy,
+    attention_sparsity,
+    head_diversity,
+    summarize_attention,
+)
+from .breakdown import mhsa_time_ratio, time_module_forward
+from .flops import count_macs, model_macs
+from .head_importance import head_importance
+from .layer_profile import LayerTiming, format_profile, profile_layers
+from .memory import memory_table, training_memory_bytes
+from .timers import Timer, WallClock
+from .variance import (
+    block_variance_ratio,
+    mhsa_vs_conv_variance,
+    stage_variance_profile,
+)
+
+__all__ = [
+    "Timer",
+    "WallClock",
+    "count_macs",
+    "model_macs",
+    "time_module_forward",
+    "mhsa_time_ratio",
+    "attention_sparsity",
+    "attention_entropy",
+    "head_diversity",
+    "summarize_attention",
+    "profile_layers",
+    "format_profile",
+    "LayerTiming",
+    "stage_variance_profile",
+    "block_variance_ratio",
+    "mhsa_vs_conv_variance",
+    "head_importance",
+    "training_memory_bytes",
+    "memory_table",
+]

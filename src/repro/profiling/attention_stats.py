@@ -1,0 +1,73 @@
+"""Attention-map analysis (the paper's Sec. V-A sparsity discussion).
+
+The paper justifies replacing softmax with ReLU partly via Zhang et
+al. [25]: ReLU-based attention is comparable in accuracy and
+*sparsifies* the attention weights, "which assists the analysis of the
+information flow in the model".  These helpers quantify that: sparsity,
+per-row entropy and head-diversity statistics over attention maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def attention_sparsity(attn: np.ndarray, tol: float = 1e-9) -> float:
+    """Fraction of exactly-(near-)zero attention weights.
+
+    Softmax rows are strictly positive (sparsity ~ 0); ReLU rows zero
+    out every negative logit, typically half or more of the entries.
+    """
+    attn = np.asarray(attn)
+    return float((np.abs(attn) <= tol).mean())
+
+
+def attention_entropy(attn: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean per-row entropy (nats) of row-normalised attention.
+
+    Rows that attend uniformly have entropy ln(N); rows that focus on a
+    single key have entropy ~0.  Rows summing to ~0 (fully-suppressed
+    ReLU queries) are skipped.
+    """
+    attn = np.asarray(attn, dtype=np.float64)
+    rows = attn.reshape(-1, attn.shape[-1])
+    sums = rows.sum(axis=-1, keepdims=True)
+    live = sums[:, 0] > eps
+    if not live.any():
+        return 0.0
+    p = rows[live] / sums[live]
+    ent = -(p * np.log(p + eps)).sum(axis=-1)
+    return float(ent.mean())
+
+
+def head_diversity(attn: np.ndarray) -> float:
+    """Mean pairwise distance between heads' attention patterns.
+
+    For each (batch, query) the per-head rows are compared; larger
+    values mean the heads learned different relations (the stated point
+    of multi-head attention, Sec. III-A4). Returns the mean L1 distance
+    between row-normalised head pairs, in [0, 2].
+    """
+    attn = np.asarray(attn, dtype=np.float64)
+    b, k, n, _ = attn.shape
+    if k < 2:
+        return 0.0
+    rows = attn / (attn.sum(axis=-1, keepdims=True) + 1e-12)
+    total = 0.0
+    count = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            total += np.abs(rows[:, i] - rows[:, j]).sum(axis=-1).mean()
+            count += 1
+    return float(total / count)
+
+
+def summarize_attention(mhsa, x: np.ndarray) -> dict:
+    """All statistics for one module/input pair."""
+    attn = mhsa.attention_maps(x)
+    return {
+        "sparsity": attention_sparsity(attn),
+        "entropy": attention_entropy(attn),
+        "head_diversity": head_diversity(attn),
+        "shape": attn.shape,
+    }

@@ -1,0 +1,88 @@
+"""Execution-time breakdown of MHSA inside its block (Table VI).
+
+The paper reports how much of the MHSABlock's software execution time
+is spent inside the MHSA mechanism itself: 20.5% for BoTNet and 50.7%
+for the proposed model — the motivation for accelerating MHSA on the
+PL.  We measure the same ratio by timing the MHSA submodule against its
+enclosing block with real wall clocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.attention import MHSA2d
+from ..tensor import Tensor, no_grad
+from .timers import Timer
+
+
+def time_module_forward(module, x, repeats=5) -> float:
+    """Median wall-clock seconds of ``module(x)`` under ``no_grad``."""
+    import time
+
+    times = []
+    with no_grad():
+        module_out = module(x)  # warm-up (einsum path caching)
+        del module_out
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            module(x)
+            times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def mhsa_time_ratio(block, x, repeats=5) -> dict:
+    """Measure the MHSA share of *block*'s forward time.
+
+    *block* is any module containing exactly one :class:`MHSA2d`
+    (e.g. a BoTNet :class:`~repro.models.MHSABlock` or the proposed
+    model's ODE MHSA block); *x* is its input Tensor.
+
+    Returns ``{"block_s", "mhsa_s", "ratio"}`` where ``ratio`` is the
+    Table VI percentage / 100. Timing instruments the real forward by
+    wrapping the MHSA submodule, so the measurement includes exactly
+    the calls the block makes (C per forward for an ODE block).
+    """
+    mhsa_modules = [m for m in block.modules() if isinstance(m, MHSA2d)]
+    if len(mhsa_modules) != 1:
+        raise ValueError(
+            f"expected exactly one MHSA2d inside the block, found {len(mhsa_modules)}"
+        )
+    mhsa = mhsa_modules[0]
+    timer = Timer()
+    original = mhsa.forward
+
+    def timed_forward(inp, _orig=original, _timer=timer):
+        with _timer.section("mhsa"):
+            return _orig(inp)
+
+    import time
+
+    object.__setattr__(mhsa, "forward", timed_forward)
+    try:
+        with no_grad():
+            block(x)  # warm-up
+        # reset timer after warm-up
+        timer = Timer()
+
+        def timed_forward2(inp, _orig=original, _timer=timer):
+            with _timer.section("mhsa"):
+                return _orig(inp)
+
+        object.__setattr__(mhsa, "forward", timed_forward2)
+        block_times = []
+        with no_grad():
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                block(x)
+                block_times.append(time.perf_counter() - t0)
+    finally:
+        object.__setattr__(mhsa, "forward", original)
+
+    block_s = float(np.sum(block_times))
+    mhsa_s = timer.total("mhsa")
+    return {
+        "block_s": block_s / repeats,
+        "mhsa_s": mhsa_s / repeats,
+        "ratio": mhsa_s / block_s if block_s else 0.0,
+    }

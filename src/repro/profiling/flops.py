@@ -1,0 +1,121 @@
+"""Static MAC (multiply-accumulate) counting per layer.
+
+Used as the analytical cross-check for the measured Table VI ratios and
+to size the PS software-latency model.  One MAC = one multiply + one
+add = 2 FLOPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..ode import ODEBlock
+
+
+def _conv_macs(conv: "nn.Conv2d", in_hw) -> int:
+    h, w = in_hw
+    kh, kw = conv.kernel_size
+    sh, sw = conv.stride
+    ph, pw = conv.padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    per_out = (conv.in_channels // conv.groups) * kh * kw
+    return conv.out_channels * oh * ow * per_out
+
+
+def mhsa_macs(mhsa: "nn.MHSA2d") -> int:
+    """MACs of one MHSA2d forward (batch 1)."""
+    n = mhsa.height * mhsa.width
+    d = mhsa.channels
+    k, dh = mhsa.heads, mhsa.dim_head
+    macs = 3 * n * d * d + k * n * n * dh * 2  # projections + QK^T + AV
+    if mhsa.pos_enc == "relative":
+        macs += k * n * n * dh
+    if mhsa.norm is not None:
+        macs += 2 * n * d
+    return macs
+
+
+def count_macs(module, input_hw, in_channels=None) -> int:
+    """MACs of *module* on a (C, H, W) input (batch 1).
+
+    Supports the layer types used by the paper's models; containers are
+    traversed with spatial bookkeeping for strided convs/pools.
+    """
+    macs, _ = _walk(module, input_hw)
+    return macs
+
+
+def _walk(module, hw):
+    """Return (macs, output_hw)."""
+    h, w = hw
+    if isinstance(module, nn.Conv2d):
+        m = _conv_macs(module, hw)
+        kh, kw = module.kernel_size
+        sh, sw = module.stride
+        ph, pw = module.padding
+        return m, ((h + 2 * ph - kh) // sh + 1, (w + 2 * pw - kw) // sw + 1)
+    if isinstance(module, nn.DepthwiseSeparableConv2d):
+        m1, hw1 = _walk(module.depthwise, hw)
+        m2, hw2 = _walk(module.pointwise, hw1)
+        return m1 + m2, hw2
+    if isinstance(module, nn.MHSA2d):
+        return mhsa_macs(module), hw
+    from ..models.vit import TokenMHSA
+
+    if isinstance(module, TokenMHSA):
+        # token count isn't derivable from (h, w) spatial bookkeeping;
+        # use the enclosing ViT's patch grid when available.
+        n = getattr(module, "_n_tokens", h * w)
+        d, dh, k = module.dim, module.dim_head, module.heads
+        macs = n * d * 3 * d + n * d * d  # qkv + out proj
+        macs += 2 * k * n * n * dh        # QK^T and AV
+        return macs, hw
+    if isinstance(module, nn.Linear):
+        return module.in_features * module.out_features, hw
+    if isinstance(module, (nn.MaxPool2d, nn.AvgPool2d)):
+        kh, kw = module.kernel_size
+        sh, sw = module.stride if module.stride else module.kernel_size
+        ph, pw = module.padding
+        return 0, ((h + 2 * ph - kh) // sh + 1, (w + 2 * pw - kw) // sw + 1)
+    if isinstance(module, ODEBlock):
+        # dynamics evaluated `steps` times (Euler; other solvers scale
+        # by evaluations per step)
+        evals = getattr(module.solver, "order", 1) if module.solver.name != "euler" else 1
+        per_step = {"euler": 1, "midpoint": 2, "heun": 2, "rk4": 4}.get(
+            module.solver.name, 1
+        )
+        inner, _ = _walk_func(module.func, hw)
+        return inner * module.steps * per_step, hw
+    if isinstance(module, nn.Sequential) or isinstance(module, nn.ModuleList):
+        total = 0
+        for sub in module:
+            m, hw = _walk(sub, hw)
+            total += m
+        return total, hw
+    # Norms, activations, dropout, flatten, global pools: 0 MACs.
+    if hasattr(module, "_modules") and module._modules:
+        total = 0
+        for sub in module._modules.values():
+            m, hw = _walk(sub, hw)
+            total += m
+        return total, hw
+    return 0, hw
+
+
+def _walk_func(func, hw):
+    """MACs of one dynamics evaluation (time-concat convs add a channel)."""
+    total = 0
+    for sub in func._modules.values():
+        m, hw = _walk(sub, hw)
+        total += m
+    return total, hw
+
+
+def model_macs(model, input_size=None) -> int:
+    """MACs of a full classifier forward at batch 1."""
+    size = input_size or getattr(model, "input_size", None)
+    if size is None:
+        raise ValueError("pass input_size= for models without .input_size")
+    return count_macs(model, (size, size))

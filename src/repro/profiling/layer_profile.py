@@ -1,0 +1,107 @@
+"""Per-layer wall-clock profiling of a model forward pass.
+
+Wraps every *leaf* module's forward with a timer and reports a table of
+cumulative time per layer — the general tool behind the Table VI
+measurement, and the "measure first" practice the project's HPC guides
+prescribe before optimisation claims.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import no_grad
+
+
+@dataclass
+class LayerTiming:
+    name: str
+    kind: str
+    calls: int
+    total_s: float
+
+    @property
+    def per_call_ms(self) -> float:
+        return self.total_s / self.calls * 1e3 if self.calls else 0.0
+
+
+def _leaf_modules(model):
+    """Yield (dotted_name, module) for modules without submodules."""
+
+    def walk(mod, prefix):
+        children = mod._modules
+        if not children:
+            yield prefix or type(mod).__name__, mod
+            return
+        for name, child in children.items():
+            yield from walk(child, f"{prefix}.{name}" if prefix else name)
+
+    yield from walk(model, "")
+
+
+def profile_layers(model, x, repeats=3, warmup=1):
+    """Time every leaf module across ``repeats`` forward passes.
+
+    Returns ``(timings, total_seconds)`` where *timings* is a list of
+    :class:`LayerTiming` sorted by descending total time.  The model's
+    forwards are restored afterwards.
+    """
+    records = {}
+    patched = []
+    for name, module in _leaf_modules(model):
+        original = module.forward
+        records[name] = {"kind": type(module).__name__, "calls": 0, "total": 0.0}
+
+        def timed(*args, _orig=original, _rec=records[name], **kwargs):
+            t0 = time.perf_counter()
+            out = _orig(*args, **kwargs)
+            _rec["total"] += time.perf_counter() - t0
+            _rec["calls"] += 1
+            return out
+
+        object.__setattr__(module, "forward", timed)
+        patched.append((module, original))
+
+    try:
+        with no_grad():
+            for _ in range(warmup):
+                model(x)
+            for rec in records.values():
+                rec["calls"] = 0
+                rec["total"] = 0.0
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                model(x)
+            total = (time.perf_counter() - t0) / repeats
+    finally:
+        for module, original in patched:
+            object.__setattr__(module, "forward", original)
+
+    timings = [
+        LayerTiming(name=name, kind=rec["kind"], calls=rec["calls"] // repeats,
+                    total_s=rec["total"] / repeats)
+        for name, rec in records.items()
+        if rec["calls"]
+    ]
+    timings.sort(key=lambda t: -t.total_s)
+    return timings, total
+
+
+def format_profile(timings, total_s, top=15) -> str:
+    """Render the profile as an aligned text table."""
+    lines = [f"{'layer':<40}{'kind':<22}{'calls':>6}{'ms':>10}{'share':>8}"]
+    lines.append("-" * len(lines[0]))
+    for t in timings[:top]:
+        lines.append(
+            f"{t.name:<40}{t.kind:<22}{t.calls:>6}"
+            f"{t.total_s * 1e3:>10.2f}{t.total_s / total_s:>8.1%}"
+        )
+    covered = sum(t.total_s for t in timings[:top])
+    lines.append(
+        f"{'(total forward)':<40}{'':<22}{'':>6}{total_s * 1e3:>10.2f}"
+        f"{covered / total_s:>8.1%}"
+    )
+    return "\n".join(lines)

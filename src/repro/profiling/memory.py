@@ -1,0 +1,77 @@
+"""Training-memory estimates for ODE blocks.
+
+Quantifies the motivation for :class:`~repro.ode.AdjointODEBlock`:
+backprop-through-solver must keep every intermediate activation of all
+C solver steps alive until the backward pass, so its memory grows
+linearly in C; checkpointing keeps only the C state tensors (one per
+step) plus a single step's activations; the adjoint keeps O(1).
+
+Estimates are analytic (counted from tensor shapes), in bytes of
+float32 activations; parameter memory is excluded (identical across
+strategies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..ode import ConvODEFunc, MHSABottleneckODEFunc
+
+BYTES = 4  # float32
+
+
+def _dynamics_activation_floats(func, state_shape) -> int:
+    """Float count of the intermediate activations of one dynamics
+    evaluation (the tensors the autograd graph must retain)."""
+    n, c, h, w = state_shape
+    per_map = n * h * w
+    if isinstance(func, ConvODEFunc):
+        # norm1 out, relu, conv1(dw+pw), norm2 out, relu, conv2(dw+pw)
+        maps = 8
+        return maps * per_map * c
+    if isinstance(func, MHSABottleneckODEFunc):
+        inner = func.mhsa.channels
+        n_tok = func.mhsa.height * func.mhsa.width
+        conv_maps = 4 * per_map * c + 4 * per_map * inner
+        attn = 3 * n * n_tok * inner            # Q, K, V
+        attn += func.mhsa.heads * n * n_tok * n_tok  # logits/attention
+        attn += 2 * n * n_tok * inner           # AV out + LN out
+        return conv_maps + attn
+    raise NotImplementedError(type(func).__name__)
+
+
+def training_memory_bytes(block, state_shape, strategy="backprop") -> int:
+    """Peak activation memory to backprop one ODE block forward.
+
+    Parameters
+    ----------
+    block:
+        an ODEBlock or AdjointODEBlock (only `.func` and `.steps` used).
+    state_shape:
+        (N, C, H, W) of the block input.
+    strategy:
+        'backprop' (the paper's training), 'checkpoint' or 'adjoint'.
+    """
+    state_floats = int(np.prod(state_shape))
+    step_floats = _dynamics_activation_floats(block.func, state_shape)
+    c = block.steps
+    if strategy == "backprop":
+        floats = c * (step_floats + state_floats)
+    elif strategy == "checkpoint":
+        floats = c * state_floats + step_floats
+    elif strategy == "adjoint":
+        floats = 2 * state_floats + step_floats
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return floats * BYTES
+
+
+def memory_table(block, state_shape) -> list:
+    """Rows of {strategy, bytes, ratio_vs_backprop} for all strategies."""
+    base = training_memory_bytes(block, state_shape, "backprop")
+    rows = []
+    for strategy in ("backprop", "checkpoint", "adjoint"):
+        b = training_memory_bytes(block, state_shape, strategy)
+        rows.append({"strategy": strategy, "bytes": b, "ratio": b / base})
+    return rows

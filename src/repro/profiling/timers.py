@@ -1,0 +1,78 @@
+"""Simple wall-clock instrumentation."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+
+class WallClock:
+    """Context-manager stopwatch: ``with WallClock() as t: ...; t.ms``."""
+
+    def __init__(self):
+        self.seconds = None
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        self.seconds = None
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self._t0
+        return False
+
+    @property
+    def ms(self) -> float:
+        if self.seconds is None:
+            raise RuntimeError("WallClock not finished")
+        return self.seconds * 1e3
+
+
+class Timer:
+    """Accumulate named timings across repeated sections.
+
+    >>> timer = Timer()
+    >>> with timer.section("mhsa"):
+    ...     pass
+    >>> timer.total("mhsa") >= 0
+    True
+    """
+
+    def __init__(self):
+        self._totals = defaultdict(float)
+        self._counts = defaultdict(int)
+
+    def section(self, name):
+        return _Section(self, name)
+
+    def add(self, name, seconds):
+        self._totals[name] += seconds
+        self._counts[name] += 1
+
+    def total(self, name) -> float:
+        return self._totals[name]
+
+    def count(self, name) -> int:
+        return self._counts[name]
+
+    def totals(self) -> dict:
+        return dict(self._totals)
+
+    def ratio(self, name) -> float:
+        """Share of *name* in the sum of all recorded sections."""
+        denom = sum(self._totals.values())
+        return self._totals[name] / denom if denom else 0.0
+
+
+class _Section:
+    def __init__(self, timer, name):
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._timer.add(self._name, time.perf_counter() - self._t0)
+        return False

@@ -1,0 +1,78 @@
+"""Feature-map variance analysis (paper Sec. II-A, via [8]).
+
+Park & Kim's observation, quoted by the paper: "CNN tends to increase
+the variance of the feature map while MHSA tends to decrease it" —
+AlterNet places MHSA where dispersion peaks.  These helpers trace the
+per-stage feature variance through a model and measure the variance
+ratio across individual blocks, so the claim can be verified on our
+trained models (see ``benchmarks/test_variance_analysis.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+
+
+def _variance(t) -> float:
+    """Scalar dispersion of a feature map batch: mean over channels of
+    the spatial-and-batch variance."""
+    data = t.data if isinstance(t, Tensor) else np.asarray(t)
+    if data.ndim == 4:
+        return float(data.var(axis=(0, 2, 3)).mean())
+    return float(data.var())
+
+
+def stage_variance_profile(model, x, stages=None) -> list:
+    """Variance of the feature map after each named top-level stage.
+
+    ``stages`` defaults to the ODENet layout; pass a list of
+    (name, attribute) pairs for other models. Returns rows of
+    ``{"stage", "variance"}`` in execution order.
+    """
+    if stages is None:
+        stages = [
+            ("stem", "stem"),
+            ("block1", "block1"),
+            ("down1", "down1"),
+            ("block2", "block2"),
+            ("down2", "down2"),
+            ("block3", "block3"),
+        ]
+    model.eval()
+    rows = []
+    with no_grad():
+        h = x
+        for label, attr in stages:
+            h = getattr(model, attr)(h)
+            rows.append({"stage": label, "variance": _variance(h)})
+    return rows
+
+
+def block_variance_ratio(block, x) -> float:
+    """``var(block(x)) / var(x)`` — above 1 the block disperses the
+    features, below 1 it concentrates them ([8]'s CNN-vs-MHSA split)."""
+    with no_grad():
+        out = block(x)
+    vin = _variance(x)
+    return _variance(out) / vin if vin > 0 else float("nan")
+
+
+def mhsa_vs_conv_variance(model, x) -> dict:
+    """For a proposed-model ODENet: variance ratios of the conv blocks
+    vs the MHSA block, evaluated on that block's actual input."""
+    model.eval()
+    ratios = {}
+    with no_grad():
+        h = model.stem(x)
+        ratios["block1 (conv)"] = block_variance_ratio(model.block1, h)
+        h = model.block1(h)
+        h = model.down1(h)
+        ratios["block2 (conv)"] = block_variance_ratio(model.block2, h)
+        h = model.block2(h)
+        h = model.down2(h)
+        kind = type(model.block3.func).__name__
+        label = "block3 (mhsa)" if "MHSA" in kind else "block3 (conv)"
+        ratios[label] = block_variance_ratio(model.block3, h)
+    return ratios

@@ -1,0 +1,45 @@
+"""A small, fast reverse-mode automatic-differentiation engine on numpy.
+
+This package is the substrate on which the whole reproduction is built:
+the paper trains its models with PyTorch; since PyTorch is not available
+in this environment we implement the required subset ourselves.
+
+Public API
+----------
+``Tensor``
+    n-dimensional array with a ``backward()`` method.
+``Function``
+    base class for differentiable operations.
+``no_grad`` / ``is_grad_enabled``
+    gradient-mode control.
+``gradcheck``
+    finite-difference verification of analytic gradients.
+
+Design notes
+------------
+* Every op is vectorised numpy (im2col GEMM convolutions, batched GEMM
+  attention); there are no Python loops over array elements in hot paths,
+  per the HPC guides for this project.
+* Broadcasting follows numpy semantics; backward passes "unbroadcast" by
+  summing over expanded axes.
+* Randomness never touches global state: callers pass
+  ``numpy.random.Generator`` objects explicitly.
+"""
+
+from .autograd import is_grad_enabled, no_grad
+from .function import Function
+from .gradcheck import gradcheck, numerical_gradient
+from .tensor import Tensor, cat, stack, tensor, where
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "tensor",
+    "cat",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,44 @@
+"""Shared helpers for op implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce *grad* (shape produced by numpy broadcasting) back to *shape*.
+
+    Broadcasting in the forward pass replicates data along new leading
+    axes and along axes of size 1; the corresponding backward operation
+    sums over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_strided_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Extract sliding (kh, kw) patches from NCHW input *x* as a view.
+
+    Returns an array of shape (N, C, OH, OW, kh, kw) that aliases *x*
+    (zero copies), suitable for a reshape-free einsum/GEMM. The caller
+    must not write through the view.
+    """
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    sn, sc, sh_, sw_ = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh_ * sh, sw_ * sw, sh_, sw_),
+        writeable=False,
+    )

@@ -1,0 +1,131 @@
+"""Gradient-mode control and the backward graph walk.
+
+The autograd graph is implicit: every :class:`~repro.tensor.Tensor`
+produced by a differentiable :class:`~repro.tensor.Function` holds a
+reference to the function instance (its *context*), which in turn holds
+references to the parent tensors.  ``backward()`` topologically sorts
+this DAG and accumulates gradients into leaf tensors.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations should record autograd history."""
+    return getattr(_state, "grad_enabled", True)
+
+
+def _set_grad_enabled(mode: bool) -> None:
+    _state.grad_enabled = bool(mode)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling gradient recording (inference mode).
+
+    Inside the block, ops do not allocate contexts, so memory stays flat
+    no matter how long the forward computation is — essential for the
+    ODE solvers which may take hundreds of steps at inference time.
+    """
+    prev = is_grad_enabled()
+    _set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        _set_grad_enabled(prev)
+
+
+def topo_sort(root):
+    """Return tensors of the autograd graph rooted at *root* in reverse
+    topological order (root first)."""
+    order = []
+    visited = set()
+    # Iterative DFS: ODE models unroll into graphs thousands of nodes deep,
+    # which overflows CPython's recursion limit with a recursive walk.
+    stack = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        if node._ctx is not None:
+            for parent in node._ctx.parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def backward(root, grad=None):
+    """Run reverse-mode differentiation from *root*.
+
+    Parameters
+    ----------
+    root:
+        The tensor to differentiate. If it is not a scalar, *grad* must
+        be supplied with a matching shape.
+    grad:
+        Incoming gradient (defaults to ``1.0`` for scalars).
+    """
+    if grad is None:
+        if root.data.size != 1:
+            raise RuntimeError(
+                "backward() on a non-scalar tensor requires an explicit "
+                f"gradient (shape {root.data.shape})"
+            )
+        grad = np.ones_like(root.data)
+    else:
+        grad = np.asarray(grad, dtype=root.data.dtype)
+        if grad.shape != root.data.shape:
+            raise RuntimeError(
+                f"gradient shape {grad.shape} does not match tensor shape "
+                f"{root.data.shape}"
+            )
+
+    grads = {id(root): grad}
+    for node in topo_sort(root):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        if node.requires_grad and node._ctx is None:
+            # Leaf: accumulate into .grad like torch does.
+            if node.grad is None:
+                node.grad = node_grad.copy()
+            else:
+                node.grad += node_grad
+        ctx = node._ctx
+        if ctx is None:
+            continue
+        parent_grads = ctx.backward(ctx, node_grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        if len(parent_grads) != len(ctx.parents):
+            raise RuntimeError(
+                f"{type(ctx).__name__}.backward returned "
+                f"{len(parent_grads)} gradients for {len(ctx.parents)} inputs"
+            )
+        for parent, pgrad in zip(ctx.parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            pgrad = np.asarray(pgrad)
+            if pgrad.shape != parent.data.shape:
+                raise RuntimeError(
+                    f"{type(ctx).__name__}.backward produced gradient of "
+                    f"shape {pgrad.shape} for input of shape "
+                    f"{parent.data.shape}"
+                )
+            if id(parent) in grads:
+                grads[id(parent)] = grads[id(parent)] + pgrad
+            else:
+                grads[id(parent)] = pgrad

@@ -1,0 +1,71 @@
+"""Base class for differentiable operations.
+
+A ``Function`` subclass implements two static-ish methods::
+
+    class Mul(Function):
+        @staticmethod
+        def forward(ctx, a, b):        # numpy in, numpy out
+            ctx.save_for_backward(a, b)
+            return a * b
+
+        @staticmethod
+        def backward(ctx, grad):       # numpy in, tuple of numpy out
+            a, b = ctx.saved
+            return grad * b, grad * a
+
+and is invoked through :meth:`Function.apply`, which handles wrapping /
+unwrapping :class:`~repro.tensor.Tensor` objects and autograd-graph
+bookkeeping.  ``forward``/``backward`` deal exclusively in raw numpy
+arrays so they stay easy to test and reason about.
+"""
+
+from __future__ import annotations
+
+from . import autograd
+
+
+class Function:
+    """One node of the autograd graph.
+
+    Instances double as the *context* object (``ctx``): ``forward`` may
+    stash arrays on the instance via :meth:`save_for_backward` or plain
+    attribute assignment, and ``backward`` reads them back.
+    """
+
+    __slots__ = ("parents", "saved", "__dict__")
+
+    def __init__(self, parents):
+        self.parents = parents
+        self.saved = ()
+
+    def save_for_backward(self, *arrays) -> None:
+        """Record arrays needed by :meth:`backward`."""
+        self.saved = arrays
+
+    @staticmethod
+    def forward(ctx, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx, grad):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *tensors, **kwargs):
+        """Run ``forward`` and, if grad mode is on, link the result into
+        the autograd graph.
+
+        Parameters are :class:`Tensor` objects; keyword arguments are
+        non-differentiable configuration (strides, axes, ...).
+        """
+        from .tensor import Tensor
+
+        ctx = cls(tensors)
+        out_data = cls.forward(ctx, *(t.data for t in tensors), **kwargs)
+        requires_grad = autograd.is_grad_enabled() and any(
+            t.requires_grad for t in tensors
+        )
+        out = Tensor(out_data, requires_grad=requires_grad, _copy=False)
+        if requires_grad:
+            out._ctx = ctx
+        return out

@@ -1,0 +1,263 @@
+"""Element-wise differentiable operations (with numpy broadcasting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._util import unbroadcast
+from .function import Function
+
+
+class Add(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.shapes = (a.shape, b.shape)
+        return a + b
+
+    @staticmethod
+    def backward(ctx, grad):
+        sa, sb = ctx.shapes
+        return unbroadcast(grad, sa), unbroadcast(grad, sb)
+
+
+class Sub(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.shapes = (a.shape, b.shape)
+        return a - b
+
+    @staticmethod
+    def backward(ctx, grad):
+        sa, sb = ctx.shapes
+        return unbroadcast(grad, sa), unbroadcast(-grad, sb)
+
+
+class Mul(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a * b
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, b = ctx.saved
+        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+
+
+class Div(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a / b
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, b = ctx.saved
+        ga = unbroadcast(grad / b, a.shape)
+        gb = unbroadcast(-grad * a / (b * b), b.shape)
+        return ga, gb
+
+
+class Neg(Function):
+    @staticmethod
+    def forward(ctx, a):
+        return -a
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (-grad,)
+
+
+class Pow(Function):
+    """Tensor raised to a Python-scalar power (the common NN case)."""
+
+    @staticmethod
+    def forward(ctx, a, exponent=2.0):
+        ctx.exponent = exponent
+        ctx.save_for_backward(a)
+        return a ** exponent
+
+    @staticmethod
+    def backward(ctx, grad):
+        (a,) = ctx.saved
+        p = ctx.exponent
+        return (grad * p * a ** (p - 1),)
+
+
+class Exp(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = np.exp(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save_for_backward(a)
+        return np.log(a)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (a,) = ctx.saved
+        return (grad / a,)
+
+
+class Sqrt(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = np.sqrt(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad / (2.0 * out),)
+
+
+class Tanh(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = np.tanh(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad * (1.0 - out * out),)
+
+
+class Sigmoid(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        return (grad * out * (1.0 - out),)
+
+
+class ReLU(Function):
+    @staticmethod
+    def forward(ctx, a):
+        mask = a > 0
+        ctx.save_for_backward(mask)
+        return a * mask
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        return (grad * mask,)
+
+
+class LeakyReLU(Function):
+    @staticmethod
+    def forward(ctx, a, negative_slope=0.01):
+        ctx.negative_slope = negative_slope
+        mask = a > 0
+        ctx.save_for_backward(mask)
+        return np.where(mask, a, negative_slope * a)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        return (np.where(mask, grad, ctx.negative_slope * grad),)
+
+
+class GELU(Function):
+    """Gaussian Error Linear Unit (tanh approximation, as in ViT)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    @staticmethod
+    def forward(ctx, a):
+        inner = GELU._C * (a + 0.044715 * a ** 3)
+        t = np.tanh(inner)
+        ctx.save_for_backward(a, t)
+        return 0.5 * a * (1.0 + t)
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, t = ctx.saved
+        dinner = GELU._C * (1.0 + 3 * 0.044715 * a ** 2)
+        dt = (1.0 - t * t) * dinner
+        return (grad * (0.5 * (1.0 + t) + 0.5 * a * dt),)
+
+
+class Abs(Function):
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save_for_backward(np.sign(a))
+        return np.abs(a)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (sign,) = ctx.saved
+        return (grad * sign,)
+
+
+class Clip(Function):
+    @staticmethod
+    def forward(ctx, a, lo=None, hi=None):
+        out = np.clip(a, lo, hi)
+        mask = np.ones_like(a, dtype=bool)
+        if lo is not None:
+            mask &= a >= lo
+        if hi is not None:
+            mask &= a <= hi
+        ctx.save_for_backward(mask)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        return (grad * mask,)
+
+
+class Maximum(Function):
+    """Element-wise maximum of two tensors; ties send gradient to both halves."""
+
+    @staticmethod
+    def forward(ctx, a, b):
+        out = np.maximum(a, b)
+        ctx.save_for_backward(a, b, out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, b, out = ctx.saved
+        a_take = (a == out).astype(grad.dtype)
+        b_take = (b == out).astype(grad.dtype)
+        both = a_take + b_take
+        ga = unbroadcast(grad * a_take / both, a.shape)
+        gb = unbroadcast(grad * b_take / both, b.shape)
+        return ga, gb
+
+
+class Where(Function):
+    """``where(cond, a, b)`` with a non-differentiable boolean condition."""
+
+    @staticmethod
+    def forward(ctx, cond, a, b):
+        ctx.save_for_backward(cond)
+        ctx.shapes = (a.shape, b.shape)
+        return np.where(cond, a, b)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (cond,) = ctx.saved
+        sa, sb = ctx.shapes
+        ga = unbroadcast(np.where(cond, grad, 0.0), sa)
+        gb = unbroadcast(np.where(cond, 0.0, grad), sb)
+        return None, ga, gb

@@ -1,0 +1,52 @@
+"""Matrix multiplication with full numpy batching semantics.
+
+One op covers 1-D dot products, 2-D GEMMs and batched GEMMs, matching
+``numpy.matmul``.  Attention layers lean on the batched case heavily
+(``(B, heads, N, Dh) @ (B, heads, Dh, N)``), so the backward pass must
+unbroadcast batch dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._util import unbroadcast
+from .function import Function
+
+
+def _swap_last(a: np.ndarray) -> np.ndarray:
+    return np.swapaxes(a, -1, -2)
+
+
+class MatMul(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a @ b
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, b = ctx.saved
+        # Promote 1-D operands so the gradient formulas hold, then strip
+        # the dummy axis again.
+        a_was_1d = a.ndim == 1
+        b_was_1d = b.ndim == 1
+        a2 = a[None, :] if a_was_1d else a
+        b2 = b[:, None] if b_was_1d else b
+        g = grad
+        if a_was_1d and b_was_1d:
+            g = np.asarray(grad).reshape(1, 1)
+        elif a_was_1d:
+            g = np.expand_dims(grad, -2)
+        elif b_was_1d:
+            g = np.expand_dims(grad, -1)
+
+        ga = g @ _swap_last(b2)
+        gb = _swap_last(a2) @ g
+        ga = unbroadcast(ga, a2.shape)
+        gb = unbroadcast(gb, b2.shape)
+        if a_was_1d:
+            ga = ga.reshape(a.shape)
+        if b_was_1d:
+            gb = gb.reshape(b.shape)
+        return ga, gb

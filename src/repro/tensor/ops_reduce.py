@@ -1,0 +1,105 @@
+"""Reduction operations (sum / mean / max / min) with axis support."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .function import Function
+
+
+def _normalize_axes(axis, ndim):
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_for_broadcast(grad, out_shape_kept, in_shape):
+    """Reshape reduced grad to keepdims form, then broadcast to input shape."""
+    return np.broadcast_to(grad.reshape(out_shape_kept), in_shape)
+
+
+class Sum(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims=False):
+        axes = _normalize_axes(axis, a.ndim)
+        ctx.in_shape = a.shape
+        ctx.kept_shape = tuple(
+            1 if i in axes else s for i, s in enumerate(a.shape)
+        )
+        return a.sum(axis=axes, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (_expand_for_broadcast(grad, ctx.kept_shape, ctx.in_shape).copy(),)
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims=False):
+        axes = _normalize_axes(axis, a.ndim)
+        ctx.in_shape = a.shape
+        ctx.kept_shape = tuple(
+            1 if i in axes else s for i, s in enumerate(a.shape)
+        )
+        ctx.count = int(np.prod([a.shape[i] for i in axes])) if axes else 1
+        return a.mean(axis=axes, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx, grad):
+        g = _expand_for_broadcast(grad, ctx.kept_shape, ctx.in_shape)
+        return (g / ctx.count,)
+
+
+class Max(Function):
+    """Max over axes. Gradient is split equally among tied maxima, which
+    keeps the op's subgradient symmetric (matters for gradcheck)."""
+
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims=False):
+        axes = _normalize_axes(axis, a.ndim)
+        ctx.kept_shape = tuple(
+            1 if i in axes else s for i, s in enumerate(a.shape)
+        )
+        out = a.max(axis=axes, keepdims=True)
+        mask = (a == out)
+        ctx.save_for_backward(mask)
+        return out if keepdims else out.reshape(
+            tuple(s for i, s in enumerate(a.shape) if i not in axes)
+        )
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        counts = mask.sum(
+            axis=tuple(i for i, s in enumerate(ctx.kept_shape) if s == 1),
+            keepdims=True,
+        )
+        g = np.broadcast_to(grad.reshape(ctx.kept_shape), mask.shape)
+        return (np.where(mask, g / counts, 0.0),)
+
+
+class Min(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims=False):
+        axes = _normalize_axes(axis, a.ndim)
+        ctx.kept_shape = tuple(
+            1 if i in axes else s for i, s in enumerate(a.shape)
+        )
+        out = a.min(axis=axes, keepdims=True)
+        mask = (a == out)
+        ctx.save_for_backward(mask)
+        return out if keepdims else out.reshape(
+            tuple(s for i, s in enumerate(a.shape) if i not in axes)
+        )
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        counts = mask.sum(
+            axis=tuple(i for i, s in enumerate(ctx.kept_shape) if s == 1),
+            keepdims=True,
+        )
+        g = np.broadcast_to(grad.reshape(ctx.kept_shape), mask.shape)
+        return (np.where(mask, g / counts, 0.0),)

@@ -1,0 +1,97 @@
+"""Shape-manipulation operations: reshape, transpose, slicing, pad, concat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .function import Function
+
+
+class Reshape(Function):
+    @staticmethod
+    def forward(ctx, a, shape=None):
+        ctx.in_shape = a.shape
+        return a.reshape(shape)
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad.reshape(ctx.in_shape),)
+
+
+class Transpose(Function):
+    """Generalised permute; ``axes=None`` reverses dimensions."""
+
+    @staticmethod
+    def forward(ctx, a, axes=None):
+        if axes is None:
+            axes = tuple(reversed(range(a.ndim)))
+        ctx.axes = axes
+        return np.transpose(a, axes)
+
+    @staticmethod
+    def backward(ctx, grad):
+        inverse = np.argsort(ctx.axes)
+        return (np.transpose(grad, inverse),)
+
+
+class GetItem(Function):
+    """Basic + advanced indexing.  Backward scatters with ``np.add.at``
+    so repeated indices accumulate correctly (needed by embedding-style
+    lookups in the ViT patch/position embeddings)."""
+
+    @staticmethod
+    def forward(ctx, a, index=None):
+        ctx.in_shape = a.shape
+        ctx.index = index
+        return a[index]
+
+    @staticmethod
+    def backward(ctx, grad):
+        out = np.zeros(ctx.in_shape, dtype=grad.dtype)
+        np.add.at(out, ctx.index, grad)
+        return (out,)
+
+
+class Pad(Function):
+    """Zero padding. ``pad_width`` follows ``np.pad`` convention."""
+
+    @staticmethod
+    def forward(ctx, a, pad_width=None):
+        ctx.pad_width = pad_width
+        return np.pad(a, pad_width)
+
+    @staticmethod
+    def backward(ctx, grad):
+        slices = tuple(
+            slice(lo, grad.shape[i] - hi)
+            for i, (lo, hi) in enumerate(ctx.pad_width)
+        )
+        return (grad[slices],)
+
+
+class Concat(Function):
+    """Concatenate any number of tensors along ``axis``."""
+
+    @staticmethod
+    def forward(ctx, *arrays, axis=0):
+        ctx.axis = axis
+        ctx.sizes = [a.shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx, grad):
+        splits = np.cumsum(ctx.sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=ctx.axis))
+
+
+class BroadcastTo(Function):
+    @staticmethod
+    def forward(ctx, a, shape=None):
+        ctx.in_shape = a.shape
+        return np.broadcast_to(a, shape).copy()
+
+    @staticmethod
+    def backward(ctx, grad):
+        from ._util import unbroadcast
+
+        return (unbroadcast(grad, ctx.in_shape),)

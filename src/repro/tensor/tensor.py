@@ -1,0 +1,307 @@
+"""The :class:`Tensor` class — a numpy array plus autograd history."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import autograd, ops_conv, ops_elementwise as E, ops_matmul, ops_reduce as R, ops_shape as S
+
+DEFAULT_DTYPE = np.float32
+
+
+class Tensor:
+    """An n-dimensional array supporting reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        array-like; floats default to ``float32``.
+    requires_grad:
+        when True, ``backward()`` accumulates into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx")
+
+    def __init__(self, data, requires_grad=False, dtype=None, _copy=True):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.array(data, dtype=dtype, copy=_copy) if _copy else np.asarray(data, dtype=dtype)
+        if dtype is None and arr.dtype == np.float64 and _copy:
+            arr = arr.astype(DEFAULT_DTYPE)
+        self.data = arr
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self._ctx = None
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_part})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (detached view)."""
+        return self.data
+
+    def item(self) -> float:
+        return self.data.item()
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, _copy=False)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False, dtype=dtype)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # autograd entry point
+    # ------------------------------------------------------------------
+    def backward(self, grad=None):
+        autograd.backward(self, grad)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(other, like):
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=like.data.dtype), _copy=False)
+
+    def __add__(self, other):
+        return E.Add.apply(self, self._wrap(other, self))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return E.Sub.apply(self, self._wrap(other, self))
+
+    def __rsub__(self, other):
+        return E.Sub.apply(self._wrap(other, self), self)
+
+    def __mul__(self, other):
+        return E.Mul.apply(self, self._wrap(other, self))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return E.Div.apply(self, self._wrap(other, self))
+
+    def __rtruediv__(self, other):
+        return E.Div.apply(self._wrap(other, self), self)
+
+    def __neg__(self):
+        return E.Neg.apply(self)
+
+    def __pow__(self, exponent):
+        return E.Pow.apply(self, exponent=float(exponent))
+
+    def __matmul__(self, other):
+        return ops_matmul.MatMul.apply(self, self._wrap(other, self))
+
+    # comparisons produce plain numpy boolean arrays (non-differentiable)
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+    # ------------------------------------------------------------------
+    # unary math
+    # ------------------------------------------------------------------
+    def exp(self):
+        return E.Exp.apply(self)
+
+    def log(self):
+        return E.Log.apply(self)
+
+    def sqrt(self):
+        return E.Sqrt.apply(self)
+
+    def tanh(self):
+        return E.Tanh.apply(self)
+
+    def sigmoid(self):
+        return E.Sigmoid.apply(self)
+
+    def relu(self):
+        return E.ReLU.apply(self)
+
+    def leaky_relu(self, negative_slope=0.01):
+        return E.LeakyReLU.apply(self, negative_slope=negative_slope)
+
+    def gelu(self):
+        return E.GELU.apply(self)
+
+    def abs(self):
+        return E.Abs.apply(self)
+
+    def clip(self, lo=None, hi=None):
+        return E.Clip.apply(self, lo=lo, hi=hi)
+
+    def maximum(self, other):
+        return E.Maximum.apply(self, self._wrap(other, self))
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        return R.Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return R.Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        return R.Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        return R.Min.apply(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims=False):
+        """Population variance (ddof=0), as used by batch norm."""
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) ** 2
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return S.Reshape.apply(self, shape=shape)
+
+    def flatten(self, start_dim=0):
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, *axes):
+        if len(axes) == 0:
+            axes = None
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return S.Transpose.apply(self, axes=axes)
+
+    def permute(self, *axes):
+        return self.transpose(*axes)
+
+    def swapaxes(self, a, b):
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(axes)
+
+    def __getitem__(self, index):
+        return S.GetItem.apply(self, index=index)
+
+    def pad(self, pad_width):
+        return S.Pad.apply(self, pad_width=tuple(tuple(p) for p in pad_width))
+
+    def broadcast_to(self, shape):
+        return S.BroadcastTo.apply(self, shape=tuple(shape))
+
+    def expand_dims(self, axis):
+        shape = list(self.shape)
+        shape.insert(axis if axis >= 0 else axis + self.ndim + 1, 1)
+        return self.reshape(shape)
+
+    def squeeze(self, axis):
+        shape = [s for i, s in enumerate(self.shape) if i != axis % self.ndim]
+        return self.reshape(shape)
+
+    # ------------------------------------------------------------------
+    # composite NN math
+    # ------------------------------------------------------------------
+    def softmax(self, axis=-1):
+        """Numerically stable softmax along *axis*."""
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True), _copy=False)
+        e = shifted.exp()
+        return e / e.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis=-1):
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True), _copy=False)
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+    # ------------------------------------------------------------------
+    # conv / pooling (used by repro.nn; also available directly)
+    # ------------------------------------------------------------------
+    def conv2d(self, weight, stride=(1, 1), padding=(0, 0), groups=1):
+        return ops_conv.Conv2d.apply(
+            self, weight, stride=tuple(stride), padding=tuple(padding), groups=groups
+        )
+
+    def max_pool2d(self, kernel_size, stride=None, padding=(0, 0)):
+        return ops_conv.MaxPool2d.apply(
+            self,
+            kernel_size=tuple(kernel_size),
+            stride=None if stride is None else tuple(stride),
+            padding=tuple(padding),
+        )
+
+    def avg_pool2d(self, kernel_size, stride=None, padding=(0, 0)):
+        return ops_conv.AvgPool2d.apply(
+            self,
+            kernel_size=tuple(kernel_size),
+            stride=None if stride is None else tuple(stride),
+            padding=tuple(padding),
+        )
+
+
+# ----------------------------------------------------------------------
+# free functions
+# ----------------------------------------------------------------------
+
+def tensor(data, requires_grad=False, dtype=None) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def cat(tensors, axis=0) -> Tensor:
+    """Concatenate a sequence of tensors along *axis*."""
+    return S.Concat.apply(*tensors, axis=axis)
+
+
+def stack(tensors, axis=0) -> Tensor:
+    """Stack tensors along a new axis."""
+    expanded = [t.expand_dims(axis) for t in tensors]
+    return cat(expanded, axis=axis)
+
+
+def where(cond, a, b) -> Tensor:
+    """Differentiable select; *cond* is a boolean numpy array or Tensor."""
+    cond_t = cond if isinstance(cond, Tensor) else Tensor(np.asarray(cond), _copy=False)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    return E.Where.apply(cond_t, a, b)

@@ -1,0 +1,30 @@
+"""Training stack: losses, optimizers, LR schedules and the Trainer.
+
+Reproduces the paper's recipe (Sec. VI-A2): SGD with momentum 0.9 and
+weight decay 1e-4, CosineAnnealingWarmRestarts (T_0 = 10, T_mult = 2,
+eta_min = 1e-4, initial LR 0.1), cross-entropy objective.
+"""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .loss import CrossEntropyLoss
+from .metrics import accuracy, confusion_matrix, topk_accuracy
+from .optim import SGD, Optimizer, clip_grad_norm
+from .schedulers import ConstantLR, CosineAnnealingWarmRestarts, StepLR
+from .trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "CrossEntropyLoss",
+    "Optimizer",
+    "SGD",
+    "clip_grad_norm",
+    "CosineAnnealingWarmRestarts",
+    "StepLR",
+    "ConstantLR",
+    "Trainer",
+    "TrainingHistory",
+    "save_checkpoint",
+    "load_checkpoint",
+    "accuracy",
+    "topk_accuracy",
+    "confusion_matrix",
+]

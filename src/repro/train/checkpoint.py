@@ -1,0 +1,55 @@
+"""Model / optimizer checkpointing via numpy archives.
+
+Single-file ``.npz`` checkpoints: parameters, buffers (BN running
+stats), optimizer momentum and training metadata — enough to resume the
+paper's 310-epoch runs across sessions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def save_checkpoint(path, model, optimizer=None, metadata=None) -> None:
+    """Write *model* (and optionally SGD *optimizer*) state to *path*.
+
+    ``metadata`` is a flat dict of scalars/strings stored alongside
+    (e.g. ``{"epoch": 42, "best_acc": 0.81}``).
+    """
+    payload = {}
+    for name, value in model.state_dict().items():
+        payload[f"model/{name}"] = value
+    if optimizer is not None:
+        payload["optim/lr"] = np.array(optimizer.lr)
+        for i, v in enumerate(getattr(optimizer, "_velocity", [])):
+            if v is not None:
+                payload[f"optim/velocity/{i}"] = v
+    for key, value in (metadata or {}).items():
+        payload[f"meta/{key}"] = np.array(value)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path, model, optimizer=None) -> dict:
+    """Restore state saved by :func:`save_checkpoint`; returns metadata."""
+    archive = np.load(path, allow_pickle=False)
+    state = {
+        name[len("model/"):]: archive[name]
+        for name in archive.files
+        if name.startswith("model/")
+    }
+    model.load_state_dict(state)
+    if optimizer is not None:
+        if "optim/lr" in archive.files:
+            optimizer.lr = float(archive["optim/lr"])
+        for i in range(len(optimizer.params)):
+            key = f"optim/velocity/{i}"
+            if key in archive.files:
+                optimizer._velocity[i] = archive[key].copy()
+    metadata = {}
+    for name in archive.files:
+        if name.startswith("meta/"):
+            value = archive[name]
+            metadata[name[len("meta/"):]] = (
+                value.item() if value.ndim == 0 else value
+            )
+    return metadata

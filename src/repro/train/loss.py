@@ -1,0 +1,31 @@
+"""Classification losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over logits, mean-reduced.
+
+    Accepts integer class labels (numpy array). Optional label
+    smoothing distributes ``smoothing`` mass uniformly over classes.
+    """
+
+    def __init__(self, smoothing=0.0):
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+        self.smoothing = smoothing
+
+    def __call__(self, logits: Tensor, labels) -> Tensor:
+        labels = np.asarray(labels)
+        n, k = logits.shape
+        logp = logits.log_softmax(axis=-1)
+        picked = logp[np.arange(n), labels]
+        nll = -picked.mean()
+        if self.smoothing == 0.0:
+            return nll
+        uniform = -logp.mean()
+        return nll * (1.0 - self.smoothing) + uniform * self.smoothing

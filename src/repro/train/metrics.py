@@ -1,0 +1,32 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits, labels) -> float:
+    """Top-1 accuracy in [0, 1]. *logits* may be a Tensor or array."""
+    logits = getattr(logits, "data", logits)
+    pred = np.argmax(logits, axis=-1)
+    return float(np.mean(pred == np.asarray(labels)))
+
+
+def topk_accuracy(logits, labels, k=5) -> float:
+    """Top-k accuracy in [0, 1]."""
+    logits = np.asarray(getattr(logits, "data", logits))
+    labels = np.asarray(labels)
+    topk = np.argsort(-logits, axis=-1)[:, :k]
+    return float(np.mean(np.any(topk == labels[:, None], axis=1)))
+
+
+def confusion_matrix(logits, labels, num_classes=None) -> np.ndarray:
+    """Return the (num_classes, num_classes) confusion matrix C with
+    C[true, pred] counts."""
+    logits = np.asarray(getattr(logits, "data", logits))
+    labels = np.asarray(labels)
+    pred = np.argmax(logits, axis=-1)
+    k = num_classes or int(max(labels.max(), pred.max())) + 1
+    cm = np.zeros((k, k), dtype=np.int64)
+    np.add.at(cm, (labels, pred), 1)
+    return cm

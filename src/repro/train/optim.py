@@ -1,0 +1,75 @@
+"""Optimizers. All updates are in-place on parameter ``.data`` buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip_grad_norm(params, max_norm) -> float:
+    """Scale gradients so their global L2 norm is at most *max_norm*.
+
+    Returns the pre-clip norm. Parameters without gradients are skipped.
+    Useful for the deeper ODE unrolls (large C), where early training
+    can produce gradient spikes through the repeated block.
+    """
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer over an iterable of Parameters."""
+
+    def __init__(self, params, lr):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self):
+        for p in self.params:
+            p.grad = None
+
+    def step(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum, L2 weight decay and optional Nesterov.
+
+    Matches torch semantics: ``v = mu * v + (g + wd * w)`` then
+    ``w -= lr * v`` (or the Nesterov variant), which is what the paper's
+    training used (momentum 0.9, weight decay 1e-4).
+    """
+
+    def __init__(self, params, lr=0.1, momentum=0.9, weight_decay=1e-4,
+                 nesterov=False):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [None] * len(self.params)
+
+    def step(self):
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity[i]
+                if v is None:
+                    v = g.copy()
+                else:
+                    v *= self.momentum
+                    v += g
+                self._velocity[i] = v
+                g = (g + self.momentum * v) if self.nesterov else v
+            p.data -= self.lr * g

@@ -1,0 +1,80 @@
+"""Learning-rate schedules.
+
+:class:`CosineAnnealingWarmRestarts` reproduces the paper's schedule
+(initial LR 0.1, T_0 = 10 epochs, T_mult = 2, eta_min = 1e-4) — and with
+it the non-monotonic test-accuracy curves of Figs. 6-8, whose periodic
+dips coincide with warm restarts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LRScheduler:
+    """Base: call :meth:`step` once per epoch after the optimizer update."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self):
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+
+    @property
+    def current_lr(self):
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    def get_lr(self, epoch):
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size=30, gamma=0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingWarmRestarts(LRScheduler):
+    """SGDR (Loshchilov & Hutter): cosine decay with periodic restarts.
+
+    Restart ``i`` lasts ``T_0 * T_mult**i`` epochs; within a cycle of
+    length T at offset t the LR is
+    ``eta_min + (base - eta_min) * (1 + cos(pi t / T)) / 2``.
+    """
+
+    def __init__(self, optimizer, T_0=10, T_mult=2, eta_min=1e-4):
+        super().__init__(optimizer)
+        if T_0 < 1 or T_mult < 1:
+            raise ValueError("T_0 and T_mult must be >= 1")
+        self.T_0 = T_0
+        self.T_mult = T_mult
+        self.eta_min = eta_min
+
+    def _cycle_pos(self, epoch):
+        """Return (t_cur, T_i): offset within the current cycle and its length."""
+        t = epoch
+        T = self.T_0
+        while t >= T:
+            t -= T
+            T *= self.T_mult
+        return t, T
+
+    def get_lr(self, epoch):
+        t, T = self._cycle_pos(epoch)
+        return self.eta_min + (self.base_lr - self.eta_min) * 0.5 * (
+            1 + np.cos(np.pi * t / T)
+        )

@@ -1,0 +1,127 @@
+"""Training loop with history tracking (drives Table V and Figs 6-8)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .loss import CrossEntropyLoss
+from .metrics import accuracy
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records; ``test_accuracy`` reproduces the curves of
+    Figs. 6-8 when plotted against ``epoch``."""
+
+    epoch: list = field(default_factory=list)
+    train_loss: list = field(default_factory=list)
+    train_accuracy: list = field(default_factory=list)
+    test_accuracy: list = field(default_factory=list)
+    lr: list = field(default_factory=list)
+    epoch_seconds: list = field(default_factory=list)
+
+    def best(self):
+        """(epoch, accuracy) of the best test accuracy so far.
+
+        Epochs without an evaluation (``eval_every > 1``) record NaN and
+        are ignored here.
+        """
+        if not self.test_accuracy:
+            return (0, 0.0)
+        accs = np.asarray(self.test_accuracy, dtype=float)
+        if np.isnan(accs).all():
+            return (0, 0.0)
+        i = int(np.nanargmax(accs))
+        return self.epoch[i], self.test_accuracy[i]
+
+
+class Trainer:
+    """Fit a model with the paper's recipe.
+
+    Parameters
+    ----------
+    model, optimizer:
+        any :class:`~repro.nn.Module` / :class:`~repro.train.Optimizer`.
+    scheduler:
+        optional LR scheduler stepped once per epoch.
+    loss_fn:
+        defaults to :class:`CrossEntropyLoss`.
+    """
+
+    def __init__(self, model, optimizer, scheduler=None, loss_fn=None,
+                 clip_grad=None):
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.loss_fn = loss_fn if loss_fn is not None else CrossEntropyLoss()
+        self.clip_grad = clip_grad
+        self.history = TrainingHistory()
+
+    def train_epoch(self, loader) -> tuple:
+        """One pass over *loader*; returns (mean loss, accuracy)."""
+        self.model.train()
+        losses = []
+        correct = 0
+        total = 0
+        for images, labels in loader:
+            x = Tensor(images, _copy=False)
+            logits = self.model(x)
+            loss = self.loss_fn(logits, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.clip_grad is not None:
+                from .optim import clip_grad_norm
+
+                clip_grad_norm(self.optimizer.params, self.clip_grad)
+            self.optimizer.step()
+            losses.append(loss.item())
+            correct += int(
+                (np.argmax(logits.data, axis=-1) == labels).sum()
+            )
+            total += len(labels)
+        return float(np.mean(losses)), correct / max(total, 1)
+
+    def evaluate(self, loader) -> float:
+        """Top-1 accuracy over *loader* in eval mode."""
+        self.model.eval()
+        correct = 0
+        total = 0
+        with no_grad():
+            for images, labels in loader:
+                logits = self.model(Tensor(images, _copy=False))
+                correct += int((np.argmax(logits.data, axis=-1) == labels).sum())
+                total += len(labels)
+        return correct / max(total, 1)
+
+    def fit(self, train_loader, test_loader=None, epochs=10, verbose=False,
+            eval_every=1):
+        """Train for *epochs*; evaluates every ``eval_every`` epochs."""
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            loss, train_acc = self.train_epoch(train_loader)
+            test_acc = (
+                self.evaluate(test_loader)
+                if test_loader is not None and (epoch + 1) % eval_every == 0
+                else float("nan")
+            )
+            lr = self.optimizer.lr
+            if self.scheduler is not None:
+                self.scheduler.step()
+            dt = time.perf_counter() - t0
+            h = self.history
+            h.epoch.append(epoch)
+            h.train_loss.append(loss)
+            h.train_accuracy.append(train_acc)
+            h.test_accuracy.append(test_acc)
+            h.lr.append(lr)
+            h.epoch_seconds.append(dt)
+            if verbose:
+                print(
+                    f"epoch {epoch:3d}  loss {loss:.4f}  train {train_acc:.3f}"
+                    f"  test {test_acc:.3f}  lr {lr:.5f}  ({dt:.1f}s)"
+                )
+        return self.history

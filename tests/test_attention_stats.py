@@ -1,0 +1,109 @@
+"""Tests for attention-map introspection and the sparsity claim."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.profiling import (
+    attention_entropy,
+    attention_sparsity,
+    head_diversity,
+    summarize_attention,
+)
+
+
+def _pair(rng_seed=1):
+    """ReLU and softmax MHSA with identical weights."""
+    relu = nn.MHSA2d(16, 4, 4, heads=4, attention_activation="relu",
+                     rng=np.random.default_rng(rng_seed))
+    soft = nn.MHSA2d(16, 4, 4, heads=4, attention_activation="softmax",
+                     rng=np.random.default_rng(rng_seed))
+    return relu, soft
+
+
+class TestAttentionMaps:
+    def test_shape(self, rng):
+        m = nn.MHSA2d(8, 3, 3, heads=2, rng=rng)
+        attn = m.attention_maps(rng.normal(size=(2, 8, 3, 3)).astype(np.float32))
+        assert attn.shape == (2, 2, 9, 9)
+
+    def test_softmax_rows_are_distributions(self, rng):
+        m = nn.MHSA2d(8, 3, 3, heads=2, attention_activation="softmax", rng=rng)
+        attn = m.attention_maps(rng.normal(size=(1, 8, 3, 3)).astype(np.float32))
+        np.testing.assert_allclose(attn.sum(axis=-1), 1.0, rtol=1e-8)
+        assert (attn >= 0).all()
+
+    def test_relu_rows_nonnegative(self, rng):
+        m = nn.MHSA2d(8, 3, 3, heads=2, attention_activation="relu", rng=rng)
+        attn = m.attention_maps(rng.normal(size=(1, 8, 3, 3)).astype(np.float32))
+        assert (attn >= 0).all()
+
+    def test_maps_consistent_with_forward(self, rng):
+        """Re-deriving the output from the returned maps must match
+        forward_numpy (no LayerNorm so the algebra is direct)."""
+        m = nn.MHSA2d(8, 3, 3, heads=2, pos_enc="none",
+                      attention_activation="softmax", rng=rng)
+        x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
+        attn = m.attention_maps(x)
+        tokens = x.reshape(1, 8, 9).transpose(0, 2, 1).astype(np.float64)
+        v = (tokens @ m.w_v.data).reshape(1, 9, 2, 4).transpose(0, 2, 1, 3)
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(1, 9, 8)
+        ref = m.forward_numpy(x).reshape(1, 8, 9).transpose(0, 2, 1)
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+
+class TestSparsityClaim:
+    def test_relu_attention_is_sparse_softmax_is_not(self, rng):
+        """Paper Sec. V-A (via [25]): ReLU sparsifies attention."""
+        relu, soft = _pair()
+        x = rng.normal(size=(4, 16, 4, 4)).astype(np.float32)
+        s_relu = attention_sparsity(relu.attention_maps(x))
+        s_soft = attention_sparsity(soft.attention_maps(x))
+        assert s_soft == 0.0
+        assert s_relu > 0.25
+
+    def test_relu_attention_lower_entropy(self, rng):
+        relu, soft = _pair()
+        x = rng.normal(size=(4, 16, 4, 4)).astype(np.float32)
+        assert attention_entropy(relu.attention_maps(x)) < attention_entropy(
+            soft.attention_maps(x)
+        )
+
+
+class TestStatsFunctions:
+    def test_sparsity_extremes(self):
+        assert attention_sparsity(np.zeros((1, 1, 3, 3))) == 1.0
+        assert attention_sparsity(np.ones((1, 1, 3, 3))) == 0.0
+
+    def test_entropy_uniform_is_log_n(self):
+        n = 8
+        attn = np.full((1, 1, 4, n), 1.0 / n)
+        assert attention_entropy(attn) == pytest.approx(np.log(n), rel=1e-6)
+
+    def test_entropy_peaked_is_zero(self):
+        attn = np.zeros((1, 1, 2, 5))
+        attn[..., 0] = 1.0
+        assert attention_entropy(attn) == pytest.approx(0.0, abs=1e-6)
+
+    def test_entropy_skips_dead_rows(self):
+        attn = np.zeros((1, 1, 2, 4))
+        attn[0, 0, 0] = [1.0, 0, 0, 0]  # row 1 fully suppressed
+        assert attention_entropy(attn) == pytest.approx(0.0, abs=1e-6)
+
+    def test_head_diversity_zero_for_identical_heads(self):
+        row = np.random.default_rng(0).random((1, 1, 4, 4))
+        attn = np.concatenate([row, row], axis=1)
+        assert head_diversity(attn) == pytest.approx(0.0, abs=1e-12)
+
+    def test_head_diversity_positive_for_different_heads(self, rng):
+        attn = rng.random((1, 3, 4, 4))
+        assert head_diversity(attn) > 0
+
+    def test_head_diversity_single_head(self, rng):
+        assert head_diversity(rng.random((1, 1, 4, 4))) == 0.0
+
+    def test_summarize(self, rng):
+        m = nn.MHSA2d(8, 3, 3, heads=2, attention_activation="relu", rng=rng)
+        stats = summarize_attention(m, rng.normal(size=(1, 8, 3, 3)).astype(np.float32))
+        assert set(stats) == {"sparsity", "entropy", "head_diversity", "shape"}
+        assert stats["shape"] == (1, 2, 9, 9)

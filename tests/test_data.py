@@ -1,0 +1,237 @@
+"""Tests for SynthSTL, loaders and augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    ColorJitter,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomErasing,
+    RandomHorizontalFlip,
+    SynthSTL,
+    make_synthstl_arrays,
+)
+
+
+class TestSynthSTL:
+    def test_shapes_and_ranges(self):
+        imgs, labels = make_synthstl_arrays("train", size=32, n_per_class=5)
+        assert imgs.shape == (50, 3, 32, 32)
+        assert imgs.dtype == np.float32
+        assert imgs.min() >= 0.0 and imgs.max() <= 1.0
+        assert sorted(np.unique(labels)) == list(range(10))
+
+    def test_deterministic_given_seed(self):
+        a1, l1 = make_synthstl_arrays("train", size=24, n_per_class=3, seed=5)
+        a2, l2 = make_synthstl_arrays("train", size=24, n_per_class=3, seed=5)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_different_seeds_differ(self):
+        a1, _ = make_synthstl_arrays("train", size=24, n_per_class=3, seed=1)
+        a2, _ = make_synthstl_arrays("train", size=24, n_per_class=3, seed=2)
+        assert not np.allclose(a1, a2)
+
+    def test_train_test_disjoint_noise(self):
+        a1, _ = make_synthstl_arrays("train", size=24, n_per_class=3, seed=0)
+        a2, _ = make_synthstl_arrays("test", size=24, n_per_class=3, seed=0)
+        assert not np.allclose(a1, a2)
+
+    def test_default_sizes_follow_stl10(self):
+        train = SynthSTL("train", size=24, n_per_class=2)
+        assert len(train) == 20
+        # default counts: 500/800 per class (STL10 protocol); just check
+        # the helper computes them without generating 96x96 here.
+        assert train.num_classes == 10
+
+    def test_classes_have_structure_but_not_linear_separability(self):
+        """The task must be non-trivial (no pixel-space linear shortcut)
+        yet class-conditional (distinct centroids)."""
+        imgs, labels = make_synthstl_arrays("train", size=24, n_per_class=10, seed=0)
+        flat = imgs.reshape(len(imgs), -1)
+        centroids = np.stack([flat[labels == c].mean(axis=0) for c in range(10)])
+        intra = np.mean(
+            [
+                np.linalg.norm(flat[labels == c] - centroids[c], axis=1).mean()
+                for c in range(10)
+            ]
+        )
+        inter = np.mean(
+            [
+                np.linalg.norm(centroids[c] - centroids[d])
+                for c in range(10)
+                for d in range(10)
+                if c != d
+            ]
+        )
+        # structured (centroids clearly apart) ...
+        assert inter > 0.5 * intra
+        # ... but no trivial pixel-space margin (classes overlap)
+        assert inter < 3 * intra
+
+    def test_color_shared_between_class_pairs(self):
+        """Colour alone must not classify: classes c and c+5 share hue,
+        forcing models to use texture orientation / layout."""
+        imgs, labels = make_synthstl_arrays("train", size=24, n_per_class=20, seed=0)
+        means = np.stack(
+            [imgs[labels == c].mean(axis=(0, 2, 3)) for c in range(10)]
+        )  # (10, 3) per-class mean colour
+        for c in range(5):
+            same = np.linalg.norm(means[c] - means[c + 5])
+            other = np.mean(
+                [np.linalg.norm(means[c] - means[d]) for d in range(10)
+                 if d not in (c, c + 5)]
+            )
+            assert same < other
+
+    def test_orientation_cue_differs_across_classes(self):
+        """Texture orientation (the conv-friendly cue) varies by class:
+        the dominant gradient direction must differ between classes."""
+        imgs, labels = make_synthstl_arrays("train", size=32, n_per_class=10, seed=0)
+        grey = imgs.mean(axis=1)
+        angles = []
+        for c in [0, 2, 4]:
+            g = grey[labels == c]
+            gy, gx = np.gradient(g, axis=(1, 2))
+            # orientation via the structure tensor's dominant angle
+            angle = 0.5 * np.arctan2(2 * (gx * gy).mean(), (gx**2 - gy**2).mean())
+            angles.append(angle)
+        assert np.ptp(angles) > 0.3
+
+    def test_dataset_getitem_with_transform(self):
+        calls = []
+
+        def spy(img):
+            calls.append(1)
+            return img
+
+        ds = SynthSTL("train", size=24, n_per_class=2, transform=spy)
+        img, label = ds[0]
+        assert img.shape == (3, 24, 24)
+        assert len(calls) == 1
+
+
+class TestDataLoader:
+    def _dataset(self, n=25):
+        rng = np.random.default_rng(0)
+        return ArrayDataset(
+            rng.normal(size=(n, 3, 8, 8)).astype(np.float32),
+            rng.integers(0, 10, size=n),
+        )
+
+    def test_batch_shapes(self):
+        loader = DataLoader(self._dataset(), batch_size=10)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (10, 3, 8, 8)
+        assert batches[-1][0].shape == (5, 3, 8, 8)
+
+    def test_drop_last(self):
+        loader = DataLoader(self._dataset(), batch_size=10, drop_last=True)
+        assert len(list(loader)) == 2
+        assert len(loader) == 2
+
+    def test_shuffle_changes_order_between_epochs(self):
+        loader = DataLoader(self._dataset(), batch_size=25, shuffle=True, seed=0)
+        e1 = next(iter(loader))[1]
+        e2 = next(iter(loader))[1]
+        assert not np.array_equal(e1, e2)
+
+    def test_no_shuffle_is_stable(self):
+        loader = DataLoader(self._dataset(), batch_size=25)
+        e1 = next(iter(loader))[1]
+        e2 = next(iter(loader))[1]
+        np.testing.assert_array_equal(e1, e2)
+
+    def test_labels_dtype(self):
+        loader = DataLoader(self._dataset(), batch_size=5)
+        _, labels = next(iter(loader))
+        assert labels.dtype == np.int64
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1)), np.zeros(4))
+
+
+class TestTransforms:
+    def _img(self):
+        rng = np.random.default_rng(3)
+        return rng.uniform(0.2, 0.8, size=(3, 16, 16)).astype(np.float32)
+
+    def test_normalize(self):
+        img = self._img()
+        out = Normalize([0.5, 0.5, 0.5], [0.25, 0.25, 0.25])(img)
+        np.testing.assert_allclose(out, (img - 0.5) / 0.25, rtol=1e-5)
+
+    def test_hflip_p1_reverses(self):
+        img = self._img()
+        out = RandomHorizontalFlip(p=1.0)(img)
+        np.testing.assert_array_equal(out, img[:, :, ::-1])
+
+    def test_hflip_p0_identity(self):
+        img = self._img()
+        np.testing.assert_array_equal(RandomHorizontalFlip(p=0.0)(img), img)
+
+    def test_color_jitter_stays_in_range(self):
+        out = ColorJitter(0.5, 0.5, 0.5, rng=np.random.default_rng(1))(self._img())
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_color_jitter_zero_factors_identity(self):
+        img = self._img()
+        out = ColorJitter(0.0, 0.0, 0.0)(img)
+        np.testing.assert_allclose(out, img, rtol=1e-5)
+
+    def test_random_erasing_zeroes_rectangle(self):
+        img = np.ones((3, 32, 32), dtype=np.float32)
+        out = RandomErasing(p=1.0, rng=np.random.default_rng(0))(img)
+        assert (out == 0).any()
+        assert (out == 1).any()  # not everything erased
+
+    def test_random_erasing_p0_identity(self):
+        img = self._img()
+        np.testing.assert_array_equal(RandomErasing(p=0.0)(img), img)
+
+    def test_compose_order(self):
+        img = self._img()
+        pipeline = Compose([RandomHorizontalFlip(p=1.0), RandomHorizontalFlip(p=1.0)])
+        np.testing.assert_array_equal(pipeline(img), img)  # double flip
+
+
+class TestCache:
+    def test_roundtrip_and_hit(self, tmp_path):
+        from repro.data import cached_synthstl_arrays
+
+        a1, l1 = cached_synthstl_arrays("train", size=24, n_per_class=3,
+                                        seed=2, cache_dir=str(tmp_path))
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        a2, l2 = cached_synthstl_arrays("train", size=24, n_per_class=3,
+                                        seed=2, cache_dir=str(tmp_path))
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_cache_matches_uncached(self, tmp_path):
+        from repro.data import cached_synthstl_arrays, make_synthstl_arrays
+
+        cached, _ = cached_synthstl_arrays("test", size=24, n_per_class=2,
+                                           seed=1, cache_dir=str(tmp_path))
+        direct, _ = make_synthstl_arrays("test", size=24, n_per_class=2, seed=1)
+        np.testing.assert_array_equal(cached, direct)
+
+    def test_distinct_keys_per_config(self, tmp_path):
+        from repro.data import cached_synthstl_arrays
+
+        cached_synthstl_arrays("train", size=24, n_per_class=2, seed=0,
+                               cache_dir=str(tmp_path))
+        cached_synthstl_arrays("train", size=24, n_per_class=2, seed=1,
+                               cache_dir=str(tmp_path))
+        assert len(list(tmp_path.iterdir())) == 2
+
+    def test_no_cache_dir_passthrough(self):
+        from repro.data import cached_synthstl_arrays
+
+        imgs, labels = cached_synthstl_arrays("train", size=24, n_per_class=2)
+        assert imgs.shape == (20, 3, 24, 24)

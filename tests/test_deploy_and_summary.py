@@ -1,0 +1,132 @@
+"""Tests for deployment bundles, the HLS testbench generator and
+model_summary."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.designs import (
+    FIXED_DEFAULT,
+    FLOAT32,
+    proposed_mhsa_design,
+    proposed_mhsa_module,
+)
+from repro.fixedpoint import QFormat, QuantizedMHSA2d
+from repro.fpga import (
+    export_deployment_bundle,
+    generate_testbench,
+    load_deployment_bundle,
+)
+from repro.models import build_model
+from repro.nn import model_summary
+
+
+class TestDeploymentBundle:
+    def test_roundtrip_bit_exact(self, tmp_path, rng):
+        m = proposed_mhsa_module(seed=3)
+        design = proposed_mhsa_design(FIXED_DEFAULT)
+        path = tmp_path / "bundle.npz"
+        export_deployment_bundle(m, design, path)
+        deployed = load_deployment_bundle(path)
+        x = rng.normal(size=(2, 64, 6, 6)).astype(np.float32)
+        ref = QuantizedMHSA2d(m, QFormat(32, 16), QFormat(24, 8)).forward(x)
+        np.testing.assert_array_equal(deployed(x), ref)
+
+    def test_bundle_is_self_describing(self, tmp_path):
+        m = proposed_mhsa_module()
+        export_deployment_bundle(
+            m, proposed_mhsa_design(FIXED_DEFAULT), tmp_path / "b.npz"
+        )
+        deployed = load_deployment_bundle(tmp_path / "b.npz")
+        assert deployed.meta["channels"] == 64
+        assert deployed.meta["feature_fmt"] == "32(16)"
+        assert deployed.meta["attention_activation"] == "relu"
+
+    def test_float_design_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_deployment_bundle(
+                proposed_mhsa_module(), proposed_mhsa_design(FLOAT32),
+                tmp_path / "b.npz",
+            )
+
+    def test_bundle_has_integer_weights(self, tmp_path):
+        export_deployment_bundle(
+            proposed_mhsa_module(), proposed_mhsa_design(FIXED_DEFAULT),
+            tmp_path / "b.npz",
+        )
+        archive = np.load(tmp_path / "b.npz")
+        assert archive["w_q"].dtype == np.int64
+        # raw values fit the 24-bit parameter format
+        assert np.abs(archive["w_q"]).max() < 2 ** 23
+
+
+class TestTestbench:
+    def test_artifacts_written(self, tmp_path):
+        m = proposed_mhsa_module()
+        arts = generate_testbench(m, proposed_mhsa_design(FIXED_DEFAULT),
+                                  str(tmp_path), n_vectors=2)
+        for path in arts.values():
+            assert os.path.exists(path)
+
+    def test_golden_vectors_match_accelerator(self, tmp_path, rng):
+        from repro.fpga import MHSAAccelerator
+
+        m = proposed_mhsa_module(seed=1)
+        design = proposed_mhsa_design(FIXED_DEFAULT)
+        arts = generate_testbench(m, design, str(tmp_path), n_vectors=1, seed=5)
+        x = np.loadtxt(arts["golden_in"]).reshape(1, 64, 6, 6).astype(np.float32)
+        golden = np.loadtxt(arts["golden_out"]).reshape(1, 64, 6, 6)
+        acc = MHSAAccelerator(m, design)
+        np.testing.assert_allclose(acc.run(x), golden, rtol=1e-5, atol=1e-6)
+
+    def test_testbench_references_kernel(self, tmp_path):
+        arts = generate_testbench(
+            proposed_mhsa_module(), proposed_mhsa_design(FIXED_DEFAULT),
+            str(tmp_path),
+        )
+        src = open(arts["testbench"]).read()
+        assert "mhsa_kernel" in src
+        assert "golden_in.txt" in src
+
+    def test_float_design_golden(self, tmp_path):
+        arts = generate_testbench(
+            proposed_mhsa_module(), proposed_mhsa_design(FLOAT32),
+            str(tmp_path),
+        )
+        assert os.path.exists(arts["golden_out"])
+
+
+class TestModelSummary:
+    def test_summary_totals(self):
+        model = build_model("ode_botnet", profile="tiny")
+        text = model_summary(model, (3, 32, 32))
+        assert f"{model.num_parameters():,}" in text
+        assert "Conv2d" in text
+        assert "MHSA2d" in text
+
+    def test_shows_call_counts_for_ode_blocks(self):
+        model = build_model("odenet", profile="tiny", steps=2)
+        text = model_summary(model, (3, 32, 32))
+        # dynamics layers are invoked `steps` times
+        lines = [l for l in text.splitlines() if "block1.func.conv1" in l]
+        assert lines
+        assert lines[0].rstrip().endswith("2")
+
+    def test_model_untouched(self, rng):
+        from repro.tensor import Tensor, no_grad
+
+        model = build_model("odenet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            before = model(x).data
+        model_summary(model, (3, 32, 32))
+        with no_grad():
+            after = model(x).data
+        np.testing.assert_array_equal(before, after)
+
+    def test_training_mode_restored(self):
+        model = build_model("odenet", profile="tiny")
+        model.train()
+        model_summary(model, (3, 32, 32))
+        assert model.training

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run end to end.
+
+Heavy examples are exercised with reduced arguments where they accept
+them; the pure-analysis ones run as-is (they are fast).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(script, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_fpga_accelerator(self):
+        result = _run("fpga_accelerator.py")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "Table IX" in result.stdout
+        assert "energy efficiency" in result.stdout
+
+    def test_train_proposed_model_short(self):
+        result = _run(
+            "train_proposed_model.py", "--profile", "tiny", "--epochs", "3",
+            "--train-per-class", "15",
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "best test accuracy" in result.stdout
+
+    def test_quantization_sweep_short(self):
+        result = _run("quantization_sweep.py", "--profile", "tiny",
+                      "--epochs", "3")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "Table VIII" in result.stdout
+        assert "32(16)-24(8)" in result.stdout
+
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "97." in result.stdout  # the headline reduction
+        assert "fits ZCU104: True" in result.stdout

@@ -1,0 +1,174 @@
+"""Integration tests for the experiment harness (shape-level paper claims)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig9_10_numeric_error,
+    format_table,
+    learning_curves,
+    power_summary,
+    table1_fixed_vs_float,
+    table2_buffer_management,
+    table3_parallelization,
+    table4_param_size,
+    table5_accuracy,
+    table6_mhsa_ratio,
+    table7_resource_utilization,
+    table8_quant_accuracy,
+    table9_execution_time,
+)
+
+
+class TestHardwareTables:
+    def test_table1_shape(self):
+        rows = table1_fixed_vs_float()
+        fl, fx = rows
+        assert fx["dsp"] < fl["dsp"] / 4
+        assert fx["bram"] < fl["bram"]
+        # both naive builds exceed the device
+        assert not fl["fits"] and not fx["fits"]
+
+    def test_table2_crossover(self):
+        before, after = table2_buffer_management()
+        assert before["bram_util"] > 1.0
+        assert after["bram_util"] < 1.0
+
+    def test_table3_agreement(self):
+        rows = table3_parallelization()
+        total = rows[-1]
+        assert total["stage"] == "Total"
+        assert total["orig_cycles"] == pytest.approx(total["paper_orig"], rel=0.01)
+        assert total["par_cycles"] == pytest.approx(total["paper_par"], rel=0.01)
+
+    def test_table4_within_tolerance(self):
+        rows = table4_param_size()
+        by = {r["model"]: r for r in rows}
+        for name, row in by.items():
+            assert row["params"] == pytest.approx(row["paper_params"], rel=0.15), name
+        assert by["ode_botnet"]["reduction_vs_botnet"] == pytest.approx(0.973, abs=0.01)
+
+    def test_table7_every_build_fits(self):
+        assert all(r["fits"] for r in table7_resource_utilization())
+
+    def test_table9_ordering_and_factors(self):
+        rows = table9_execution_time(n_runs=20)
+        cpu, fl, fx = rows
+        assert cpu["mean_ms"] > fl["mean_ms"] > fx["mean_ms"]
+        assert fx["speedup_vs_cpu"] == pytest.approx(2.63, rel=0.07)
+        assert fl["speedup_vs_cpu"] == pytest.approx(1.45, rel=0.10)
+
+    def test_power_summary(self):
+        s = power_summary(n_runs=10)
+        assert s["ip_power_fixed_w"] < s["ip_power_float_w"]
+        assert s["energy_efficiency"] == pytest.approx(1.98, rel=0.1)
+
+    def test_table6_ordering(self):
+        rows = table6_mhsa_ratio(repeats=2)
+        by = {r["model"]: r["ratio"] for r in rows}
+        # proposed model's block is more attention-dominated than BoTNet's
+        assert by["ode_botnet"] > by["botnet50"]
+        assert 0.05 < by["botnet50"] < 0.6
+        assert 0.2 < by["ode_botnet"] < 0.9
+
+
+class TestAccuracyExperiments:
+    def test_table5_tiny_ordering(self):
+        """Table V shape: convolution-based models beat pure attention
+        at small sample counts (the paper's central accuracy claim)."""
+        rows = table5_accuracy(
+            profile="tiny", epochs=10, n_train_per_class=40, n_test_per_class=20,
+            models=("odenet", "ode_botnet", "vit_base"),
+        )
+        by = {r["model"]: r["accuracy"] for r in rows}
+        assert by["ode_botnet"] > by["vit_base"] + 5
+        assert by["odenet"] > by["vit_base"] + 5
+        # and the hybrids actually learned
+        assert by["ode_botnet"] > 80
+
+    def test_learning_curves_structure(self):
+        curves = learning_curves(
+            models=("ode_botnet",), profile="tiny", epochs=3,
+            n_train_per_class=10, n_test_per_class=5,
+        )
+        c = curves["ode_botnet"]
+        assert len(c["epoch"]) == 3
+        assert len(c["test_accuracy"]) == 3
+        assert all(0 <= a <= 100 for a in c["test_accuracy"])
+
+
+class TestQuantizationExperiments:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.experiments.quantization import trained_proposed_model
+
+        return trained_proposed_model(
+            profile="tiny", epochs=3, n_train_per_class=20
+        )
+
+    def test_table8_wide_formats_lossless(self, trained):
+        rows = table8_quant_accuracy(
+            model=trained, profile="tiny", n_per_class=10,
+        )
+        by = {r["format"]: r["accuracy"] for r in rows}
+        # Table VIII shape: the two widest formats match float accuracy
+        assert by["32(16)-24(8)"] == pytest.approx(by["float"], abs=1.0)
+        assert by["24(12)-20(6)"] == pytest.approx(by["float"], abs=2.0)
+        # narrowest format loses accuracy relative to the widest
+        assert by["16(8)-12(4)"] <= by["32(16)-24(8)"]
+
+    def test_fig9_10_error_monotone(self, trained):
+        rows = fig9_10_numeric_error(model=trained, profile="tiny", n_per_class=5)
+        means = [r["mean_abs_diff"] for r in rows]
+        maxes = [r["max_abs_diff"] for r in rows]
+        assert means == sorted(means)
+        assert all(mx >= mn for mx, mn in zip(maxes, means))
+        assert means[-1] > means[0]
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 10000]])
+        assert "a" in out and "x" in out
+        assert "10,000" in out
+
+
+class TestPaperReferenceConsistency:
+    def test_reference_dicts_cover_all_models(self):
+        from repro.experiments import report
+        from repro.models import MODELS
+
+        assert set(report.PAPER_PARAMS) == set(MODELS)
+        assert set(report.PAPER_ACCURACY) == set(MODELS)
+
+    def test_exec_time_rows_match_table9_modes(self):
+        from repro.experiments import report
+
+        assert set(report.PAPER_EXEC_TIME) == {"CPU", "FPGA (float)",
+                                               "FPGA (fixed)"}
+
+    def test_quant_accuracy_covers_paper_formats(self):
+        from repro.experiments import report
+        from repro.fixedpoint import PAPER_FORMATS
+
+        for fmt in PAPER_FORMATS:
+            assert fmt in report.PAPER_QUANT_ACCURACY
+
+    def test_headline_constants(self):
+        from repro.experiments import report
+
+        assert report.PAPER_SPEEDUP_FIXED == 2.63
+        assert report.PAPER_ENERGY_EFFICIENCY == 1.98
+
+
+class TestHlsReportConsistency:
+    def test_report_numbers_match_design(self):
+        from repro.experiments.designs import FIXED_DEFAULT, botnet_mhsa_design
+        from repro.fpga import hls_report
+
+        design = botnet_mhsa_design(FIXED_DEFAULT)
+        text = hls_report(design)
+        assert f"{design.total_cycles():,}" in text
+        rep = design.resource_report()
+        assert f"{rep.dsp:,}" in text
+        assert f"{rep.bram:,}" in text

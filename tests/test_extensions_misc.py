@@ -1,0 +1,158 @@
+"""Tests for AlterNet, the layer profiler, URAM spill and the CLIs."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.experiments.designs import FIXED_DEFAULT, FLOAT32, botnet_mhsa_design
+from repro.models import alternet50, build_model
+from repro.profiling import format_profile, profile_layers
+from repro.tensor import Tensor, no_grad
+
+
+class TestAlterNet:
+    def test_forward(self, rng):
+        m = build_model("alternet50", profile="tiny")
+        out = m(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_one_mhsa_per_stage(self):
+        m = build_model("alternet50", profile="tiny")
+        for stage in (m.stage1, m.stage2, m.stage3, m.stage4):
+            mhsas = [x for x in stage.modules() if isinstance(x, nn.MHSA2d)]
+            assert len(mhsas) == 1
+            # it is the last block of the stage
+            last_block = stage[len(stage) - 1]
+            assert any(isinstance(x, nn.MHSA2d) for x in last_block.modules())
+
+    def test_size_between_resnet_and_botnet(self):
+        """AlterNet touches fewer convs than BoTNet (only stage ends) so
+        it sits between ResNet50 and BoTNet50 in parameter count."""
+        r = build_model("resnet50", profile="paper").num_parameters()
+        a = build_model("alternet50", profile="paper").num_parameters()
+        b = build_model("botnet50", profile="paper").num_parameters()
+        assert b < a < r
+
+    def test_trains_one_step(self, rng):
+        from repro.train import SGD, CrossEntropyLoss
+
+        m = build_model("alternet50", profile="tiny")
+        loss = CrossEntropyLoss()(
+            m(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32))),
+            np.array([1, 2]),
+        )
+        loss.backward()
+        SGD(m.parameters(), lr=0.01).step()
+
+
+class TestLayerProfiler:
+    def test_profile_structure(self, rng):
+        model = build_model("ode_botnet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        timings, total = profile_layers(model, x, repeats=2)
+        assert total > 0
+        assert all(t.total_s >= 0 for t in timings)
+        # sorted descending
+        totals = [t.total_s for t in timings]
+        assert totals == sorted(totals, reverse=True)
+        # ODE dynamics layers are called `steps` times per forward
+        conv_entries = [t for t in timings if "block1.func.conv1" in t.name]
+        assert conv_entries
+        assert conv_entries[0].calls == model.block1.steps
+
+    def test_forward_restored(self, rng):
+        model = build_model("odenet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            before = model(x).data
+        profile_layers(model, x, repeats=1)
+        with no_grad():
+            after = model(x).data
+        np.testing.assert_array_equal(before, after)
+
+    def test_format(self, rng):
+        model = build_model("odenet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        timings, total = profile_layers(model, x, repeats=1)
+        text = format_profile(timings, total, top=5)
+        assert "layer" in text
+        assert "total forward" in text
+
+
+class TestUramSpill:
+    def test_float_naive_fits_with_uram(self):
+        """Table VII footnote: the float BoTNet build is implementable
+        if URAMs are used."""
+        design = botnet_mhsa_design(FLOAT32, shared_weight_buffer=False)
+        assert not design.resource_report().fits()
+        with_uram = design.resource_report(allow_uram=True)
+        assert with_uram.fits()
+        assert 0 < with_uram.uram <= design.device.uram
+
+    def test_no_spill_when_design_fits(self):
+        design = botnet_mhsa_design(FIXED_DEFAULT)
+        rep = design.resource_report(allow_uram=True)
+        assert rep.uram == 0
+
+    def test_uram_in_utilization_dict(self):
+        design = botnet_mhsa_design(FLOAT32, shared_weight_buffer=False)
+        rep = design.resource_report(allow_uram=True)
+        assert "URAM" in rep.utilization()
+
+
+class TestClis:
+    def test_fpga_report_cli(self, capsys):
+        from repro.fpga.__main__ import main
+
+        main(["report", "--config", "proposed", "--arith", "fixed"])
+        out = capsys.readouterr().out
+        assert "Performance & Resource Estimates" in out
+
+    def test_fpga_kernel_cli(self, capsys):
+        from repro.fpga.__main__ import main
+
+        main(["kernel", "--config", "botnet"])
+        out = capsys.readouterr().out
+        assert "ap_fixed<32, 16>" in out
+
+    def test_fpga_compare_cli(self, capsys):
+        from repro.fpga.__main__ import main
+
+        main(["compare"])
+        out = capsys.readouterr().out
+        assert "CPU" in out and "FPGA (fixed)" in out
+
+    def test_train_cli_smoke(self, tmp_path, capsys):
+        from repro.train.__main__ import main
+
+        ckpt = str(tmp_path / "m.npz")
+        main([
+            "--model", "odenet", "--profile", "tiny", "--epochs", "1",
+            "--train-per-class", "5", "--test-per-class", "5",
+            "--no-augment", "--checkpoint", ckpt,
+        ])
+        out = capsys.readouterr().out
+        assert "best test accuracy" in out
+        import os
+
+        assert os.path.exists(ckpt)
+
+    def test_experiments_md_table(self):
+        from repro.experiments.__main__ import md_table
+
+        text = md_table(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2 |" in text
+
+
+class TestTrainCliSpectrogram:
+    def test_spectrogram_dataset_path(self, tmp_path, capsys):
+        from repro.train.__main__ import main
+
+        main([
+            "--dataset", "spectrogram", "--profile", "tiny", "--epochs", "1",
+            "--train-per-class", "5", "--test-per-class", "5",
+            "--checkpoint", str(tmp_path / "m.npz"),
+        ])
+        out = capsys.readouterr().out
+        assert "best test accuracy" in out

@@ -1,0 +1,264 @@
+"""Tests for Q-format arithmetic: quantisation, saturation, kernels."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import (
+    PAPER_FORMATS,
+    QFormat,
+    QuantizedMHSA2d,
+    fixed_add,
+    fixed_matmul,
+    fixed_mul,
+    fixed_relu,
+    fixed_scale,
+    parse_format_pair,
+    requantize,
+)
+
+
+class TestQFormat:
+    def test_basic_properties(self):
+        f = QFormat(32, 16)
+        assert f.frac_bits == 16
+        assert f.scale == 2 ** -16
+        assert f.raw_max == 2 ** 31 - 1
+        assert f.value_max == pytest.approx(2 ** 15, rel=1e-6)
+
+    def test_parse_roundtrip(self):
+        f = QFormat.parse("24(8)")
+        assert (f.total_bits, f.int_bits) == (24, 8)
+        assert str(f) == "24(8)"
+
+    def test_parse_pair(self):
+        feat, par = parse_format_pair("32(16)-24(8)")
+        assert feat == QFormat(32, 16)
+        assert par == QFormat(24, 8)
+
+    def test_paper_formats_all_parse(self):
+        for pair in PAPER_FORMATS:
+            feat, par = parse_format_pair(pair)
+            assert feat.total_bits > par.total_bits  # params are narrower
+
+    def test_invalid_formats_raise(self):
+        with pytest.raises(ValueError):
+            QFormat(1, 1)
+        with pytest.raises(ValueError):
+            QFormat(16, 20)
+        with pytest.raises(ValueError):
+            QFormat(16, 0)
+
+    def test_quantize_exact_values(self):
+        f = QFormat(16, 8)
+        assert f.quantize(np.array(1.0)) == 256
+        assert f.quantize(np.array(-1.0)) == -256
+        assert f.quantize(np.array(0.5)) == 128
+
+    def test_round_half_even(self):
+        f = QFormat(16, 8)  # LSB = 1/256
+        # 0.001953125 = 0.5 LSB -> rounds to even (0)
+        assert f.quantize(np.array(0.5 / 256)) == 0
+        assert f.quantize(np.array(1.5 / 256)) == 2
+
+    def test_saturation(self):
+        f = QFormat(8, 4)  # range [-8, 8)
+        assert f.quantize(np.array(100.0)) == f.raw_max
+        assert f.quantize(np.array(-100.0)) == f.raw_min
+
+    def test_roundtrip_error_bounded_by_half_lsb(self, rng):
+        f = QFormat(20, 10)
+        x = rng.uniform(-100, 100, size=1000)
+        err = np.abs(f.roundtrip(x) - x)
+        assert err.max() <= f.scale / 2 + 1e-12
+
+    def test_narrower_format_larger_error(self, rng):
+        x = rng.uniform(-1, 1, size=500)
+        errs = []
+        for fmt in (QFormat(32, 16), QFormat(20, 10), QFormat(12, 4)):
+            errs.append(np.abs(fmt.roundtrip(x) - x).max())
+        assert errs[0] < errs[1] < errs[2]
+
+
+class TestFixedOps:
+    F = QFormat(32, 16)
+    P = QFormat(24, 8)
+
+    def test_matmul_accuracy(self, rng):
+        a = rng.normal(size=(6, 7))
+        b = rng.normal(size=(7, 5))
+        res = self.F.dequantize(
+            fixed_matmul(self.F.quantize(a), self.F, self.P.quantize(b), self.P, self.F)
+        )
+        np.testing.assert_allclose(res, a @ b, atol=1e-3)
+
+    def test_matmul_exact_for_representable_inputs(self):
+        """Integers are exactly representable; products must be exact."""
+        a = np.array([[2.0, 3.0]])
+        b = np.array([[4.0], [5.0]])
+        res = fixed_matmul(
+            self.F.quantize(a), self.F, self.F.quantize(b), self.F, self.F
+        )
+        assert self.F.dequantize(res)[0, 0] == 23.0
+
+    def test_matmul_batched(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 3))
+        res = self.F.dequantize(
+            fixed_matmul(self.F.quantize(a), self.F, self.F.quantize(b), self.F, self.F)
+        )
+        np.testing.assert_allclose(res, a @ b, atol=1e-3)
+
+    def test_add_format_alignment(self):
+        a = self.F.quantize(np.array(1.25))
+        b = self.P.quantize(np.array(2.5))
+        out = fixed_add(a, self.F, b, self.P, self.F)
+        assert self.F.dequantize(out) == 3.75
+
+    def test_add_saturates(self):
+        small = QFormat(8, 4)
+        a = small.quantize(np.array(7.0))
+        out = fixed_add(a, small, a, small, small)
+        assert small.dequantize(out) == pytest.approx(small.value_max, rel=1e-3)
+
+    def test_mul(self, rng):
+        a, b = rng.normal(size=(5,)), rng.normal(size=(5,))
+        res = self.F.dequantize(
+            fixed_mul(self.F.quantize(a), self.F, self.F.quantize(b), self.F, self.F)
+        )
+        np.testing.assert_allclose(res, a * b, atol=1e-4)
+
+    def test_relu_preserves_format(self):
+        raw = np.array([-100, 0, 100], dtype=np.int64)
+        np.testing.assert_array_equal(fixed_relu(raw), [0, 0, 100])
+
+    def test_scale_by_constant(self):
+        x = self.F.quantize(np.array([4.0]))
+        out = fixed_scale(x, self.F, 0.5, self.P, self.F)
+        assert self.F.dequantize(out)[0] == pytest.approx(2.0, rel=1e-4)
+
+    def test_requantize_widening_is_lossless(self, rng):
+        narrow = QFormat(16, 8)
+        wide = QFormat(32, 16)
+        x = rng.uniform(-10, 10, size=100)
+        raw = narrow.quantize(x)
+        back = requantize(requantize(raw, narrow, wide), wide, narrow)
+        np.testing.assert_array_equal(back, raw)
+
+    def test_requantize_narrowing_rounds(self):
+        wide = QFormat(32, 16)
+        narrow = QFormat(16, 8)
+        raw = wide.quantize(np.array(1.0 + 2 ** -12))
+        out = requantize(raw, wide, narrow)
+        assert narrow.dequantize(out) == pytest.approx(1.0, abs=narrow.scale)
+
+
+class TestQuantizedMHSA:
+    def _mhsa(self, rng, **kw):
+        from repro import nn
+
+        defaults = dict(
+            channels=8, height=3, width=3, heads=2,
+            attention_activation="relu", out_layernorm=True,
+        )
+        defaults.update(kw)
+        return nn.MHSA2d(rng=rng, **defaults)
+
+    def test_wide_format_close_to_float(self, rng):
+        m = self._mhsa(rng)
+        x = rng.normal(size=(2, 8, 3, 3)).astype(np.float32)
+        q = QuantizedMHSA2d(m, QFormat(32, 16), QFormat(24, 8))
+        np.testing.assert_allclose(q(x), m.forward_numpy(x), atol=1e-3)
+
+    def test_error_monotone_in_format_width(self, rng):
+        """Figs 9-10: narrower formats give strictly larger error."""
+        m = self._mhsa(rng)
+        x = rng.normal(size=(2, 8, 3, 3)).astype(np.float32)
+        ref = m.forward_numpy(x)
+        errs = []
+        for pair in PAPER_FORMATS:
+            f, p = parse_format_pair(pair)
+            errs.append(np.abs(QuantizedMHSA2d(m, f, p)(x) - ref).max())
+        assert all(a <= b + 1e-9 for a, b in zip(errs, errs[1:]))
+        assert errs[-1] > errs[0]
+
+    def test_output_exactly_representable(self, rng):
+        m = self._mhsa(rng)
+        x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
+        f = QFormat(20, 10)
+        out = QuantizedMHSA2d(m, f, QFormat(16, 4))(x)
+        # every output value must be a multiple of the feature LSB
+        scaled = out.astype(np.float64) / f.scale
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-6)
+
+    def test_softmax_variant_supported(self, rng):
+        m = self._mhsa(rng, attention_activation="softmax", out_layernorm=False)
+        x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
+        q = QuantizedMHSA2d(m, QFormat(32, 16), QFormat(24, 8))
+        np.testing.assert_allclose(q(x), m.forward_numpy(x), atol=1e-3)
+
+    def test_absolute_pos_enc_rejected(self, rng):
+        m = self._mhsa(rng, pos_enc="absolute")
+        with pytest.raises(NotImplementedError):
+            QuantizedMHSA2d(m, QFormat(32, 16), QFormat(24, 8))
+
+    def test_model_level_context_manager(self, rng):
+        from repro.fixedpoint.quantized_mhsa import use_quantized_mhsa
+        from repro.models import build_model
+        from repro.tensor import Tensor, no_grad
+
+        model = build_model("ode_botnet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            ref = model(x).data
+        with use_quantized_mhsa(model, QFormat(32, 16), QFormat(24, 8)):
+            with no_grad():
+                quant = model(x).data
+        with no_grad():
+            restored = model(x).data
+        assert np.abs(ref - quant).max() < 0.1  # close but quantised
+        np.testing.assert_array_equal(ref, restored)  # forward restored
+
+    def test_context_manager_requires_mhsa(self, rng):
+        from repro.fixedpoint.quantized_mhsa import use_quantized_mhsa
+        from repro.models import build_model
+
+        model = build_model("odenet", profile="tiny")
+        with pytest.raises(ValueError):
+            with use_quantized_mhsa(model, QFormat(32, 16), QFormat(24, 8)):
+                pass
+
+
+class TestStochasticRounding:
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            QFormat(16, 8).quantize(np.array(0.3), rounding="stochastic")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            QFormat(16, 8).quantize(np.array(0.3), rounding="ceil")
+
+    def test_exact_values_unchanged(self):
+        f = QFormat(16, 8)
+        rng = np.random.default_rng(0)
+        x = np.array([1.0, -2.5, 0.25])  # exactly representable
+        raw = f.quantize(x, rounding="stochastic", rng=rng)
+        np.testing.assert_array_equal(f.dequantize(raw), x)
+
+    def test_unbiased_in_expectation(self):
+        """The whole point: E[stochastic_round(x)] == x, so sub-LSB
+        signals survive averaging (nearest rounding kills them)."""
+        f = QFormat(16, 8)
+        x = np.full(200_000, 0.3 / 256)  # 0.3 LSB, rounds to 0 nearest
+        nearest = f.dequantize(f.quantize(x)).mean()
+        assert nearest == 0.0
+        rng = np.random.default_rng(1)
+        stochastic = f.dequantize(
+            f.quantize(x, rounding="stochastic", rng=rng)
+        ).mean()
+        assert stochastic == pytest.approx(0.3 / 256, rel=0.05)
+
+    def test_saturation_still_applies(self):
+        f = QFormat(8, 4)
+        rng = np.random.default_rng(0)
+        raw = f.quantize(np.array([1e6]), rounding="stochastic", rng=rng)
+        assert raw[0] == f.raw_max

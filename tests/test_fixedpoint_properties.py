@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) on fixed-point arithmetic invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import QFormat, fixed_add, fixed_matmul, fixed_relu, requantize
+
+formats = st.tuples(st.integers(8, 32), st.integers(2, 8)).map(
+    lambda t: QFormat(t[0], min(t[1], t[0]))
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(formats, st.floats(-1000, 1000, allow_nan=False))
+def test_quantize_within_half_lsb_or_saturated(fmt, x):
+    raw = fmt.quantize(np.array(x))
+    val = fmt.dequantize(raw)
+    if fmt.value_min <= x <= fmt.value_max:
+        assert abs(val - x) <= fmt.scale / 2 + 1e-12
+    else:
+        assert val in (fmt.value_min, fmt.value_max)
+
+
+@settings(max_examples=60, deadline=None)
+@given(formats, st.floats(-100, 100, allow_nan=False))
+def test_quantize_idempotent(fmt, x):
+    once = fmt.roundtrip(np.array(x))
+    twice = fmt.roundtrip(once)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(formats)
+def test_raw_bounds_respected(fmt):
+    rng = np.random.default_rng(fmt.total_bits * 100 + fmt.int_bits)
+    x = rng.uniform(-1e6, 1e6, size=50)
+    raw = fmt.quantize(x)
+    assert raw.max() <= fmt.raw_max
+    assert raw.min() >= fmt.raw_min
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+def test_fixed_matmul_error_bound(m, k, n):
+    """|fixed - float| <= accumulation of per-element rounding errors."""
+    f = QFormat(32, 16)
+    rng = np.random.default_rng(m * 25 + k * 5 + n)
+    a = rng.uniform(-4, 4, size=(m, k))
+    b = rng.uniform(-4, 4, size=(k, n))
+    res = f.dequantize(fixed_matmul(f.quantize(a), f, f.quantize(b), f, f))
+    # rounding each input by <= LSB/2 propagates as <= k * (|a|+|b|) * LSB
+    bound = k * 8 * f.scale + f.scale
+    assert np.abs(res - a @ b).max() <= bound
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-10000, 10000), min_size=1, max_size=20))
+def test_relu_nonnegative_and_identity_on_positive(raws):
+    raw = np.array(raws, dtype=np.int64)
+    out = fixed_relu(raw)
+    assert (out >= 0).all()
+    np.testing.assert_array_equal(out[raw > 0], raw[raw > 0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(formats, st.floats(-50, 50, allow_nan=False))
+def test_requantize_to_wider_format_preserves_value(src, x):
+    # widen both total and fractional bits
+    dst = QFormat(min(src.total_bits + 10, 62), src.int_bits + 5)
+    raw = src.quantize(np.array(x))
+    widened = requantize(raw, src, dst)
+    assert dst.dequantize(widened) == src.dequantize(raw)
+
+
+@settings(max_examples=40, deadline=None)
+@given(formats, st.floats(-10, 10, allow_nan=False), st.floats(-10, 10, allow_nan=False))
+def test_fixed_add_commutative(fmt, x, y):
+    a, b = fmt.quantize(np.array(x)), fmt.quantize(np.array(y))
+    ab = fixed_add(a, fmt, b, fmt, fmt)
+    ba = fixed_add(b, fmt, a, fmt, fmt)
+    assert ab == ba

@@ -1,0 +1,296 @@
+"""Tests for the FPGA simulator: cycles, resources, DMA, power, board."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.designs import (
+    FIXED_DEFAULT,
+    FLOAT32,
+    botnet_mhsa_design,
+    botnet_mhsa_module,
+    proposed_mhsa_design,
+    proposed_mhsa_module,
+)
+from repro.fixedpoint import QFormat
+from repro.fpga import (
+    Arithmetic,
+    Buffer,
+    BufferPlan,
+    LoopNest,
+    MHSAAccelerator,
+    MHSADesign,
+    ZCU102,
+    ZCU104,
+    ZynqBoard,
+    bram_blocks,
+    dma_cycles,
+    ip_power_w,
+    matmul_nest,
+)
+from repro.fpga.axi import AxiPort
+from repro.fpga.buffers import mhsa_buffer_plan
+from repro.fpga.power import board_power_w, energy_efficiency
+
+
+class TestDevice:
+    def test_zcu104_inventory_matches_paper(self):
+        assert ZCU104.bram_18k == 624
+        assert ZCU104.dsp == 1728
+        assert ZCU104.ff == 460_800
+        assert ZCU104.lut == 230_400
+
+    def test_clock(self):
+        assert ZCU104.clock_ns == pytest.approx(5.0)
+
+    def test_zcu102_larger(self):
+        assert ZCU102.bram_18k > ZCU104.bram_18k
+
+
+class TestLoopNest:
+    def test_basic_cycles(self):
+        nest = LoopNest(trip=1000, ii=2, unroll=1, depth=4)
+        assert nest.cycles() == 2004
+
+    def test_unroll_divides_issues(self):
+        serial = LoopNest(trip=1024, ii=1, unroll=1, depth=0).cycles()
+        par = LoopNest(trip=1024, ii=1, unroll=128, depth=0).cycles()
+        assert serial / par == 128
+
+    def test_ceil_on_partial_unroll(self):
+        nest = LoopNest(trip=100, ii=1, unroll=64, depth=0)
+        assert nest.cycles() == 2
+
+    def test_zero_trip(self):
+        assert LoopNest(trip=0).cycles() == 0
+
+    def test_matmul_nest_trip(self):
+        assert matmul_nest(3, 4, 5).trip == 60
+
+
+class TestBram:
+    def test_small_buffer_one_block(self):
+        assert bram_blocks(100) == 1
+
+    def test_exact_block(self):
+        assert bram_blocks(18 * 1024) == 1
+        assert bram_blocks(18 * 1024 + 1) == 2
+
+    def test_partition_overhead(self):
+        """Partitioning rounds per bank: 64 banks of tiny buffers cost
+        64 blocks even when the payload fits one block."""
+        assert bram_blocks(1000, partition=64) == 64
+
+    def test_weight_buffer_512ch_24bit(self):
+        """W (512x512x24b) partitioned by 64 = 6 blocks x 64 banks."""
+        assert bram_blocks(512 * 512 * 24, partition=64) == 384
+
+    def test_invalid_partition(self):
+        with pytest.raises(ValueError):
+            bram_blocks(100, partition=0)
+
+
+class TestBufferPlan:
+    def test_naive_has_7_main_buffers(self):
+        plan = mhsa_buffer_plan(9, 512, 4, 32, 24, shared_weight_buffer=False)
+        names = {b.name for b in plan.buffers}
+        assert {"W_q", "W_k", "W_v", "X", "Q", "K", "V"} <= names
+
+    def test_shared_has_5_main_buffers(self):
+        plan = mhsa_buffer_plan(9, 512, 4, 32, 24, shared_weight_buffer=True)
+        names = {b.name for b in plan.buffers}
+        assert "W_shared" in names
+        assert "W_q" not in names
+
+    def test_shared_saves_two_weight_buffers(self):
+        naive = mhsa_buffer_plan(9, 512, 4, 32, 24, shared_weight_buffer=False)
+        shared = mhsa_buffer_plan(9, 512, 4, 32, 24, shared_weight_buffer=True)
+        w = Buffer("w", 512 * 512 * 24, 64).bram()
+        assert naive.total_bram() - shared.total_bram() == 2 * w
+
+
+class TestMHSADesignCycles:
+    def test_table3_totals_within_one_percent(self):
+        """Our schedule model must reproduce the paper's Table III."""
+        d = botnet_mhsa_design(FIXED_DEFAULT)
+        assert d.total_cycles(parallel=False) == pytest.approx(121_866_093, rel=0.01)
+        assert d.total_cycles(parallel=True) == pytest.approx(2_337_954, rel=0.01)
+
+    def test_projection_speedup_about_127x(self):
+        d = botnet_mhsa_design(FIXED_DEFAULT)
+        orig = d.stage_cycles(parallel=False)["XW^q, XW^k, XW^v (each)"]
+        par = d.stage_cycles(parallel=True)["XW^q, XW^k, XW^v (each)"]
+        assert orig / par == pytest.approx(127.08, rel=0.01)
+
+    def test_overall_speedup_about_52x(self):
+        d = botnet_mhsa_design(FIXED_DEFAULT)
+        assert d.total_cycles(False) / d.total_cycles(True) == pytest.approx(
+            52, rel=0.03
+        )
+
+    def test_float_slower_than_fixed(self):
+        fx = botnet_mhsa_design(FIXED_DEFAULT).total_cycles()
+        fl = botnet_mhsa_design(FLOAT32).total_cycles()
+        assert fl > 1.5 * fx
+
+    def test_smaller_config_much_faster(self):
+        big = botnet_mhsa_design(FIXED_DEFAULT).total_cycles()
+        small = proposed_mhsa_design(FIXED_DEFAULT).total_cycles()
+        assert small < big
+
+    def test_relative_pos_stage_optional(self):
+        with_r = MHSADesign(64, 6, 6, arithmetic=FIXED_DEFAULT, use_relative_pos=True)
+        without = MHSADesign(64, 6, 6, arithmetic=FIXED_DEFAULT, use_relative_pos=False)
+        assert "QR^T" in with_r.stage_cycles()
+        assert "QR^T" not in without.stage_cycles()
+        assert without.total_cycles() < with_r.total_cycles()
+
+    def test_invalid_heads_raises(self):
+        with pytest.raises(ValueError):
+            MHSADesign(10, 3, 3, heads=3)
+
+
+class TestMHSADesignResources:
+    def test_table1_shape_fixed_cuts_dsp_ff_lut(self):
+        """Table I: fixed-point slashes DSP (~5x) and FF (~3x)."""
+        fl = botnet_mhsa_design(FLOAT32, shared_weight_buffer=False).resource_report()
+        fx = botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=False).resource_report()
+        assert fx.dsp < fl.dsp / 4
+        assert fx.ff < fl.ff / 2
+        assert fx.lut < fl.lut
+        assert fx.bram < fl.bram
+
+    def test_table2_shape_shared_buffer_fits_device(self):
+        """Table II: naive overflows BRAM (>100%), shared fits (<100%)."""
+        naive = botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=False)
+        shared = botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=True)
+        assert not naive.resource_report().fits()
+        assert shared.resource_report().fits()
+
+    def test_table7_all_deployed_builds_fit(self):
+        for design in (
+            botnet_mhsa_design(FLOAT32),
+            botnet_mhsa_design(FIXED_DEFAULT),
+            proposed_mhsa_design(FLOAT32),
+            proposed_mhsa_design(FIXED_DEFAULT),
+        ):
+            assert design.resource_report().fits(), design.describe()
+
+    def test_paper_bram_within_15_percent(self):
+        ours = botnet_mhsa_design(FIXED_DEFAULT).resource_report().bram
+        assert ours == pytest.approx(559, rel=0.15)
+
+    def test_dsp_lane_model(self):
+        """137 DSP fixed vs 680 float at unroll 128 (Table I)."""
+        fx = botnet_mhsa_design(FIXED_DEFAULT).resource_report().dsp
+        fl = botnet_mhsa_design(FLOAT32).resource_report().dsp
+        assert fx == pytest.approx(137, rel=0.05)
+        assert fl == pytest.approx(680, rel=0.1)
+
+    def test_utilization_row_format(self):
+        row = botnet_mhsa_design(FIXED_DEFAULT).resource_report().row()
+        assert "%" in row
+
+
+class TestAxi:
+    def test_beats_for_narrow_words(self):
+        port = AxiPort(width_bits=32)
+        assert port.beats(100, 24) == 100  # one beat per sub-word value
+
+    def test_beats_for_wide_words(self):
+        port = AxiPort(width_bits=32)
+        assert port.beats(100, 64) == 200
+
+    def test_dma_totals(self):
+        d = botnet_mhsa_design(FIXED_DEFAULT)
+        dma = dma_cycles(d)
+        assert dma["weights"] > dma["input"]
+        assert dma["total"] == (
+            dma["weights"] + dma["rel_pos"] + dma["input"] + dma["output"]
+        )
+
+
+class TestPower:
+    def test_paper_operating_points(self):
+        """Sec. VI-B7: IP fixed ~0.87 W, float ~3.98 W."""
+        fx = ip_power_w(botnet_mhsa_design(FIXED_DEFAULT).resource_report(), 1.0)
+        fl = ip_power_w(botnet_mhsa_design(FLOAT32).resource_report(), 2.0)
+        assert fx == pytest.approx(0.866, rel=0.15)
+        assert fl == pytest.approx(3.977, rel=0.15)
+
+    def test_board_power_additive(self):
+        assert board_power_w(1.0) == pytest.approx(3.647)
+
+    def test_energy_efficiency_about_2x(self):
+        board = ZynqBoard()
+        d = botnet_mhsa_design(FIXED_DEFAULT)
+        acc = MHSAAccelerator(botnet_mhsa_module(), d)
+        eff = board.energy_efficiency(d, acc.latency().total_ms)
+        assert eff == pytest.approx(1.98, rel=0.1)
+
+
+class TestAccelerator:
+    def test_geometry_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MHSAAccelerator(proposed_mhsa_module(), botnet_mhsa_design(FIXED_DEFAULT))
+
+    def test_float_run_matches_software_reference(self, rng):
+        m = proposed_mhsa_module()
+        acc = MHSAAccelerator(m, proposed_mhsa_design(FLOAT32))
+        x = rng.normal(size=(1, 64, 6, 6)).astype(np.float32)
+        np.testing.assert_allclose(acc.run(x), m.forward_numpy(x), rtol=1e-5, atol=1e-5)
+
+    def test_fixed_run_close_to_float(self, rng):
+        m = proposed_mhsa_module()
+        acc = MHSAAccelerator(m, proposed_mhsa_design(FIXED_DEFAULT))
+        x = rng.normal(size=(1, 64, 6, 6)).astype(np.float32)
+        assert np.abs(acc.run(x) - m.forward_numpy(x)).max() < 0.05
+
+    def test_latency_stats_deterministic(self):
+        acc = MHSAAccelerator(botnet_mhsa_module(), botnet_mhsa_design(FIXED_DEFAULT))
+        s1 = acc.latency_stats(seed=7)
+        s2 = acc.latency_stats(seed=7)
+        assert s1 == s2
+        assert s1["max"] >= s1["mean"] > 0
+
+    def test_table9_fixed_latency(self):
+        acc = MHSAAccelerator(botnet_mhsa_module(), botnet_mhsa_design(FIXED_DEFAULT))
+        assert acc.latency().total_ms == pytest.approx(13.37, rel=0.05)
+
+    def test_table9_float_latency(self):
+        acc = MHSAAccelerator(botnet_mhsa_module(), botnet_mhsa_design(FLOAT32))
+        assert acc.latency().total_ms == pytest.approx(24.21, rel=0.08)
+
+
+class TestBoard:
+    def test_cpu_latency_matches_paper(self):
+        board = ZynqBoard()
+        ms = board.software_latency_ms(botnet_mhsa_design(FIXED_DEFAULT))
+        assert ms == pytest.approx(35.18, rel=0.05)
+
+    def test_speedup_fixed_about_2p63(self):
+        """Headline contribution (1): up to 2.63x over software."""
+        board = ZynqBoard()
+        d = botnet_mhsa_design(FIXED_DEFAULT)
+        sw = board.run_software(d)
+        hw = board.run_accelerated(botnet_mhsa_module(), d)
+        assert sw.mean_ms / hw.mean_ms == pytest.approx(2.63, rel=0.05)
+
+    def test_float_speedup_smaller(self):
+        board = ZynqBoard()
+        sw = board.run_software(botnet_mhsa_design(FLOAT32))
+        hw = board.run_accelerated(botnet_mhsa_module(), botnet_mhsa_design(FLOAT32))
+        speedup = sw.mean_ms / hw.mean_ms
+        assert 1.2 < speedup < 1.7  # paper: 1.45x
+
+    def test_compare_returns_all_modes(self):
+        board = ZynqBoard()
+        results = board.compare(
+            botnet_mhsa_module(),
+            {
+                "FPGA (float)": botnet_mhsa_design(FLOAT32),
+                "FPGA (fixed)": botnet_mhsa_design(FIXED_DEFAULT),
+            },
+            n=10,
+        )
+        assert [r.mode for r in results] == ["CPU", "FPGA (float)", "FPGA (fixed)"]
+        assert results[0].mean_ms > results[1].mean_ms > results[2].mean_ms

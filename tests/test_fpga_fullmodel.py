@@ -1,0 +1,83 @@
+"""Tests for the full-model FPGA design study and the HLS report."""
+
+import pytest
+
+from repro.experiments import FIXED_DEFAULT, FLOAT32
+from repro.experiments.designs import botnet_mhsa_design
+from repro.fpga import FullModelDesign, ZynqBoard, hls_report
+from repro.models import build_model
+from repro.profiling import model_macs
+
+
+class TestFullModelDesign:
+    @pytest.fixture(scope="class")
+    def proposed(self):
+        return build_model("ode_botnet", profile="paper")
+
+    def test_rejects_non_odenet(self):
+        with pytest.raises(TypeError):
+            FullModelDesign(build_model("resnet50", profile="tiny"))
+
+    def test_mac_count_matches_profiler(self, proposed):
+        """The layer table must agree with the independent MAC counter."""
+        d = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT)
+        profiler = model_macs(proposed)
+        assert d.total_macs() == pytest.approx(profiler, rel=0.05)
+
+    def test_weights_fit_in_uram(self, proposed):
+        """The abstract's enabler: the 0.5M-parameter model keeps all
+        weights on-chip in URAM (impossible for 19M-param BoTNet50)."""
+        d = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT)
+        assert d.weights_fit_on_chip()
+        # BoTNet50 would not fit: 18.8M params x 24b >> 96 x 288Kb
+        botnet_bits = 18_822_218 * 24
+        assert botnet_bits / (288 * 1024) > d.device.uram
+
+    def test_layer_table_structure(self, proposed):
+        d = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT)
+        names = [l.name for l in d.layers]
+        assert names == ["stem", "block1", "down_block1", "block2",
+                         "down_block2", "block3", "fc"]
+        assert all(l.cycles > 0 for l in d.layers)
+
+    def test_full_offload_beats_software(self, proposed):
+        """Future-work payoff: whole-model PL execution is much faster
+        than the PS software baseline."""
+        d = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT)
+        board = ZynqBoard()
+        sw_ms = d.total_macs() / (board.ps_gmacs * 1e9) * 1e3
+        assert sw_ms / d.latency_ms() > 3
+
+    def test_fixed_faster_than_float(self, proposed):
+        fx = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT)
+        fl = FullModelDesign(proposed, arithmetic=FLOAT32)
+        assert fx.latency_ms() < fl.latency_ms()
+
+    def test_resources_fit(self, proposed):
+        d = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT)
+        assert d.resource_report().fits()
+
+    def test_unroll_reduces_latency(self, proposed):
+        d1 = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT, unroll=32)
+        d2 = FullModelDesign(proposed, arithmetic=FIXED_DEFAULT, unroll=128)
+        assert d2.total_cycles() < d1.total_cycles()
+
+
+class TestHlsReport:
+    def test_report_contains_key_sections(self):
+        text = hls_report(botnet_mhsa_design(FIXED_DEFAULT))
+        for needle in ("Performance & Resource Estimates", "Loop summary",
+                       "Utilization estimates", "Buffer plan", "BRAM_18K",
+                       "XW^q, XW^k, XW^v", "MEETS"):
+            assert needle in text
+
+    def test_report_flags_overflowing_design(self):
+        text = hls_report(
+            botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=False)
+        )
+        assert "EXCEEDS" in text
+
+    def test_original_schedule_report(self):
+        par = hls_report(botnet_mhsa_design(FIXED_DEFAULT), parallel=True)
+        orig = hls_report(botnet_mhsa_design(FIXED_DEFAULT), parallel=False)
+        assert par != orig

@@ -1,0 +1,59 @@
+"""Tests for the accelerator execution trace / Gantt rendering."""
+
+import pytest
+
+from repro.experiments.designs import FIXED_DEFAULT, botnet_mhsa_design
+from repro.fpga import execution_trace, format_gantt
+from repro.fpga.axi import HP0, dma_cycles
+
+
+class TestTrace:
+    def test_total_matches_cycle_model(self):
+        """Trace end == design.total_cycles() + the I/O DMA terms — the
+        trace and the analytical model must tell one story."""
+        design = botnet_mhsa_design(FIXED_DEFAULT)
+        events = execution_trace(design)
+        dma = dma_cycles(design, HP0)
+        expected = design.total_cycles() + dma["input"] + dma["output"] + dma["rel_pos"]
+        assert max(e.end for e in events) == expected
+
+    def test_dataflow_total_matches_too(self):
+        design = botnet_mhsa_design(FIXED_DEFAULT, dataflow=True)
+        events = execution_trace(design)
+        dma = dma_cycles(design, HP0)
+        expected = design.total_cycles() + dma["input"] + dma["output"] + dma["rel_pos"]
+        assert max(e.end for e in events) == expected
+
+    def test_sequential_events_do_not_overlap(self):
+        events = execution_trace(botnet_mhsa_design(FIXED_DEFAULT))
+        for prev, cur in zip(events, events[1:]):
+            assert cur.start >= prev.start  # chronological
+        # in the sequential schedule, loads and projections alternate
+        compute = [e for e in events if e.name.startswith(("load", "proj"))]
+        for prev, cur in zip(compute, compute[1:]):
+            assert cur.start >= prev.end
+
+    def test_dataflow_overlaps_loads_with_projections(self):
+        events = {e.name: e for e in
+                  execution_trace(botnet_mhsa_design(FIXED_DEFAULT, dataflow=True))}
+        # the W^k load starts while the W^q projection runs
+        assert events["load W^k"].start < events["proj X·W^q"].end
+
+    def test_three_projections_present(self):
+        events = execution_trace(botnet_mhsa_design(FIXED_DEFAULT))
+        names = [e.name for e in events]
+        assert sum(n.startswith("proj") for n in names) == 3
+        assert sum(n.startswith("load W") for n in names) == 3
+
+    def test_gantt_renders_every_event(self):
+        events = execution_trace(botnet_mhsa_design(FIXED_DEFAULT))
+        text = format_gantt(events)
+        for e in events:
+            assert e.name in text
+        assert "#" in text
+
+    def test_no_relative_pos_variant(self):
+        design = botnet_mhsa_design(FIXED_DEFAULT, use_relative_pos=False)
+        names = [e.name for e in execution_trace(design)]
+        assert "DMA: R in" not in names
+        assert "QR^T" not in names

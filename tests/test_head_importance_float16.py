@@ -1,0 +1,104 @@
+"""Tests for head-importance analysis and the float16 design point."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.experiments.designs import proposed_mhsa_design, proposed_mhsa_module
+from repro.fpga import Arithmetic, MHSAAccelerator
+from repro.models import build_model
+from repro.profiling import head_importance
+from repro.tensor import Tensor, no_grad
+
+
+class TestHeadMask:
+    def test_mask_all_ones_is_identity(self, rng):
+        m = nn.MHSA2d(8, 3, 3, heads=2, rng=rng)
+        x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            m.forward_numpy(x, head_mask=np.ones(2)), m.forward_numpy(x)
+        )
+
+    def test_zero_mask_kills_output(self, rng):
+        m = nn.MHSA2d(8, 3, 3, heads=2, pos_enc="none",
+                      attention_activation="softmax", rng=rng)
+        x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
+        out = m.forward_numpy(x, head_mask=np.zeros(2))
+        np.testing.assert_allclose(out, 0.0, atol=1e-7)
+
+    def test_single_head_masked_zeroes_its_channels(self, rng):
+        m = nn.MHSA2d(8, 3, 3, heads=2, pos_enc="none", rng=rng)
+        x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
+        out = m.forward_numpy(x, head_mask=np.array([0.0, 1.0]))
+        # head 0 owns the first Dh=4 channels of the concatenated output
+        np.testing.assert_allclose(out[:, :4], 0.0, atol=1e-7)
+        assert np.abs(out[:, 4:]).max() > 0
+
+
+class TestHeadImportance:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.data import DataLoader, SynthSTL
+        from repro.experiments.quantization import trained_proposed_model
+
+        model = trained_proposed_model(profile="tiny", epochs=5,
+                                       n_train_per_class=30)
+        test = SynthSTL("test", size=32, n_per_class=10, seed=0)
+        images, labels = next(iter(DataLoader(test, batch_size=len(test))))
+        return model, images, labels
+
+    def test_rows_structure(self, setup):
+        model, images, labels = setup
+        rows = head_importance(model, images, labels)
+        assert rows[0]["head"] is None
+        assert len(rows) == 1 + model.mhsa.heads
+        assert all(r["drop"] == pytest.approx(
+            rows[0]["accuracy"] - r["accuracy"], abs=1e-9
+        ) for r in rows[1:])
+
+    def test_forward_restored(self, setup):
+        model, images, labels = setup
+        with no_grad():
+            before = model(Tensor(images)).data
+        head_importance(model, images, labels)
+        with no_grad():
+            after = model(Tensor(images)).data
+        np.testing.assert_array_equal(before, after)
+
+    def test_requires_single_mhsa(self, rng):
+        model = build_model("odenet", profile="tiny")
+        with pytest.raises(ValueError):
+            head_importance(model, np.zeros((1, 3, 32, 32), dtype=np.float32),
+                            np.zeros(1, dtype=np.int64))
+
+
+class TestFloat16Design:
+    def test_sits_between_fixed_and_float32(self):
+        fixed = proposed_mhsa_design(Arithmetic.fixed(
+            __import__("repro.fixedpoint", fromlist=["QFormat"]).QFormat(32, 16),
+            __import__("repro.fixedpoint", fromlist=["QFormat"]).QFormat(24, 8),
+        ))
+        f16 = proposed_mhsa_design(Arithmetic.float16())
+        f32 = proposed_mhsa_design(Arithmetic.float32())
+        assert fixed.total_cycles() < f16.total_cycles() < f32.total_cycles()
+        assert (fixed.resource_report().dsp < f16.resource_report().dsp
+                < f32.resource_report().dsp)
+
+    def test_functional_output_close_to_float32(self, rng):
+        m = proposed_mhsa_module()
+        acc = MHSAAccelerator(m, proposed_mhsa_design(Arithmetic.float16()))
+        x = rng.normal(size=(1, 64, 6, 6)).astype(np.float32)
+        ref = m.forward_numpy(x)
+        out = acc.run(x)
+        assert np.abs(out - ref).max() < 0.05
+        # output values are representable in fp16
+        np.testing.assert_array_equal(out, out.astype(np.float16).astype(np.float32))
+
+    def test_codegen_uses_half(self):
+        from repro.fpga import generate_hls_kernel
+
+        src = generate_hls_kernel(proposed_mhsa_design(Arithmetic.float16()))
+        assert "typedef half feat_t;" in src
+
+    def test_str(self):
+        assert str(Arithmetic.float16()) == "float16"

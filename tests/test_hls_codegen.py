@@ -1,0 +1,89 @@
+"""Tests for the HLS kernel generator."""
+
+import pytest
+
+from repro.experiments import FIXED_DEFAULT, FLOAT32
+from repro.experiments.designs import botnet_mhsa_design, proposed_mhsa_design
+from repro.fpga import generate_hls_kernel
+
+
+class TestGeneratedKernel:
+    def test_fixed_point_types(self):
+        src = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        assert "typedef ap_fixed<32, 16> feat_t;" in src
+        assert "typedef ap_fixed<24, 8> param_t;" in src
+
+    def test_float_types(self):
+        src = generate_hls_kernel(botnet_mhsa_design(FLOAT32))
+        assert "typedef float feat_t;" in src
+
+    def test_geometry_constants(self):
+        src = generate_hls_kernel(proposed_mhsa_design(FIXED_DEFAULT))
+        assert "#define D 64" in src
+        assert "#define N 36" in src
+        assert "#define HEADS 4" in src
+        assert "#define DH 16" in src
+
+    def test_unroll_pragma_matches_design(self):
+        src = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT, unroll=128))
+        assert "#pragma HLS UNROLL factor=128" in src
+
+    def test_partition_pragmas(self):
+        src = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        assert "ARRAY_PARTITION variable=W cyclic factor=64" in src
+        assert "ARRAY_PARTITION variable=X cyclic factor=64" in src
+
+    def test_shared_buffer_single_w(self):
+        src = generate_hls_kernel(
+            botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=True)
+        )
+        assert "param_t W[D][D];" in src
+        assert "param_t Wq" not in src
+
+    def test_naive_buffers_three_w(self):
+        src = generate_hls_kernel(
+            botnet_mhsa_design(FIXED_DEFAULT, shared_weight_buffer=False)
+        )
+        for name in ("Wq", "Wk", "Wv"):
+            assert f"param_t {name}[D][D];" in src
+
+    def test_axi_interfaces(self):
+        src = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        assert "#pragma HLS INTERFACE axis port=in_stream" in src
+        assert "s_axilite" in src
+
+    def test_relative_pos_stage_toggles(self):
+        with_r = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        assert "R[HEADS][N][DH]" in with_r
+        without = generate_hls_kernel(
+            botnet_mhsa_design(FIXED_DEFAULT, use_relative_pos=False)
+        )
+        assert "R[HEADS][N][DH]" not in without
+
+    def test_layernorm_stage_toggles(self):
+        with_ln = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        assert "LayerNorm" in with_ln
+        without = generate_hls_kernel(
+            botnet_mhsa_design(FIXED_DEFAULT, use_layernorm=False)
+        )
+        assert "LayerNorm" not in without
+
+    def test_custom_top_name(self):
+        src = generate_hls_kernel(
+            botnet_mhsa_design(FIXED_DEFAULT), top_name="my_kernel"
+        )
+        assert "void my_kernel(" in src
+
+    def test_deterministic(self):
+        a = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        b = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        assert a == b
+
+    def test_scale_constant_embedded(self):
+        src = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        # 1/sqrt(128) for the (512, 4-head) geometry
+        assert "0.088388348" in src
+
+    def test_balanced_braces(self):
+        src = generate_hls_kernel(botnet_mhsa_design(FIXED_DEFAULT))
+        assert src.count("{") == src.count("}")

@@ -1,0 +1,97 @@
+"""End-to-end integration tests spanning the whole stack.
+
+Each test exercises a full pipeline the way a user of the library
+would: train -> checkpoint -> reload -> quantise -> accelerate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, SynthSTL
+from repro.experiments import FIXED_DEFAULT
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.quantized_mhsa import use_quantized_mhsa
+from repro.fpga import MHSAAccelerator, MHSADesign
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+from repro.train import (
+    SGD,
+    CosineAnnealingWarmRestarts,
+    Trainer,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Train, checkpoint, reload — shared by the tests below."""
+    train = SynthSTL("train", size=32, n_per_class=30, seed=0)
+    test = SynthSTL("test", size=32, n_per_class=15, seed=0)
+    model = build_model("ode_botnet", profile="tiny", seed=0)
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
+    trainer = Trainer(model, opt, CosineAnnealingWarmRestarts(opt, T_0=10))
+    history = trainer.fit(
+        DataLoader(train, batch_size=32, shuffle=True, seed=1),
+        DataLoader(test, batch_size=64),
+        epochs=6,
+    )
+    path = tmp_path_factory.mktemp("ckpt") / "model.npz"
+    save_checkpoint(path, model, optimizer=opt,
+                    metadata={"best": history.best()[1]})
+    reloaded = build_model("ode_botnet", profile="tiny", seed=99)
+    meta = load_checkpoint(path, reloaded)
+    reloaded.eval()
+    images, labels = next(iter(DataLoader(test, batch_size=len(test))))
+    return reloaded, meta, images, labels, history
+
+
+class TestTrainedPipeline:
+    def test_training_reached_useful_accuracy(self, pipeline):
+        _, meta, _, _, history = pipeline
+        assert history.best()[1] > 0.7
+        assert meta["best"] == pytest.approx(history.best()[1])
+
+    def test_reloaded_model_predicts(self, pipeline):
+        model, _, images, labels, _ = pipeline
+        with no_grad():
+            logits = model(Tensor(images)).data
+        acc = np.mean(np.argmax(logits, axis=-1) == labels)
+        assert acc > 0.7
+
+    def test_quantised_inference_matches_float(self, pipeline):
+        model, _, images, labels, _ = pipeline
+        with no_grad():
+            ref = model(Tensor(images)).data
+        with use_quantized_mhsa(model, QFormat(32, 16), QFormat(24, 8)):
+            with no_grad():
+                quant = model(Tensor(images)).data
+        # paper Table VIII: no degradation at 32(16)-24(8)
+        assert (np.argmax(ref, -1) == np.argmax(quant, -1)).mean() > 0.98
+
+    def test_trained_mhsa_runs_on_accelerator(self, pipeline):
+        model, _, _, _, _ = pipeline
+        mhsa = model.mhsa
+        design = MHSADesign(
+            mhsa.channels, mhsa.height, mhsa.width, heads=mhsa.heads,
+            arithmetic=FIXED_DEFAULT,
+        )
+        acc = MHSAAccelerator(mhsa, design)
+        x = np.random.default_rng(0).normal(
+            size=(2, mhsa.channels, mhsa.height, mhsa.width)
+        ).astype(np.float32)
+        hw = acc.run(x)
+        sw = mhsa.forward_numpy(x)
+        assert np.abs(hw - sw).max() < 0.01
+        assert design.resource_report().fits()
+        assert acc.latency().total_ms > 0
+
+    def test_full_quantised_network_agrees(self, pipeline):
+        from repro.fixedpoint import QuantizedODENetExecutor
+
+        model, _, images, labels, _ = pipeline
+        executor = QuantizedODENetExecutor(model, QFormat(32, 16), QFormat(24, 8))
+        logits = executor.run(images)
+        with no_grad():
+            ref = model(Tensor(images)).data
+        assert (np.argmax(ref, -1) == np.argmax(logits, -1)).mean() > 0.98

@@ -1,0 +1,72 @@
+"""Tests for the training-memory estimator and accelerator throughput."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.designs import FIXED_DEFAULT, botnet_mhsa_design, botnet_mhsa_module
+from repro.fpga import MHSAAccelerator
+from repro.models import build_model
+from repro.profiling import memory_table, training_memory_bytes
+
+
+class TestTrainingMemory:
+    @pytest.fixture
+    def block(self):
+        return build_model("ode_botnet", profile="paper").block3
+
+    def test_backprop_scales_with_steps(self, block):
+        shape = (1, 256, 6, 6)
+        m10 = training_memory_bytes(block, shape, "backprop")
+        block.steps = 20
+        m20 = training_memory_bytes(block, shape, "backprop")
+        block.steps = 10
+        assert m20 == 2 * m10
+
+    def test_adjoint_independent_of_steps(self, block):
+        shape = (1, 256, 6, 6)
+        a10 = training_memory_bytes(block, shape, "adjoint")
+        block.steps = 40
+        a40 = training_memory_bytes(block, shape, "adjoint")
+        block.steps = 10
+        assert a10 == a40
+
+    def test_ordering(self, block):
+        shape = (2, 256, 6, 6)
+        rows = {r["strategy"]: r["bytes"] for r in memory_table(block, shape)}
+        assert rows["adjoint"] < rows["checkpoint"] < rows["backprop"]
+
+    def test_ratio_column(self, block):
+        rows = memory_table(block, (1, 256, 6, 6))
+        assert rows[0]["ratio"] == 1.0
+        assert all(0 < r["ratio"] <= 1.0 for r in rows)
+
+    def test_conv_block_supported(self):
+        model = build_model("odenet", profile="paper")
+        b = training_memory_bytes(model.block1, (1, 64, 24, 24), "backprop")
+        assert b > 0
+
+    def test_unknown_strategy_raises(self, block):
+        with pytest.raises(ValueError):
+            training_memory_bytes(block, (1, 256, 6, 6), "magic")
+
+    def test_batch_scales_linearly(self, block):
+        b1 = training_memory_bytes(block, (1, 256, 6, 6), "backprop")
+        b4 = training_memory_bytes(block, (4, 256, 6, 6), "backprop")
+        assert b4 == 4 * b1
+
+
+class TestThroughput:
+    def test_batch_one_matches_latency(self):
+        acc = MHSAAccelerator(botnet_mhsa_module(), botnet_mhsa_design(FIXED_DEFAULT))
+        tput = acc.throughput_per_s(batch=1)
+        assert tput == pytest.approx(1.0 / (acc.latency().total_ms * 1e-3), rel=1e-9)
+
+    def test_pipelining_improves_throughput(self):
+        acc = MHSAAccelerator(botnet_mhsa_module(), botnet_mhsa_design(FIXED_DEFAULT))
+        t1 = acc.throughput_per_s(batch=1)
+        t16 = acc.throughput_per_s(batch=16)
+        assert t16 > t1
+        # bounded by the steady-state rate (driver fully hidden)
+        lat = acc.latency()
+        ceiling = 1.0 / ((lat.kernel_ms + lat.dma_ms) * 1e-3)
+        assert t16 < ceiling

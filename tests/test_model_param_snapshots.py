@@ -1,0 +1,43 @@
+"""Exact parameter-count snapshots — regression anchors.
+
+Any architecture change that silently alters a model's parameter count
+breaks the Table IV reproduction; these snapshots pin the current
+values exactly (update them deliberately when the architecture changes,
+and re-check against the paper in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.models import build_model
+
+PAPER_SNAPSHOT = {
+    "resnet50": 23_528_522,
+    "botnet50": 18_822_218,
+    "odenet": 565_760,
+    "ode_botnet": 475_246,
+    "vit_base": 85_683_466,
+    "alternet50": 21_451_850,
+}
+
+TINY_SNAPSHOT = {
+    "resnet50": 130_962,
+    "botnet50": 106_642,
+    "odenet": 11_640,
+    "ode_botnet": 10_822,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(PAPER_SNAPSHOT.items()))
+def test_paper_profile_param_snapshot(name, expected):
+    assert build_model(name, profile="paper").num_parameters() == expected
+
+
+@pytest.mark.parametrize("name,expected", sorted(TINY_SNAPSHOT.items()))
+def test_tiny_profile_param_snapshot(name, expected):
+    assert build_model(name, profile="tiny").num_parameters() == expected
+
+
+def test_paper_reduction_headline():
+    """The number quoted throughout README/EXPERIMENTS: 97.5%."""
+    reduction = 1 - PAPER_SNAPSHOT["ode_botnet"] / PAPER_SNAPSHOT["botnet50"]
+    assert reduction == pytest.approx(0.9748, abs=0.0005)

@@ -1,0 +1,231 @@
+"""Tests for the five models: shapes, parameter counts, Table IV claims."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MODELS,
+    BoTNet,
+    MHSABlock,
+    ODENet,
+    ResNet,
+    ViT,
+    build_model,
+)
+from repro.tensor import Tensor, no_grad
+
+
+class TestResNet:
+    def test_tiny_forward_shape(self, rng):
+        m = build_model("resnet50", profile="tiny")
+        out = m(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_stage_downsampling(self, rng):
+        m = ResNet(block_counts=(1, 1, 1, 1), base_width=8, input_size=32, rng=rng)
+        assert m.final_fmap == 32 // 32  # /4 stem, /2 per later stage
+        assert m.final_channels == 8 * 8 * 4
+
+    def test_bottleneck_shortcut_identity_when_possible(self, rng):
+        from repro.models.resnet import Bottleneck
+
+        block = Bottleneck(64, 16, stride=1, rng=rng)
+        assert isinstance(block.shortcut, nn.Identity)
+        block2 = Bottleneck(64, 32, stride=2, rng=rng)
+        assert not isinstance(block2.shortcut, nn.Identity)
+
+    def test_paper_param_count_close(self):
+        """Table IV: ResNet50 = 23,522,362 params (10 classes)."""
+        m = build_model("resnet50", profile="paper")
+        assert m.num_parameters() == pytest.approx(23_522_362, rel=0.01)
+
+    def test_backward_through_tiny(self, rng):
+        m = build_model("resnet50", profile="tiny")
+        out = m(Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32)))
+        out.sum().backward()
+        grads = [p.grad is not None for p in m.parameters()]
+        assert all(grads)
+
+
+class TestBoTNet:
+    def test_last_stage_uses_mhsa(self):
+        m = build_model("botnet50", profile="tiny")
+        stage4_mhsa = [x for x in m.stage4.modules() if isinstance(x, nn.MHSA2d)]
+        stage3_mhsa = [x for x in m.stage3.modules() if isinstance(x, nn.MHSA2d)]
+        assert len(stage4_mhsa) >= 1
+        assert len(stage3_mhsa) == 0
+
+    def test_fewer_params_than_resnet(self):
+        """Table IV: BoTNet50 < ResNet50 (19.7% reduction at paper scale)."""
+        r = build_model("resnet50", profile="paper").num_parameters()
+        b = build_model("botnet50", profile="paper").num_parameters()
+        assert b < r
+        assert 1 - b / r == pytest.approx(0.197, abs=0.03)
+
+    def test_paper_param_count_close(self):
+        m = build_model("botnet50", profile="paper")
+        assert m.num_parameters() == pytest.approx(18_885_962, rel=0.01)
+
+    def test_forward_tiny(self, rng):
+        m = build_model("botnet50", profile="tiny")
+        out = m(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_strided_mhsa_block_pools(self, rng):
+        block = MHSABlock(32, 16, stride=2, fmap_size=8, rng=rng)
+        out = block(Tensor(rng.normal(size=(1, 32, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 64, 4, 4)
+
+    def test_botnet50_mhsa_geometry_is_512_3x3(self):
+        """The FPGA-accelerated configuration of Tables I-III."""
+        m = build_model("botnet50", profile="paper")
+        mhsas = [x for x in m.stage4.modules() if isinstance(x, nn.MHSA2d)]
+        assert {a.channels for a in mhsas} == {512}
+        assert mhsas[-1].height == 3
+
+
+class TestODENet:
+    def test_forward_tiny(self, rng):
+        m = build_model("odenet", profile="tiny")
+        out = m(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_params_much_smaller_than_resnet(self):
+        """Table IV: Neural ODE is ~40x smaller than ResNet50."""
+        r = build_model("resnet50", profile="paper").num_parameters()
+        o = build_model("odenet", profile="paper").num_parameters()
+        assert o < r / 30
+
+    def test_paper_param_count_order(self):
+        m = build_model("odenet", profile="paper")
+        assert m.num_parameters() == pytest.approx(599_309, rel=0.15)
+
+    def test_invalid_input_size_raises(self):
+        with pytest.raises(ValueError):
+            ODENet(input_size=50)
+
+    def test_steps_change_depth_not_params(self):
+        m4 = build_model("odenet", profile="tiny", steps=4)
+        m16 = build_model("odenet", profile="tiny", steps=16)
+        assert m4.num_parameters() == m16.num_parameters()
+
+    def test_mhsa_property_raises_for_conv_model(self):
+        m = build_model("odenet", profile="tiny")
+        with pytest.raises(AttributeError):
+            _ = m.mhsa
+
+
+class TestProposedModel:
+    def test_forward_tiny(self, rng):
+        m = build_model("ode_botnet", profile="tiny")
+        out = m(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_headline_reduction_vs_botnet(self):
+        """The paper's core claim: 97.3% parameter reduction vs BoTNet50."""
+        b = build_model("botnet50", profile="paper").num_parameters()
+        p = build_model("ode_botnet", profile="paper").num_parameters()
+        reduction = 1 - p / b
+        assert reduction == pytest.approx(0.973, abs=0.01)
+
+    def test_fewer_params_than_odenet(self):
+        """Table IV ordering: proposed < Neural ODE."""
+        o = build_model("odenet", profile="paper").num_parameters()
+        p = build_model("ode_botnet", profile="paper").num_parameters()
+        assert p < o
+
+    def test_paper_param_count_order(self):
+        m = build_model("ode_botnet", profile="paper")
+        assert m.num_parameters() == pytest.approx(513_275, rel=0.15)
+
+    def test_mhsa_geometry_is_64_6x6(self):
+        """The deployed accelerator configuration (Table VII/IX)."""
+        m = build_model("ode_botnet", profile="paper")
+        assert m.mhsa.channels == 64
+        assert (m.mhsa.height, m.mhsa.width) == (6, 6)
+        assert m.mhsa.heads == 4
+
+    def test_uses_relu_attention_and_layernorm(self):
+        """Paper Sec. V-A: ReLU attention + output LayerNorm."""
+        m = build_model("ode_botnet", profile="paper")
+        assert m.mhsa.attention_activation == "relu"
+        assert m.mhsa.norm is not None
+
+    def test_trains_one_step(self, rng):
+        from repro.train import SGD, CrossEntropyLoss
+
+        m = build_model("ode_botnet", profile="tiny")
+        x = Tensor(rng.normal(size=(4, 3, 32, 32)).astype(np.float32))
+        y = np.array([0, 1, 2, 3])
+        loss = CrossEntropyLoss()(m(x), y)
+        loss.backward()
+        SGD(m.parameters(), lr=0.01).step()
+
+
+class TestViT:
+    def test_forward_tiny(self, rng):
+        m = build_model("vit_base", profile="tiny")
+        out = m(Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_vit_base_is_largest(self):
+        """Table IV ordering: ViT-Base dwarfs everything else."""
+        v = build_model("vit_base", profile="paper").num_parameters()
+        r = build_model("resnet50", profile="paper").num_parameters()
+        assert v > 3 * r
+        assert v == pytest.approx(78_218_506, rel=0.15)
+
+    def test_patch_count(self):
+        m = ViT(image_size=96, patch_size=16, dim=32, depth=1, heads=2)
+        assert m.num_patches == 36
+
+    def test_bad_patch_size_raises(self):
+        with pytest.raises(ValueError):
+            ViT(image_size=96, patch_size=13)
+
+    def test_cls_token_gradient(self, rng):
+        m = build_model("vit_base", profile="tiny")
+        m(Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))).sum().backward()
+        assert m.cls_token.grad is not None
+        assert m.pos_embed.grad is not None
+
+
+class TestRegistry:
+    def test_all_models_buildable_tiny(self):
+        for name in MODELS:
+            m = build_model(name, profile="tiny")
+            assert m.num_parameters() > 0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            build_model("alexnet")
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            build_model("resnet50", profile="huge")
+
+    def test_override_forwarding(self):
+        m = build_model("odenet", profile="tiny", steps=3)
+        assert m.block1.steps == 3
+
+    def test_table4_full_ordering(self):
+        """Table IV: ViT > ResNet50 > BoTNet50 >> ODENet > proposed."""
+        params = {
+            name: build_model(name, profile="paper").num_parameters()
+            for name in MODELS
+        }
+        assert (
+            params["vit_base"]
+            > params["resnet50"]
+            > params["botnet50"]
+            > params["odenet"]
+            > params["ode_botnet"]
+        )
+
+    def test_deterministic_by_seed(self, rng):
+        m1 = build_model("ode_botnet", profile="tiny", seed=42)
+        m2 = build_model("ode_botnet", profile="tiny", seed=42)
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_array_equal(m1(x).data, m2(x).data)

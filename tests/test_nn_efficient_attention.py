@@ -1,0 +1,138 @@
+"""Tests for LinearAttention2d and WindowAttention2d."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck, no_grad
+
+
+class TestLinearAttention:
+    def test_shape_preserved(self, rng):
+        m = nn.LinearAttention2d(8, 4, 4, heads=2, rng=rng)
+        out = m(Tensor(rng.normal(size=(2, 8, 4, 4)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_invalid_heads_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.LinearAttention2d(10, 4, 4, heads=3, rng=rng)
+
+    def test_invalid_phi_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.LinearAttention2d(8, 4, 4, phi="cosine", rng=rng)
+
+    def test_wrong_input_shape_raises(self, rng):
+        m = nn.LinearAttention2d(8, 4, 4, rng=rng)
+        with pytest.raises(ValueError):
+            m(Tensor(np.zeros((1, 8, 5, 5), dtype=np.float32)))
+
+    def test_params_match_mhsa_projections(self, rng):
+        """Same 3 D^2 projection cost as MHSA but no position table."""
+        m = nn.LinearAttention2d(16, 4, 4, heads=4, rng=rng)
+        assert m.num_parameters() == 3 * 16 * 16
+
+    def test_gradients_flow(self, rng):
+        m = nn.LinearAttention2d(8, 3, 3, heads=2, out_layernorm=True, rng=rng)
+        x = Tensor(rng.normal(size=(1, 8, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        m(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in m.parameters())
+
+    def test_gradcheck(self, rng):
+        m = nn.LinearAttention2d(4, 2, 2, heads=2, rng=rng)
+        for p in m.parameters():
+            p.data = p.data.astype(np.float64)
+        gradcheck(lambda t: m(t), [rng.normal(size=(1, 4, 2, 2)) * 0.5])
+
+    def test_relu_phi_variant(self, rng):
+        m = nn.LinearAttention2d(8, 3, 3, heads=2, phi="relu", rng=rng)
+        out = m(Tensor(rng.normal(size=(1, 8, 3, 3)).astype(np.float32)))
+        assert np.isfinite(out.data).all()
+
+    def test_output_is_convex_combination_of_values(self, rng):
+        """Linear attention weights are positive and normalised, so each
+        output coordinate lies within the values' range per head."""
+        m = nn.LinearAttention2d(4, 3, 3, heads=1, rng=rng)
+        x = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        with no_grad():
+            tokens = Tensor(x).reshape(1, 4, 9).transpose(0, 2, 1)
+            v = (tokens @ m.w_v).data  # (1, 9, 4)
+            out = m(Tensor(x)).data.reshape(1, 4, 9).transpose(0, 2, 1)
+        eps = 1e-3
+        assert (out <= v.max(axis=1, keepdims=True) + eps).all()
+        assert (out >= v.min(axis=1, keepdims=True) - eps).all()
+
+
+class TestWindowAttention:
+    def test_shape_preserved(self, rng):
+        m = nn.WindowAttention2d(8, 4, 6, heads=2, window=2, rng=rng)
+        out = m(Tensor(rng.normal(size=(2, 8, 4, 6)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 6)
+
+    def test_window_must_divide(self, rng):
+        with pytest.raises(ValueError):
+            nn.WindowAttention2d(8, 5, 5, window=2, rng=rng)
+
+    def test_locality(self, rng):
+        """Changing a pixel in one window must not affect other windows
+        (the defining property of fixed-pattern attention)."""
+        m = nn.WindowAttention2d(4, 4, 4, heads=2, window=2,
+                                 pos_enc="none", rng=rng)
+        x = rng.normal(size=(1, 4, 4, 4)).astype(np.float32)
+        x2 = x.copy()
+        x2[0, :, 0, 0] += 5.0  # perturb top-left window only
+        with no_grad():
+            a = m(Tensor(x)).data
+            b = m(Tensor(x2)).data
+        # bottom-right window untouched
+        np.testing.assert_allclose(a[0, :, 2:, 2:], b[0, :, 2:, 2:], atol=1e-6)
+        # top-left window changed
+        assert not np.allclose(a[0, :, :2, :2], b[0, :, :2, :2])
+
+    def test_full_window_equals_mhsa_math(self, rng):
+        """window == feature map: the result must match MHSA2d with the
+        same weights."""
+        m_win = nn.WindowAttention2d(8, 3, 3, heads=2, window=3,
+                                     pos_enc="none", rng=np.random.default_rng(5))
+        m_full = nn.MHSA2d(8, 3, 3, heads=2, pos_enc="none",
+                           rng=np.random.default_rng(6))
+        for name in ("w_q", "w_k", "w_v"):
+            getattr(m_full, name).data[...] = getattr(m_win, name).data
+        x = rng.normal(size=(2, 8, 3, 3)).astype(np.float32)
+        with no_grad():
+            np.testing.assert_allclose(
+                m_win(Tensor(x)).data, m_full(Tensor(x)).data,
+                rtol=1e-4, atol=1e-5,
+            )
+
+    def test_relu_attention_variant(self, rng):
+        m = nn.WindowAttention2d(8, 4, 4, heads=2, window=2,
+                                 attention_activation="relu",
+                                 out_layernorm=True, rng=rng)
+        out = m(Tensor(rng.normal(size=(1, 8, 4, 4)).astype(np.float32)))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_gradients_flow(self, rng):
+        m = nn.WindowAttention2d(8, 4, 4, heads=2, window=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 8, 4, 4)).astype(np.float32),
+                   requires_grad=True)
+        m(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in m.parameters())
+
+
+class TestModelIntegration:
+    def test_ode_botnet_with_attention_variants(self, rng):
+        from repro.models import build_model
+
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        for kind in ("full", "linear", "window"):
+            m = build_model("ode_botnet", profile="tiny", attention=kind)
+            assert m(x).shape == (1, 10), kind
+
+    def test_unknown_attention_kind_raises(self):
+        from repro.ode import MHSABottleneckODEFunc
+
+        with pytest.raises(ValueError):
+            MHSABottleneckODEFunc(8, 4, 2, 2, attention="sparse")

@@ -1,0 +1,94 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_fans(self):
+        fan_in, fan_out = init._fan_in_out((8, 4))
+        assert (fan_in, fan_out) == (4, 8)
+
+    def test_conv_fans(self):
+        fan_in, fan_out = init._fan_in_out((16, 3, 5, 5))
+        assert fan_in == 3 * 25
+        assert fan_out == 16 * 25
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal(rng, (2000, 100))
+        expected_std = np.sqrt(2.0 / 100)
+        assert w.std() == pytest.approx(expected_std, rel=0.05)
+        assert abs(w.mean()) < 0.01
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform(rng, (500, 50))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 50)
+        assert np.abs(w).max() <= bound
+        assert np.abs(w).max() > 0.9 * bound  # actually fills the range
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform(rng, (100, 100))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal(rng, (1000, 200))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1200), rel=0.05)
+
+    def test_normal_std_param(self):
+        rng = np.random.default_rng(0)
+        w = init.normal(rng, (10000,), std=0.5)
+        assert w.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_uniform_bias_bound(self):
+        rng = np.random.default_rng(0)
+        b = init.uniform_bias(rng, (1000,), fan_in=16)
+        assert np.abs(b).max() <= 0.25
+
+    def test_uniform_bias_zero_fan(self):
+        rng = np.random.default_rng(0)
+        b = init.uniform_bias(rng, (5,), fan_in=0)
+        np.testing.assert_array_equal(b, np.zeros(5))
+
+    def test_zeros_ones(self):
+        np.testing.assert_array_equal(init.zeros((2, 2)), np.zeros((2, 2)))
+        np.testing.assert_array_equal(init.ones((3,)), np.ones(3))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "fn", [init.kaiming_normal, init.kaiming_uniform,
+               init.xavier_uniform, init.xavier_normal]
+    )
+    def test_same_seed_same_weights(self, fn):
+        a = fn(np.random.default_rng(7), (8, 8))
+        b = fn(np.random.default_rng(7), (8, 8))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_state_advances(self):
+        rng = np.random.default_rng(0)
+        a = init.kaiming_normal(rng, (4, 4))
+        b = init.kaiming_normal(rng, (4, 4))
+        assert not np.allclose(a, b)
+
+
+class TestTrainingSignalPreservation:
+    def test_kaiming_preserves_activation_scale(self, rng):
+        """He init should keep post-ReLU variance roughly constant
+        through a deep stack — the property it is designed for."""
+        x = rng.normal(size=(256, 128))
+        h = x
+        for i in range(6):
+            w = init.kaiming_normal(np.random.default_rng(i), (128, 128))
+            h = np.maximum(h @ w.T, 0)
+        # variance neither explodes nor vanishes
+        ratio = h.var() / x.var()
+        assert 0.05 < ratio < 20

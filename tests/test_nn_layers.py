@@ -1,0 +1,158 @@
+"""Tests for Linear / Conv2d / DepthwiseSeparableConv2d and activations."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        lin = nn.Linear(5, 3, rng=rng)
+        out = lin(Tensor(rng.normal(size=(7, 5)).astype(np.float32)))
+        assert out.shape == (7, 3)
+
+    def test_matches_manual(self, rng):
+        lin = nn.Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        ref = x @ lin.weight.data.T + lin.bias.data
+        np.testing.assert_allclose(lin(Tensor(x)).data, ref, rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(4, 2, bias=False, rng=rng)
+        assert lin.bias is None
+        assert lin.num_parameters() == 8
+
+    def test_3d_input(self, rng):
+        lin = nn.Linear(4, 6, rng=rng)
+        out = lin(Tensor(rng.normal(size=(2, 5, 4)).astype(np.float32)))
+        assert out.shape == (2, 5, 6)
+
+    def test_gradients_flow(self, rng):
+        lin = nn.Linear(3, 2, rng=rng)
+        lin(Tensor(rng.normal(size=(4, 3)).astype(np.float32))).sum().backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+
+    def test_param_count_matches_torch_convention(self, rng):
+        assert nn.Linear(256, 10, rng=rng).num_parameters() == 2570
+
+
+class TestConv2dLayer:
+    def test_shape_with_stride_padding(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_param_count(self, rng):
+        conv = nn.Conv2d(16, 32, 3, rng=rng)
+        assert conv.num_parameters() == 32 * 16 * 9 + 32
+
+    def test_no_bias_count(self, rng):
+        conv = nn.Conv2d(16, 32, 3, bias=False, rng=rng)
+        assert conv.num_parameters() == 32 * 16 * 9
+
+    def test_bad_groups_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.Conv2d(5, 8, 3, groups=2, rng=rng)
+
+    def test_bias_applied_per_channel(self, rng):
+        conv = nn.Conv2d(1, 2, 1, rng=rng)
+        conv.weight.data[...] = 0.0
+        conv.bias.data[:] = [1.0, -1.0]
+        out = conv(Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32)))
+        assert (out.data[0, 0] == 1.0).all()
+        assert (out.data[0, 1] == -1.0).all()
+
+
+class TestDSC:
+    def test_param_reduction_vs_dense(self, rng):
+        """Sec. IV: DSC costs N*K^2 + N*M versus dense N*M*K^2."""
+        n_ch = 64
+        dsc = nn.DepthwiseSeparableConv2d(n_ch, n_ch, 3, bias=False, rng=rng)
+        dense = nn.Conv2d(n_ch, n_ch, 3, bias=False, rng=rng)
+        assert dsc.num_parameters() == n_ch * 9 + n_ch * n_ch
+        assert dense.num_parameters() == n_ch * n_ch * 9
+        # roughly K^2 = 9x reduction when N = M >> K
+        assert dense.num_parameters() / dsc.num_parameters() > 7.5
+
+    def test_output_shape(self, rng):
+        dsc = nn.DepthwiseSeparableConv2d(4, 8, 3, stride=2, padding=1, rng=rng)
+        out = dsc(Tensor(rng.normal(size=(1, 4, 6, 6)).astype(np.float32)))
+        assert out.shape == (1, 8, 3, 3)
+
+    def test_gradcheck_through_dsc(self, rng):
+        dsc = nn.DepthwiseSeparableConv2d(2, 3, 3, rng=rng)
+        # cast params to float64 for gradient checking
+        for p in dsc.parameters():
+            p.data = p.data.astype(np.float64)
+        gradcheck(lambda x: dsc(x), [rng.normal(size=(1, 2, 4, 4))])
+
+
+class TestActivationsAndMisc:
+    @pytest.mark.parametrize(
+        "layer,ref",
+        [
+            (nn.ReLU(), lambda a: np.maximum(a, 0)),
+            (nn.Sigmoid(), lambda a: 1 / (1 + np.exp(-a))),
+            (nn.Tanh(), np.tanh),
+        ],
+    )
+    def test_activation_values(self, rng, layer, ref):
+        a = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(layer(Tensor(a)).data, ref(a), rtol=1e-5)
+
+    def test_softmax_layer(self, rng):
+        out = nn.Softmax()(Tensor(rng.normal(size=(2, 5)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_identity(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)))
+        assert nn.Identity()(a) is a
+
+    def test_flatten(self, rng):
+        out = nn.Flatten()(Tensor(rng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_global_avg_pool(self, rng):
+        a = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        out = nn.GlobalAvgPool2d()(Tensor(a))
+        np.testing.assert_allclose(out.data, a.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_adaptive_avg_pool(self, rng):
+        a = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        out = nn.AdaptiveAvgPool2d(3)(Tensor(a))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_adaptive_avg_pool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.AdaptiveAvgPool2d(4)(Tensor(rng.normal(size=(1, 1, 6, 6))))
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        d = nn.Dropout(0.5, rng=rng)
+        d.eval()
+        a = Tensor(rng.normal(size=(100,)).astype(np.float32))
+        np.testing.assert_array_equal(d(a).data, a.data)
+
+    def test_train_mode_zeros_fraction(self):
+        d = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = d(Tensor(np.ones(10000, dtype=np.float32)))
+        frac = float((out.data == 0).mean())
+        assert 0.45 < frac < 0.55
+
+    def test_inverted_scaling_preserves_mean(self):
+        d = nn.Dropout(0.3, rng=np.random.default_rng(0))
+        out = d(Tensor(np.ones(100000, dtype=np.float32)))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_p_zero_is_identity(self, rng):
+        d = nn.Dropout(0.0)
+        a = Tensor(rng.normal(size=(5,)))
+        assert d(a) is a
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)

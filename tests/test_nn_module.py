@@ -1,0 +1,118 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def _mlp(rng):
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng)
+    )
+
+
+class TestRegistration:
+    def test_parameters_discovered(self, rng):
+        m = _mlp(rng)
+        params = list(m.parameters())
+        assert len(params) == 4  # 2 weights + 2 biases
+
+    def test_named_parameters_paths(self, rng):
+        m = _mlp(rng)
+        names = dict(m.named_parameters())
+        assert "0.weight" in names
+        assert "2.bias" in names
+
+    def test_num_parameters(self, rng):
+        m = _mlp(rng)
+        assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modules_iteration(self, rng):
+        m = _mlp(rng)
+        kinds = [type(x).__name__ for x in m.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_nested_modules(self, rng):
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = _mlp(rng)
+                self.head = nn.Linear(2, 2, rng=rng)
+
+            def forward(self, x):
+                return self.head(self.inner(x))
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "inner.0.weight" in names
+        assert "head.weight" in names
+
+
+class TestModes:
+    def test_train_eval_propagates(self, rng):
+        m = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.BatchNorm2d(2))
+        m.eval()
+        assert all(not sub.training for sub in m.modules())
+        m.train()
+        assert all(sub.training for sub in m.modules())
+
+    def test_zero_grad(self, rng):
+        m = _mlp(rng)
+        out = m(Tensor(rng.normal(size=(3, 4)).astype(np.float32)))
+        out.sum().backward()
+        assert all(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_restores_values(self, rng):
+        m1 = _mlp(rng)
+        m2 = _mlp(np.random.default_rng(777))
+        x = Tensor(rng.normal(size=(2, 4)).astype(np.float32))
+        before = m2(x).data.copy()
+        m2.load_state_dict(m1.state_dict())
+        after = m2(x).data
+        np.testing.assert_allclose(after, m1(x).data, rtol=1e-6)
+        assert not np.allclose(before, after)
+
+    def test_unknown_key_raises(self, rng):
+        m = _mlp(rng)
+        with pytest.raises(KeyError):
+            m.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_shape_mismatch_raises(self, rng):
+        m = _mlp(rng)
+        sd = m.state_dict()
+        sd["0.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        sd = bn.state_dict()
+        assert "buffer:running_mean" in sd
+        assert "buffer:running_var" in sd
+
+    def test_buffer_roundtrip(self, rng):
+        bn1 = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        bn1(x)  # updates running stats
+        bn2 = nn.BatchNorm2d(2)
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_allclose(bn2.running_mean, bn1.running_mean)
+
+
+class TestContainers:
+    def test_sequential_indexing(self, rng):
+        m = _mlp(rng)
+        assert isinstance(m[0], nn.Linear)
+        assert len(m) == 3
+
+    def test_module_list(self, rng):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(ml[1].parameters())) == 2
+        assert len(dict(nn.Sequential(*ml).named_parameters())) == 6

@@ -1,0 +1,119 @@
+"""Tests for BatchNorm2d / LayerNorm / GroupNorm."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+class TestBatchNorm2d:
+    def test_train_normalizes_batch(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor((rng.normal(size=(8, 3, 5, 5)) * 4 + 2).astype(np.float32))
+        out = bn(x).data
+        assert out.mean(axis=(0, 2, 3)) == pytest.approx(np.zeros(3), abs=1e-5)
+        assert out.var(axis=(0, 2, 3)) == pytest.approx(np.ones(3), abs=1e-3)
+
+    def test_running_stats_converge(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        for _ in range(50):
+            x = Tensor((rng.normal(size=(16, 2, 4, 4)) * 3 + 1).astype(np.float32))
+            bn(x)
+        assert bn.running_mean == pytest.approx(np.ones(2), abs=0.2)
+        assert bn.running_var == pytest.approx(np.full(2, 9.0), rel=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn._set_buffer("running_mean", np.array([1.0, -1.0]))
+        bn._set_buffer("running_var", np.array([4.0, 4.0]))
+        bn.eval()
+        x = np.zeros((1, 2, 1, 1), dtype=np.float32)
+        out = bn(Tensor(x)).data
+        assert out[0, 0, 0, 0] == pytest.approx(-0.5, rel=1e-3)
+        assert out[0, 1, 0, 0] == pytest.approx(0.5, rel=1e-3)
+
+    def test_affine_params(self, rng):
+        bn = nn.BatchNorm2d(3)
+        bn.weight.data[:] = 2.0
+        bn.bias.data[:] = 1.0
+        out = bn(Tensor(rng.normal(size=(8, 3, 4, 4)).astype(np.float32))).data
+        assert out.mean() == pytest.approx(1.0, abs=1e-4)
+
+    def test_no_affine(self, rng):
+        bn = nn.BatchNorm2d(3, affine=False)
+        assert bn.num_parameters() == 0
+        bn(Tensor(rng.normal(size=(2, 3, 2, 2)).astype(np.float32)))
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(rng.normal(size=(2, 3))))
+
+    def test_gradcheck(self, rng):
+        bn = nn.BatchNorm2d(2)
+        for p in bn.parameters():
+            p.data = p.data.astype(np.float64)
+        gradcheck(lambda x: bn(x), [rng.normal(size=(3, 2, 2, 2))])
+
+    def test_eval_does_not_update_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32)))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = nn.LayerNorm(8)
+        x = Tensor((rng.normal(size=(4, 8)) * 3 + 5).astype(np.float32))
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_multi_dim_normalized_shape(self, rng):
+        ln = nn.LayerNorm((3, 4))
+        out = ln(Tensor(rng.normal(size=(2, 3, 4)).astype(np.float32))).data
+        assert abs(out[0].mean()) < 1e-5
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(8)(Tensor(rng.normal(size=(2, 7))))
+
+    def test_param_count(self):
+        assert nn.LayerNorm(64).num_parameters() == 128
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(4)
+        for p in ln.parameters():
+            p.data = p.data.astype(np.float64)
+        gradcheck(lambda x: ln(x), [rng.normal(size=(3, 4))])
+
+
+class TestGroupNorm:
+    def test_group_stats(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor((rng.normal(size=(2, 4, 5, 5)) * 3 + 1).astype(np.float32))
+        out = gn(x).data
+        grouped = out.reshape(2, 2, 2, 5, 5)
+        np.testing.assert_allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-5)
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+    def test_batch_size_independence(self, rng):
+        """Unlike BatchNorm, GroupNorm output for one sample does not
+        depend on the rest of the batch."""
+        gn = nn.GroupNorm(2, 4)
+        x1 = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        x2 = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        alone = gn(Tensor(x1)).data
+        batched = gn(Tensor(np.concatenate([x1, x2]))).data[:1]
+        np.testing.assert_allclose(alone, batched, rtol=1e-5)
+
+    def test_gradcheck(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        for p in gn.parameters():
+            p.data = p.data.astype(np.float64)
+        gradcheck(lambda x: gn(x), [rng.normal(size=(2, 4, 2, 2))])

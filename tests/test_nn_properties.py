@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) on layer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn, ode
+from repro.tensor import Tensor, no_grad
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 3),   # batch
+    st.integers(1, 4),   # in channels
+    st.integers(1, 6),   # out channels
+    st.sampled_from([1, 3]),   # kernel
+    st.sampled_from([1, 2]),   # stride
+    st.sampled_from([0, 1]),   # padding
+    st.integers(4, 9),   # spatial size
+)
+def test_conv_output_shape_formula(b, cin, cout, k, s, p, hw):
+    if hw + 2 * p < k:
+        return
+    rng = np.random.default_rng(b * 100 + cin)
+    conv = nn.Conv2d(cin, cout, k, stride=s, padding=p, rng=rng)
+    x = Tensor(rng.normal(size=(b, cin, hw, hw)).astype(np.float32))
+    with no_grad():
+        out = conv(x)
+    expected = (hw + 2 * p - k) // s + 1
+    assert out.shape == (b, cout, expected, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 16))
+def test_batchnorm_normalizes_any_shape(batch, channels):
+    rng = np.random.default_rng(batch * 31 + channels)
+    bn = nn.BatchNorm2d(channels)
+    x = Tensor((rng.normal(size=(batch, channels, 3, 3)) * 5 + 3).astype(np.float32))
+    out = bn(x).data
+    assert np.abs(out.mean(axis=(0, 2, 3))).max() < 1e-4
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from([2, 4, 8]), st.sampled_from([1, 2, 4]),
+       st.integers(2, 4))
+def test_mhsa_shape_preservation(channels, heads, hw):
+    if channels % heads:
+        return
+    rng = np.random.default_rng(channels * 10 + heads)
+    m = nn.MHSA2d(channels, hw, hw, heads=heads, rng=rng)
+    x = Tensor(rng.normal(size=(2, channels, hw, hw)).astype(np.float32))
+    with no_grad():
+        assert m(x).shape == x.shape
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 8))
+def test_ode_block_steps_never_change_shape(steps):
+    rng = np.random.default_rng(steps)
+    block = ode.ODEBlock(ode.ConvODEFunc(4, rng=rng), steps=steps)
+    x = Tensor(rng.normal(size=(1, 4, 4, 4)).astype(np.float32))
+    with no_grad():
+        assert block(x).shape == x.shape
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(0.0, 0.9), st.integers(100, 2000))
+def test_dropout_keep_fraction(p, n):
+    d = nn.Dropout(p, rng=np.random.default_rng(int(p * 100) + n))
+    out = d(Tensor(np.ones(n, dtype=np.float32)))
+    kept = float((out.data != 0).mean())
+    assert kept == pytest.approx(1.0 - p, abs=0.15)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 10))
+def test_linear_batch_independence(batch, features):
+    """Each row of a Linear output depends only on its own input row."""
+    rng = np.random.default_rng(batch + features * 7)
+    lin = nn.Linear(features, 3, rng=rng)
+    x = rng.normal(size=(batch, features)).astype(np.float32)
+    with no_grad():
+        full = lin(Tensor(x)).data
+        rows = np.concatenate(
+            [lin(Tensor(x[i : i + 1])).data for i in range(batch)]
+        )
+    np.testing.assert_allclose(full, rows, rtol=1e-5, atol=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(4, 16))
+def test_layernorm_scale_invariance(dim):
+    """LayerNorm(x) ≈ LayerNorm(a*x) for positive scaling (affine off;
+    exact up to the eps regulariser)."""
+    rng = np.random.default_rng(dim)
+    ln = nn.LayerNorm(dim, affine=False)
+    x = rng.normal(size=(3, dim)).astype(np.float64)
+    a = ln(Tensor(x, dtype=np.float64)).data
+    b = ln(Tensor(3.7 * x, dtype=np.float64)).data
+    np.testing.assert_allclose(a, b, atol=1e-3)

@@ -1,0 +1,107 @@
+"""Tests for memory-efficient ODE backward passes (checkpoint / adjoint)."""
+
+import numpy as np
+import pytest
+
+from repro import ode
+from repro.ode import AdjointODEBlock
+from repro.tensor import Tensor
+
+
+def _make_func(seed, channels=6):
+    func = ode.ConvODEFunc(channels, conv="dsc", rng=np.random.default_rng(seed))
+    for p in func.parameters():
+        p.data = p.data.astype(np.float64)
+    return func
+
+
+def _grads(block, x_data):
+    x = Tensor(x_data, requires_grad=True, dtype=np.float64)
+    block(x).sum().backward()
+    return x.grad, {n: p.grad for n, p in block.named_parameters()}
+
+
+class TestCheckpointMode:
+    def test_matches_backprop_exactly(self, rng):
+        x_data = rng.normal(size=(2, 6, 5, 5))
+        ref_block = ode.ODEBlock(_make_func(3), solver="euler", steps=8)
+        chk_block = AdjointODEBlock(_make_func(3), steps=8, mode="checkpoint")
+        gx_ref, gp_ref = _grads(ref_block, x_data)
+        gx_chk, gp_chk = _grads(chk_block, x_data)
+        np.testing.assert_allclose(gx_chk, gx_ref, atol=1e-12)
+        for name in gp_ref:
+            np.testing.assert_allclose(gp_chk[name], gp_ref[name], atol=1e-12)
+
+    def test_forward_matches_odeblock(self, rng):
+        x = Tensor(rng.normal(size=(1, 6, 4, 4)), dtype=np.float64)
+        ref = ode.ODEBlock(_make_func(5), solver="euler", steps=4)(x)
+        chk = AdjointODEBlock(_make_func(5), steps=4, mode="checkpoint")(x)
+        np.testing.assert_allclose(chk.data, ref.data, atol=1e-12)
+
+    def test_gradient_accumulates_across_backwards(self, rng):
+        block = AdjointODEBlock(_make_func(1), steps=3)
+        x_data = rng.normal(size=(1, 6, 3, 3))
+        _grads(block, x_data)
+        first = {n: p.grad.copy() for n, p in block.named_parameters()}
+        _grads(block, x_data)
+        for n, p in block.named_parameters():
+            np.testing.assert_allclose(p.grad, 2 * first[n], rtol=1e-10)
+
+
+class TestAdjointMode:
+    def test_gradient_error_is_order_h(self, rng):
+        """The O(1)-memory reconstruction converges at O(h)."""
+        x_data = rng.normal(size=(1, 6, 4, 4))
+        errors = []
+        for steps in (8, 64):
+            gx_ref, _ = _grads(
+                ode.ODEBlock(_make_func(3), solver="euler", steps=steps), x_data
+            )
+            gx_adj, _ = _grads(
+                AdjointODEBlock(_make_func(3), steps=steps, mode="adjoint"),
+                x_data,
+            )
+            errors.append(np.abs(gx_ref - gx_adj).max() / np.abs(gx_ref).max())
+        # 8x more steps must shrink the reconstruction error several-fold
+        # (exact O(h) would be 8x; allow constant wobble)
+        assert errors[1] < errors[0] / 2.5
+        assert errors[1] < 0.1
+
+    def test_can_train_a_step(self, rng):
+        from repro.train import SGD
+
+        block = AdjointODEBlock(
+            ode.ConvODEFunc(4, rng=np.random.default_rng(0)), steps=4,
+            mode="adjoint",
+        )
+        x = Tensor(rng.normal(size=(2, 4, 4, 4)).astype(np.float32))
+        loss = (block(x) ** 2).mean()
+        loss.backward()
+        before = loss.item()
+        SGD(block.parameters(), lr=0.05, weight_decay=0.0).step()
+        after = (block(x) ** 2).mean().item()
+        assert after < before
+
+
+class TestInterface:
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            AdjointODEBlock(_make_func(0), mode="magic")
+
+    def test_repr(self):
+        block = AdjointODEBlock(_make_func(0), steps=5, mode="adjoint")
+        assert "adjoint" in repr(block)
+        assert "steps=5" in repr(block)
+
+    def test_parameter_count_matches_odeblock(self):
+        a = AdjointODEBlock(_make_func(7), steps=4)
+        b = ode.ODEBlock(_make_func(7), steps=4)
+        assert a.num_parameters() == b.num_parameters()
+
+    def test_no_grad_inference(self, rng):
+        from repro.tensor import no_grad
+
+        block = AdjointODEBlock(_make_func(2), steps=3)
+        with no_grad():
+            out = block(Tensor(rng.normal(size=(1, 6, 3, 3)), dtype=np.float64))
+        assert out._ctx is None

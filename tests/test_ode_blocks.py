@@ -1,0 +1,118 @@
+"""Tests for ODEBlock and its dynamics modules."""
+
+import numpy as np
+import pytest
+
+from repro import nn, ode
+from repro.tensor import Tensor, no_grad
+
+
+class TestTimeConcat:
+    def test_time_channel_appended(self, rng):
+        conv = ode.TimeConcatConv2d(3, 4, rng=rng)
+        assert conv.conv.in_channels == 4  # 3 + time channel
+        out = conv(0.5, Tensor(rng.normal(size=(2, 3, 5, 5)).astype(np.float32)))
+        assert out.shape == (2, 4, 5, 5)
+
+    def test_time_value_matters(self, rng):
+        conv = ode.TimeConcatConv2d(2, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)).astype(np.float32))
+        with no_grad():
+            a = conv(0.0, x).data
+            b = conv(1.0, x).data
+        assert not np.allclose(a, b)
+
+    def test_dsc_variant(self, rng):
+        conv = ode.TimeConcatDSC2d(4, 4, rng=rng)
+        out = conv(0.3, Tensor(rng.normal(size=(1, 4, 6, 6)).astype(np.float32)))
+        assert out.shape == (1, 4, 6, 6)
+
+
+class TestConvODEFunc:
+    def test_shape_preserved(self, rng):
+        func = ode.ConvODEFunc(8, conv="dsc", rng=rng)
+        out = func(0.0, Tensor(rng.normal(size=(2, 8, 4, 4)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_full_conv_variant_bigger(self, rng):
+        dsc = ode.ConvODEFunc(16, conv="dsc", rng=rng)
+        full = ode.ConvODEFunc(16, conv="full", rng=rng)
+        assert full.num_parameters() > dsc.num_parameters()
+
+    def test_nfe_increments(self, rng):
+        func = ode.ConvODEFunc(4, rng=rng)
+        block = ode.ODEBlock(func, solver="rk4", steps=3)
+        block(Tensor(rng.normal(size=(1, 4, 4, 4)).astype(np.float32)))
+        assert func.nfe == 12  # 4 evals per RK4 step x 3 steps
+
+
+class TestMHSABottleneckODEFunc:
+    def test_shape_preserved(self, rng):
+        func = ode.MHSABottleneckODEFunc(16, 8, 4, 4, heads=2, rng=rng)
+        out = func(0.0, Tensor(rng.normal(size=(1, 16, 4, 4)).astype(np.float32)))
+        assert out.shape == (1, 16, 4, 4)
+
+    def test_contains_single_mhsa(self, rng):
+        func = ode.MHSABottleneckODEFunc(16, 8, 4, 4, heads=2, rng=rng)
+        mhsas = [m for m in func.modules() if isinstance(m, nn.MHSA2d)]
+        assert len(mhsas) == 1
+        assert mhsas[0].channels == 8
+
+    def test_paper_configuration(self, rng):
+        """The proposed model's block: 256 -> 64 bottleneck at 6x6."""
+        func = ode.MHSABottleneckODEFunc(256, 64, 6, 6, heads=4, rng=rng)
+        assert func.mhsa.dim_head == 16
+        out = func(0.5, Tensor(rng.normal(size=(1, 256, 6, 6)).astype(np.float32)))
+        assert out.shape == (1, 256, 6, 6)
+
+
+class TestODEBlock:
+    def test_parameter_count_independent_of_steps(self, rng):
+        """The core compression claim: C iterations share one parameter
+        set, so parameters do not grow with depth."""
+        f1 = ode.ConvODEFunc(8, rng=np.random.default_rng(0))
+        f2 = ode.ConvODEFunc(8, rng=np.random.default_rng(0))
+        b1 = ode.ODEBlock(f1, steps=2)
+        b2 = ode.ODEBlock(f2, steps=50)
+        assert b1.num_parameters() == b2.num_parameters()
+
+    def test_more_steps_changes_output(self, rng):
+        func = ode.ConvODEFunc(4, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)).astype(np.float32))
+        with no_grad():
+            out2 = ode.ODEBlock(func, steps=2)(x).data
+            out8 = ode.ODEBlock(func, steps=8)(x).data
+        assert not np.allclose(out2, out8)
+
+    def test_solver_instance_accepted(self, rng):
+        func = ode.ConvODEFunc(4, rng=rng)
+        block = ode.ODEBlock(func, solver=ode.RK4(), steps=2)
+        out = block(Tensor(rng.normal(size=(1, 4, 3, 3)).astype(np.float32)))
+        assert out.shape == (1, 4, 3, 3)
+
+    def test_backward_through_block(self, rng):
+        func = ode.ConvODEFunc(4, rng=rng)
+        block = ode.ODEBlock(func, steps=3)
+        x = Tensor(
+            rng.normal(size=(2, 4, 4, 4)).astype(np.float32), requires_grad=True
+        )
+        block(x).sum().backward()
+        assert x.grad is not None
+        for name, p in block.named_parameters():
+            assert p.grad is not None, name
+
+    def test_repr(self, rng):
+        block = ode.ODEBlock(ode.ConvODEFunc(4, rng=rng), steps=5)
+        assert "euler" in repr(block)
+        assert "steps=5" in repr(block)
+
+    def test_identity_dynamics_give_exponential_growth(self):
+        """Sanity: with f(z) = z, Euler gives (1 + 1/C)^C -> e."""
+
+        class IdentityFunc(nn.Module):
+            def forward(self, t, z):
+                return z
+
+        block = ode.ODEBlock(IdentityFunc(), solver="euler", steps=1000)
+        out = block(Tensor(np.ones((1, 1)), dtype=np.float64))
+        assert out.data[0, 0] == pytest.approx(np.e, rel=1e-3)

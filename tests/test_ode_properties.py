@@ -1,0 +1,71 @@
+"""Property-based tests (hypothesis) on ODE solver invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ode
+from repro.tensor import Tensor
+
+FIXED = ("euler", "midpoint", "heun", "rk4")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(FIXED), st.floats(-2, 2, allow_nan=False),
+       st.integers(1, 30))
+def test_linearity_in_initial_condition(method, scale, steps):
+    """For the linear ODE z' = -z, the solution map is linear: solving
+    from a*z0 equals a times solving from z0 — for every explicit RK
+    method exactly (they apply a fixed linear update matrix)."""
+    z0 = Tensor(np.array([1.0, -0.5]), dtype=np.float64)
+    base = ode.odeint(lambda t, z: -z, z0, steps=steps, method=method).data
+    scaled = ode.odeint(
+        lambda t, z: -z, Tensor(scale * z0.data, dtype=np.float64),
+        steps=steps, method=method,
+    ).data
+    np.testing.assert_allclose(scaled, scale * base, rtol=1e-10, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(FIXED), st.integers(1, 20))
+def test_zero_dynamics_identity(method, steps):
+    """z' = 0 must return the initial state exactly."""
+    rng = np.random.default_rng(steps)
+    z0 = Tensor(rng.normal(size=(3, 2)), dtype=np.float64)
+    out = ode.odeint(lambda t, z: z * 0.0, z0, steps=steps, method=method)
+    np.testing.assert_array_equal(out.data, z0.data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(FIXED), st.integers(2, 20))
+def test_time_interval_composition(method, steps):
+    """Integrating [0, 1] in one go equals integrating [0, 0.5] then
+    [0.5, 1] with half the steps each (fixed-grid methods are exactly
+    composable on matching grids)."""
+    f = lambda t, z: -0.7 * z + t
+    z0 = Tensor(np.array([1.3]), dtype=np.float64)
+    full = ode.odeint(f, z0, t0=0.0, t1=1.0, steps=2 * steps, method=method)
+    half = ode.odeint(f, z0, t0=0.0, t1=0.5, steps=steps, method=method)
+    full2 = ode.odeint(f, half, t0=0.5, t1=1.0, steps=steps, method=method)
+    np.testing.assert_allclose(full2.data, full.data, rtol=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(0.1, 3.0, allow_nan=False))
+def test_adaptive_solvers_agree(rate):
+    """Dopri5 and Bosh3 must agree on smooth problems within tolerance."""
+    f = lambda t, z: -rate * z
+    z0 = Tensor(np.ones(1), dtype=np.float64)
+    d = ode.Dopri5(rtol=1e-8, atol=1e-10).integrate(f, z0)
+    b = ode.Bosh3(rtol=1e-8, atol=1e-10).integrate(f, z0)
+    np.testing.assert_allclose(d.data, b.data, rtol=1e-6)
+    np.testing.assert_allclose(d.data, np.exp(-rate), rtol=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 50))
+def test_euler_matches_closed_form_recurrence(steps):
+    """Euler on z' = -z is exactly z0 (1 - 1/C)^C."""
+    z0 = Tensor(np.array([2.0]), dtype=np.float64)
+    out = ode.odeint(lambda t, z: -z, z0, steps=steps, method="euler")
+    assert out.data[0] == pytest.approx(2.0 * (1 - 1 / steps) ** steps, rel=1e-12)

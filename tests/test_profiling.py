@@ -1,0 +1,137 @@
+"""Tests for timers, MAC counting and the Table VI breakdown."""
+
+import numpy as np
+import pytest
+
+from repro import nn, ode
+from repro.models import build_model
+from repro.profiling import Timer, WallClock, count_macs, mhsa_time_ratio, model_macs
+from repro.profiling.flops import mhsa_macs
+from repro.tensor import Tensor
+
+
+class TestTimers:
+    def test_wallclock_measures(self):
+        import time
+
+        with WallClock() as t:
+            time.sleep(0.01)
+        assert t.ms >= 9
+
+    def test_wallclock_unfinished_raises(self):
+        t = WallClock()
+        with pytest.raises(RuntimeError):
+            _ = t.ms
+
+    def test_timer_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.section("a"):
+                pass
+        assert timer.count("a") == 3
+        assert timer.total("a") >= 0
+
+    def test_timer_ratio(self):
+        timer = Timer()
+        timer.add("a", 3.0)
+        timer.add("b", 1.0)
+        assert timer.ratio("a") == pytest.approx(0.75)
+
+
+class TestMacCounting:
+    def test_conv_macs(self, rng):
+        conv = nn.Conv2d(3, 8, 3, padding=1, rng=rng)
+        macs = count_macs(conv, (4, 4))
+        assert macs == 8 * 4 * 4 * 3 * 9
+
+    def test_linear_macs(self, rng):
+        assert count_macs(nn.Linear(10, 5, rng=rng), (1, 1)) == 50
+
+    def test_dsc_cheaper_than_dense(self, rng):
+        dsc = count_macs(nn.DepthwiseSeparableConv2d(16, 16, 3, rng=rng), (8, 8))
+        dense = count_macs(nn.Conv2d(16, 16, 3, padding=1, rng=rng), (8, 8))
+        assert dsc < dense / 4
+
+    def test_mhsa_macs_projections_dominate_at_512(self, rng):
+        m = nn.MHSA2d(512, 3, 3, heads=4, rng=rng)
+        total = mhsa_macs(m)
+        proj = 3 * 9 * 512 * 512
+        assert proj / total > 0.9
+
+    def test_ode_block_scales_with_steps(self, rng):
+        f = ode.ConvODEFunc(8, rng=rng)
+        b2 = ode.ODEBlock(f, steps=2)
+        b8 = ode.ODEBlock(ode.ConvODEFunc(8, rng=rng), steps=8)
+        assert count_macs(b8, (6, 6)) == 4 * count_macs(b2, (6, 6))
+
+    def test_rk4_block_4x_euler(self, rng):
+        f = ode.ConvODEFunc(8, rng=rng)
+        euler = ode.ODEBlock(f, solver="euler", steps=4)
+        rk4 = ode.ODEBlock(ode.ConvODEFunc(8, rng=rng), solver="rk4", steps=4)
+        assert count_macs(rk4, (6, 6)) == 4 * count_macs(euler, (6, 6))
+
+    def test_model_macs_positive_for_all(self):
+        for name in ("resnet50", "botnet50", "odenet", "ode_botnet"):
+            m = build_model(name, profile="tiny")
+            assert model_macs(m) > 0
+
+    def test_proposed_model_far_fewer_macs_than_resnet(self):
+        r = model_macs(build_model("resnet50", profile="paper"))
+        p = model_macs(build_model("ode_botnet", profile="paper"))
+        assert p < r
+
+    def test_model_macs_requires_size(self, rng):
+        with pytest.raises(ValueError):
+            model_macs(nn.Linear(3, 3, rng=rng))
+
+
+class TestTableVIBreakdown:
+    def test_ratio_in_unit_interval(self, rng):
+        func = ode.MHSABottleneckODEFunc(32, 16, 4, 4, heads=2, rng=rng)
+        block = ode.ODEBlock(func, steps=2)
+        block.eval()
+        x = Tensor(rng.normal(size=(1, 32, 4, 4)).astype(np.float32))
+        res = mhsa_time_ratio(block, x, repeats=2)
+        assert 0.0 < res["ratio"] < 1.0
+        assert res["mhsa_s"] < res["block_s"]
+
+    def test_requires_exactly_one_mhsa(self, rng):
+        block = nn.Sequential(nn.Conv2d(3, 3, 1, rng=rng))
+        with pytest.raises(ValueError):
+            mhsa_time_ratio(block, Tensor(np.zeros((1, 3, 2, 2), dtype=np.float32)))
+
+    def test_forward_unmodified_after_measurement(self, rng):
+        from repro.tensor import no_grad
+
+        func = ode.MHSABottleneckODEFunc(16, 8, 4, 4, heads=2, rng=rng)
+        block = ode.ODEBlock(func, steps=2)
+        block.eval()
+        x = Tensor(rng.normal(size=(1, 16, 4, 4)).astype(np.float32))
+        with no_grad():
+            before = block(x).data
+        mhsa_time_ratio(block, x, repeats=1)
+        with no_grad():
+            after = block(x).data
+        np.testing.assert_array_equal(before, after)
+
+
+class TestVitMacs:
+    def test_vit_macs_counted(self):
+        from repro.models import build_model
+        from repro.profiling import model_macs
+
+        v = build_model("vit_base", profile="tiny")
+        macs = model_macs(v)
+        # lower bound: the qkv+proj linears alone
+        n = v.num_patches + 1
+        d = v.dim
+        per_layer = n * d * 3 * d + n * d * d
+        assert macs > len(list(v.blocks)) * per_layer
+
+    def test_vit_base_macs_exceed_proposed(self):
+        from repro.models import build_model
+        from repro.profiling import model_macs
+
+        v = model_macs(build_model("vit_base", profile="paper"))
+        p = model_macs(build_model("ode_botnet", profile="paper"))
+        assert v > 5 * p

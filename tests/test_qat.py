@@ -1,0 +1,116 @@
+"""Tests for quantization-aware training (STE fake-quantisation)."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import QATMHSA2d, QFormat, fake_quantize, prepare_qat
+from repro.models import build_model
+from repro.nn.attention import MHSA2d
+from repro.tensor import Tensor, no_grad
+
+
+class TestFakeQuantize:
+    def test_forward_rounds_to_grid(self, rng):
+        f = QFormat(12, 4)
+        x = Tensor(rng.normal(size=(50,)), dtype=np.float64)
+        y = fake_quantize(x, f)
+        scaled = y.data / f.scale
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_forward_saturates(self):
+        f = QFormat(8, 4)
+        y = fake_quantize(Tensor(np.array([1000.0, -1000.0])), f)
+        assert y.data[0] == pytest.approx(f.value_max, rel=1e-3)
+        assert y.data[1] == pytest.approx(f.value_min, rel=1e-3)
+
+    def test_ste_gradient_identity_in_range(self, rng):
+        f = QFormat(16, 8)
+        x = Tensor(rng.uniform(-10, 10, size=(20,)), requires_grad=True,
+                   dtype=np.float64)
+        fake_quantize(x, f).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones(20))
+
+    def test_ste_gradient_zero_when_saturated(self):
+        f = QFormat(8, 4)
+        x = Tensor(np.array([0.0, 500.0, -500.0]), requires_grad=True,
+                   dtype=np.float64)
+        fake_quantize(x, f).sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0, 0.0, 0.0])
+
+    def test_idempotent(self, rng):
+        f = QFormat(12, 6)
+        x = Tensor(rng.normal(size=(10,)), dtype=np.float64)
+        once = fake_quantize(x, f)
+        twice = fake_quantize(once, f)
+        np.testing.assert_array_equal(once.data, twice.data)
+
+
+class TestPrepareQAT:
+    def test_replaces_mhsa(self):
+        model = build_model("ode_botnet", profile="tiny")
+        paths = prepare_qat(model, QFormat(16, 8), QFormat(12, 4))
+        assert paths == ["block3.func.mhsa"]
+        assert isinstance(model.block3.func.mhsa, QATMHSA2d)
+
+    def test_parameters_shared_not_copied(self):
+        model = build_model("ode_botnet", profile="tiny")
+        before = model.mhsa.w_q
+        prepare_qat(model, QFormat(16, 8), QFormat(12, 4))
+        assert model.mhsa.w_q is before  # same Parameter object
+
+    def test_param_count_unchanged(self):
+        model = build_model("ode_botnet", profile="tiny")
+        n = model.num_parameters()
+        prepare_qat(model, QFormat(16, 8), QFormat(12, 4))
+        assert model.num_parameters() == n
+
+    def test_no_mhsa_raises(self):
+        model = build_model("odenet", profile="tiny")
+        with pytest.raises(ValueError):
+            prepare_qat(model, QFormat(16, 8), QFormat(12, 4))
+
+    def test_forward_output_on_feature_grid(self, rng):
+        model = build_model("ode_botnet", profile="tiny")
+        f = QFormat(16, 8)
+        prepare_qat(model, f, QFormat(12, 4))
+        qat = model.mhsa
+        x = Tensor(rng.normal(size=(1, qat.channels, qat.height,
+                                    qat.width)).astype(np.float32))
+        with no_grad():
+            out = qat(x)
+        scaled = out.data.astype(np.float64) / f.scale
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-3)
+
+    def test_weights_unchanged_after_forward(self, rng):
+        model = build_model("ode_botnet", profile="tiny")
+        prepare_qat(model, QFormat(16, 8), QFormat(12, 4))
+        qat = model.mhsa
+        w_before = qat.w_q.data.copy()
+        x = Tensor(rng.normal(size=(1, qat.channels, qat.height,
+                                    qat.width)).astype(np.float32))
+        with no_grad():
+            qat(x)
+        np.testing.assert_array_equal(qat.w_q.data, w_before)
+
+    def test_wide_format_qat_matches_float(self, rng):
+        """With a very wide format the QAT wrapper is ~the identity."""
+        base = MHSA2d(8, 3, 3, heads=2, attention_activation="relu",
+                      out_layernorm=True, rng=rng)
+        qat = QATMHSA2d.from_mhsa(base, QFormat(32, 16), QFormat(32, 16))
+        x = Tensor(rng.normal(size=(1, 8, 3, 3)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(
+                qat(x).data, base(x).data, atol=1e-3
+            )
+
+    def test_training_step_updates_weights(self, rng):
+        from repro.train import SGD, CrossEntropyLoss
+
+        model = build_model("ode_botnet", profile="tiny")
+        prepare_qat(model, QFormat(14, 7), QFormat(10, 3))
+        before = model.mhsa.w_q.data.copy()
+        x = Tensor(rng.normal(size=(4, 3, 32, 32)).astype(np.float32))
+        loss = CrossEntropyLoss()(model(x), np.array([0, 1, 2, 3]))
+        loss.backward()
+        SGD(model.parameters(), lr=0.1).step()
+        assert not np.allclose(model.mhsa.w_q.data, before)

@@ -1,0 +1,32 @@
+"""Execute the python code blocks in README.md — docs must stay honest."""
+
+import os
+import re
+
+import pytest
+
+README = os.path.join(os.path.dirname(__file__), "..", "README.md")
+
+
+def _python_blocks():
+    text = open(README).read()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README has no python blocks?"
+    return blocks
+
+
+def test_readme_python_blocks_run():
+    """Blocks execute cumulatively (later blocks build on earlier ones),
+    like a reader following the README top to bottom."""
+    namespace = {}
+    for index, block in enumerate(_python_blocks()):
+        exec(compile(block, f"README block {index}", "exec"), namespace)
+
+
+def test_hls_loopnest_validation():
+    from repro.fpga import LoopNest
+
+    with pytest.raises(ValueError):
+        LoopNest(trip=10, unroll=0)
+    with pytest.raises(ValueError):
+        LoopNest(trip=10, ii=0)

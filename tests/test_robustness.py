@@ -1,0 +1,84 @@
+"""Tests for robustness / loss-flatness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, SynthSTL
+from repro.experiments.robustness import (
+    loss_flatness,
+    noise_robustness_curve,
+    occlusion_robustness_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_and_data():
+    from repro.experiments.quantization import trained_proposed_model
+
+    model = trained_proposed_model(profile="tiny", epochs=5, n_train_per_class=30)
+    test = SynthSTL("test", size=32, n_per_class=15, seed=0)
+    images, labels = next(iter(DataLoader(test, batch_size=len(test))))
+    return model, images, labels
+
+
+class TestNoiseRobustness:
+    def test_clean_accuracy_first(self, trained_and_data):
+        model, images, labels = trained_and_data
+        rows = noise_robustness_curve(model, images, labels, sigmas=(0.0, 0.3))
+        assert rows[0]["sigma"] == 0.0
+        assert rows[0]["accuracy"] > 50
+
+    def test_heavy_noise_hurts(self, trained_and_data):
+        model, images, labels = trained_and_data
+        rows = noise_robustness_curve(
+            model, images, labels, sigmas=(0.0, 1.0), seed=3
+        )
+        assert rows[1]["accuracy"] < rows[0]["accuracy"]
+
+    def test_deterministic_given_seed(self, trained_and_data):
+        model, images, labels = trained_and_data
+        a = noise_robustness_curve(model, images, labels, sigmas=(0.2,), seed=7)
+        b = noise_robustness_curve(model, images, labels, sigmas=(0.2,), seed=7)
+        assert a == b
+
+
+class TestOcclusionRobustness:
+    def test_zero_fraction_is_clean(self, trained_and_data):
+        model, images, labels = trained_and_data
+        rows = occlusion_robustness_curve(model, images, labels, fractions=(0.0,))
+        clean = noise_robustness_curve(model, images, labels, sigmas=(0.0,))
+        assert rows[0]["accuracy"] == clean[0]["accuracy"]
+
+    def test_full_occlusion_near_chance(self, trained_and_data):
+        model, images, labels = trained_and_data
+        rows = occlusion_robustness_curve(
+            model, images, labels, fractions=(1.0,)
+        )
+        assert rows[0]["accuracy"] < 40  # 10-class chance is 10%
+
+    def test_input_not_mutated(self, trained_and_data):
+        model, images, labels = trained_and_data
+        before = images.copy()
+        occlusion_robustness_curve(model, images, labels, fractions=(0.3,))
+        np.testing.assert_array_equal(images, before)
+
+
+class TestLossFlatness:
+    def test_zero_epsilon_is_base_loss(self, trained_and_data):
+        model, images, labels = trained_and_data
+        rows = loss_flatness(model, images, labels, epsilons=(0.0,))
+        assert rows[0]["loss"] > 0
+
+    def test_loss_grows_with_perturbation(self, trained_and_data):
+        model, images, labels = trained_and_data
+        rows = loss_flatness(
+            model, images, labels, epsilons=(0.0, 0.5), n_directions=3
+        )
+        assert rows[1]["loss"] > rows[0]["loss"]
+
+    def test_parameters_restored(self, trained_and_data):
+        model, images, labels = trained_and_data
+        before = [p.data.copy() for p in model.parameters()]
+        loss_flatness(model, images, labels, epsilons=(0.1,), n_directions=2)
+        for p, b in zip(model.parameters(), before):
+            np.testing.assert_array_equal(p.data, b)

@@ -1,0 +1,140 @@
+"""Tests for autograd mechanics: graph walks, accumulation, modes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_grad(self):
+        t = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        (t * t).sum().backward()
+        np.testing.assert_allclose(t.grad, [4.0, 6.0])
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_explicit_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 4.0, 6.0])
+
+    def test_grad_shape_mismatch_raises(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward(np.ones(4))
+
+    def test_diamond_graph_accumulates(self):
+        # y = x*x + x*x should give dy/dx = 4x
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        a = t * t
+        b = t * t
+        (a + b).sum().backward()
+        assert t.grad[0] == pytest.approx(12.0)
+
+    def test_reused_tensor_in_one_op(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (t * t).sum().backward()
+        assert t.grad[0] == pytest.approx(4.0)
+
+    def test_repeated_backward_accumulates_into_grad(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 3).sum().backward()
+        (t * 3).sum().backward()
+        assert t.grad[0] == pytest.approx(6.0)
+
+    def test_zero_grad(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 3).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_no_grad_flowing_to_non_required(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=False)
+        (a * b).sum().backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        # ODE unrolls create graphs thousands of ops deep
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        x = t
+        for _ in range(5000):
+            x = x + 0.0001
+        x.sum().backward()
+        assert t.grad[0] == pytest.approx(1.0)
+
+    def test_intermediate_tensors_no_grad_attr(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        mid = t * 2
+        mid.sum().backward()
+        assert mid.grad is None  # non-leaf
+        assert t.grad is not None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert out._ctx is None
+        assert not out.requires_grad
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+    def test_detach(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+        assert d._ctx is None
+
+
+class TestTensorBasics:
+    def test_float64_downcast_on_copy(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_preserved(self):
+        t = Tensor([1.0], dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_from_tensor(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len_size_ndim(self, rng):
+        t = Tensor(rng.normal(size=(4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == pytest.approx(3.5)
+
+    def test_astype(self):
+        t = Tensor([1.5]).astype(np.float64)
+        assert t.dtype == np.float64

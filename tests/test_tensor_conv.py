@@ -1,0 +1,144 @@
+"""Unit tests for conv2d and pooling ops."""
+
+import numpy as np
+import pytest
+import scipy.signal
+
+from repro.tensor import Tensor, gradcheck
+
+
+def _ref_conv2d(x, w, stride=(1, 1), padding=(0, 0)):
+    """Reference dense conv via scipy.correlate2d (groups=1)."""
+    n, c, h, wd = x.shape
+    f = w.shape[0]
+    ph, pw = padding
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (h + 2 * ph - w.shape[2]) // stride[0] + 1
+    ow = (wd + 2 * pw - w.shape[3]) // stride[1] + 1
+    out = np.zeros((n, f, oh, ow))
+    for ni in range(n):
+        for fi in range(f):
+            acc = np.zeros((xp.shape[2] - w.shape[2] + 1, xp.shape[3] - w.shape[3] + 1))
+            for ci in range(c):
+                acc += scipy.signal.correlate2d(xp[ni, ci], w[fi, ci], mode="valid")
+            out[ni, fi] = acc[:: stride[0], :: stride[1]]
+    return out
+
+
+class TestConv2dValues:
+    def test_matches_scipy_reference(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = Tensor(x).conv2d(Tensor(w), stride=(2, 2), padding=(1, 1))
+        np.testing.assert_allclose(
+            out.data, _ref_conv2d(x, w, (2, 2), (1, 1)), rtol=1e-5, atol=1e-7
+        )
+
+    def test_identity_kernel(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out = Tensor(x).conv2d(Tensor(w), padding=(1, 1))
+        np.testing.assert_allclose(out.data, x, rtol=1e-6)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(5, 3, 1, 1))
+        out = Tensor(x).conv2d(Tensor(w))
+        ref = np.einsum("nchw,fc->nfhw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out.data, ref, rtol=1e-5)
+
+    def test_depthwise_groups(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        w = rng.normal(size=(4, 1, 3, 3))
+        out = Tensor(x).conv2d(Tensor(w), padding=(1, 1), groups=4)
+        # each channel convolved independently
+        for c in range(4):
+            ref = _ref_conv2d(x[:, c : c + 1], w[c : c + 1], (1, 1), (1, 1))
+            np.testing.assert_allclose(out.data[:, c : c + 1], ref, rtol=1e-5, atol=1e-7)
+
+    def test_output_shape_formula(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 11, 13)))
+        w = Tensor(rng.normal(size=(3, 2, 3, 5)))
+        out = x.conv2d(w, stride=(2, 3), padding=(1, 2))
+        assert out.shape == (1, 3, 6, 5)
+
+    def test_empty_output_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        w = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            x.conv2d(w)
+
+    def test_group_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 5, 5)))
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            x.conv2d(w, groups=4)
+
+
+class TestConv2dGrads:
+    def test_grad_dense(self, rng):
+        gradcheck(
+            lambda x, w: x.conv2d(w, padding=(1, 1)),
+            [rng.normal(size=(2, 2, 5, 5)), rng.normal(size=(3, 2, 3, 3))],
+        )
+
+    def test_grad_strided(self, rng):
+        gradcheck(
+            lambda x, w: x.conv2d(w, stride=(2, 2)),
+            [rng.normal(size=(1, 2, 6, 6)), rng.normal(size=(2, 2, 2, 2))],
+        )
+
+    def test_grad_grouped(self, rng):
+        gradcheck(
+            lambda x, w: x.conv2d(w, groups=2, padding=(1, 1)),
+            [rng.normal(size=(2, 4, 4, 4)), rng.normal(size=(6, 2, 3, 3))],
+        )
+
+    def test_grad_asymmetric_kernel(self, rng):
+        gradcheck(
+            lambda x, w: x.conv2d(w, padding=(0, 1)),
+            [rng.normal(size=(1, 1, 4, 5)), rng.normal(size=(2, 1, 1, 3))],
+        )
+
+
+class TestPooling:
+    def test_maxpool_values(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = Tensor(x).max_pool2d((2, 2))
+        ref = x.reshape(1, 1, 2, 2, 2, 2).max(axis=(3, 5))
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_maxpool_grad(self, rng):
+        gradcheck(lambda x: x.max_pool2d((2, 2)), [rng.normal(size=(2, 2, 6, 6))])
+
+    def test_maxpool_overlapping_grad(self, rng):
+        gradcheck(
+            lambda x: x.max_pool2d((3, 3), stride=(2, 2), padding=(1, 1)),
+            [rng.normal(size=(1, 2, 7, 7))],
+        )
+
+    def test_maxpool_padding_never_wins(self):
+        x = -np.ones((1, 1, 2, 2))
+        out = Tensor(x).max_pool2d((2, 2), stride=(2, 2), padding=(1, 1))
+        # all pooled values come from the (negative) input, not the pad
+        assert (out.data <= 0).all()
+
+    def test_avgpool_values(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = Tensor(x).avg_pool2d((2, 2))
+        ref = x.reshape(1, 2, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, ref, rtol=1e-6)
+
+    def test_avgpool_grad(self, rng):
+        gradcheck(
+            lambda x: x.avg_pool2d((2, 2), stride=(2, 2)),
+            [rng.normal(size=(2, 1, 4, 4))],
+        )
+
+    def test_resnet_stem_pool_shape(self, rng):
+        # maxpool 3x3 stride 2 pad 1 on 48x48 -> 24x24 (used by the stem)
+        out = Tensor(rng.normal(size=(1, 8, 48, 48))).max_pool2d(
+            (3, 3), stride=(2, 2), padding=(1, 1)
+        )
+        assert out.shape == (1, 8, 24, 24)

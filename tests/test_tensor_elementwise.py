@@ -1,0 +1,144 @@
+"""Unit tests for element-wise ops: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+
+
+class TestArithmetic:
+    def test_add_values(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        out = Tensor(a) + Tensor(b)
+        np.testing.assert_allclose(out.data, a + b, rtol=1e-6)
+
+    def test_add_broadcast_row(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_add_broadcast_scalar(self, rng):
+        a = rng.normal(size=(2, 3))
+        out = Tensor(a) + 5.0
+        np.testing.assert_allclose(out.data, a + 5.0, rtol=1e-6)
+
+    def test_radd(self, rng):
+        a = rng.normal(size=(2,))
+        out = 1.0 + Tensor(a)
+        np.testing.assert_allclose(out.data, a + 1.0, rtol=1e-6)
+
+    def test_sub_grad(self, rng):
+        gradcheck(lambda x, y: x - y, [rng.normal(size=(3, 2)), rng.normal(size=(2,))])
+
+    def test_rsub(self, rng):
+        a = rng.normal(size=(3,))
+        out = 2.0 - Tensor(a)
+        np.testing.assert_allclose(out.data, 2.0 - a, rtol=1e-6)
+
+    def test_mul_grad_broadcast(self, rng):
+        gradcheck(
+            lambda x, y: x * y,
+            [rng.normal(size=(2, 3, 4)), rng.normal(size=(3, 1))],
+        )
+
+    def test_div_grad(self, rng):
+        a = rng.normal(size=(3, 3))
+        b = rng.uniform(1.0, 2.0, size=(3, 3))
+        gradcheck(lambda x, y: x / y, [a, b])
+
+    def test_rtruediv(self, rng):
+        b = rng.uniform(1.0, 2.0, size=(4,))
+        out = 1.0 / Tensor(b)
+        np.testing.assert_allclose(out.data, 1.0 / b, rtol=1e-6)
+
+    def test_neg(self, rng):
+        gradcheck(lambda x: -x, [rng.normal(size=(5,))])
+
+    def test_pow_grad(self, rng):
+        a = rng.uniform(0.5, 2.0, size=(4,))
+        gradcheck(lambda x: x ** 3, [a])
+
+    def test_pow_negative_exponent(self, rng):
+        a = rng.uniform(1.0, 2.0, size=(4,))
+        gradcheck(lambda x: x ** -0.5, [a])
+
+
+class TestUnaryMath:
+    @pytest.mark.parametrize(
+        "name", ["exp", "tanh", "sigmoid", "gelu", "abs"]
+    )
+    def test_unary_grads(self, rng, name):
+        a = rng.normal(size=(3, 4))
+        gradcheck(lambda x: getattr(x, name)(), [a])
+
+    def test_log_grad(self, rng):
+        a = rng.uniform(0.5, 3.0, size=(3, 4))
+        gradcheck(lambda x: x.log(), [a])
+
+    def test_sqrt_grad(self, rng):
+        a = rng.uniform(0.5, 3.0, size=(3,))
+        gradcheck(lambda x: x.sqrt(), [a])
+
+    def test_exp_log_roundtrip(self, rng):
+        a = rng.uniform(0.5, 2.0, size=(5,))
+        out = Tensor(a).log().exp()
+        np.testing.assert_allclose(out.data, a, rtol=1e-5)
+
+    def test_relu_values_and_sparsity(self, rng):
+        a = rng.normal(size=(100,))
+        out = Tensor(a).relu()
+        assert (out.data >= 0).all()
+        np.testing.assert_allclose(out.data, np.maximum(a, 0), rtol=1e-6)
+
+    def test_relu_grad_masks_negatives(self):
+        t = Tensor(np.array([-1.0, 2.0, -3.0, 4.0]), requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_leaky_relu(self, rng):
+        a = rng.normal(size=(10,))
+        out = Tensor(a).leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, np.where(a > 0, a, 0.1 * a), rtol=1e-6)
+        gradcheck(lambda x: x.leaky_relu(0.1), [a])
+
+    def test_clip_grad(self, rng):
+        a = rng.normal(size=(20,))
+        gradcheck(lambda x: x.clip(-0.5, 0.5), [a + 0.001])  # avoid kinks
+
+    def test_maximum_grad(self, rng):
+        a, b = rng.normal(size=(6,)), rng.normal(size=(6,))
+        gradcheck(lambda x, y: x.maximum(y), [a, b])
+
+    def test_maximum_tie_splits_gradient(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        a.maximum(b).sum().backward()
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(0.5)
+
+
+class TestWhere:
+    def test_where_values(self, rng):
+        from repro.tensor import where
+
+        cond = rng.normal(size=(4,)) > 0
+        a, b = rng.normal(size=(4,)), rng.normal(size=(4,))
+        out = where(cond, Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, np.where(cond, a, b), rtol=1e-6)
+
+    def test_where_grad_routing(self, rng):
+        from repro.tensor import where
+
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1, 0, 1])
+        np.testing.assert_array_equal(b.grad, [0, 1, 0])
+
+
+class TestComparisons:
+    def test_comparisons_return_numpy_bools(self, rng):
+        a = Tensor(rng.normal(size=(3,)))
+        assert isinstance(a > 0, np.ndarray)
+        assert (a > 0).dtype == bool
+        assert isinstance(a <= 0.5, np.ndarray)

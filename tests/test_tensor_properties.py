@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) on the autograd engine.
+
+Invariants checked:
+* backward of linear ops equals the analytic adjoint for arbitrary shapes;
+* softmax rows always form a probability distribution;
+* gradients of a sum through any broadcast pattern are the broadcast
+  multiplicities;
+* conv2d and matmul agree with dot-product semantics on random shapes.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import Tensor
+
+floats = st.floats(-10, 10, allow_nan=False, width=32)
+
+
+def _arr(shape_strategy=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5)):
+    return shape_strategy.flatmap(
+        lambda s: arrays(np.float64, s, elements=st.floats(-10, 10, allow_nan=False))
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arr())
+def test_sum_gradient_is_ones(a):
+    t = Tensor(a, requires_grad=True, dtype=np.float64)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arr(), st.floats(-5, 5, allow_nan=False))
+def test_scalar_mul_gradient(a, c):
+    t = Tensor(a, requires_grad=True, dtype=np.float64)
+    (t * c).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(a, c), rtol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)
+)
+def test_matmul_matches_numpy(m, k, n):
+    rng = np.random.default_rng(m * 100 + k * 10 + n)
+    a, b = rng.normal(size=(m, k)), rng.normal(size=(k, n))
+    out = Tensor(a, dtype=np.float64) @ Tensor(b, dtype=np.float64)
+    np.testing.assert_allclose(out.data, a @ b, rtol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arr(array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6)))
+def test_softmax_is_distribution(a):
+    out = Tensor(a, dtype=np.float64).softmax(axis=-1)
+    assert (out.data >= 0).all()
+    np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arr(array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6)))
+def test_softmax_invariant_to_shift(a):
+    s1 = Tensor(a, dtype=np.float64).softmax(axis=-1).data
+    s2 = Tensor(a + 7.0, dtype=np.float64).softmax(axis=-1).data
+    np.testing.assert_allclose(s1, s2, rtol=1e-8, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4))
+def test_broadcast_add_gradient_counts(rows, cols):
+    """Gradient of a broadcast operand equals its multiplicity."""
+    a = Tensor(np.zeros((rows, cols)), requires_grad=True, dtype=np.float64)
+    b = Tensor(np.zeros((cols,)), requires_grad=True, dtype=np.float64)
+    (a + b).sum().backward()
+    np.testing.assert_array_equal(a.grad, np.ones((rows, cols)))
+    np.testing.assert_array_equal(b.grad, np.full((cols,), rows))
+
+
+@settings(max_examples=30, deadline=None)
+@given(_arr())
+def test_relu_idempotent(a):
+    t = Tensor(a, dtype=np.float64)
+    once = t.relu().data
+    twice = t.relu().relu().data
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_arr())
+def test_exp_log_softplus_positive(a):
+    out = Tensor(a, dtype=np.float64).exp()
+    assert (out.data > 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 3), st.integers(1, 3), st.integers(3, 7), st.integers(3, 7),
+    st.integers(1, 3),
+)
+def test_conv1x1_equals_einsum(n, c, h, w, f):
+    rng = np.random.default_rng(n + c * 10 + h * 100)
+    x = rng.normal(size=(n, c, h, w))
+    weight = rng.normal(size=(f, c, 1, 1))
+    out = Tensor(x, dtype=np.float64).conv2d(Tensor(weight, dtype=np.float64))
+    ref = np.einsum("nchw,fc->nfhw", x, weight[:, :, 0, 0])
+    np.testing.assert_allclose(out.data, ref, rtol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_transpose_involution(m, n):
+    rng = np.random.default_rng(m * 10 + n)
+    a = rng.normal(size=(m, n))
+    t = Tensor(a, requires_grad=True, dtype=np.float64)
+    t.T.T.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones((m, n)))

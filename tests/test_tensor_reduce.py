@@ -1,0 +1,105 @@
+"""Unit tests for reductions (sum/mean/max/min/var)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+
+
+class TestSum:
+    def test_sum_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert Tensor(a).sum().item() == pytest.approx(a.sum(), rel=1e-6)
+
+    @pytest.mark.parametrize("axis", [0, 1, -1, (0, 1), None])
+    def test_sum_axes_grad(self, rng, axis):
+        gradcheck(lambda x: x.sum(axis=axis), [rng.normal(size=(3, 4))])
+
+    def test_sum_keepdims_shape(self, rng):
+        out = Tensor(rng.normal(size=(2, 3, 4))).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1, 4)
+
+    def test_sum_3d_multiaxis(self, rng):
+        gradcheck(lambda x: x.sum(axis=(0, 2)), [rng.normal(size=(2, 3, 4))])
+
+
+class TestMean:
+    def test_mean_value(self, rng):
+        a = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(
+            Tensor(a).mean(axis=0).data, a.mean(axis=0), rtol=1e-5
+        )
+
+    @pytest.mark.parametrize("axis", [0, (1, 2), None])
+    def test_mean_grad(self, rng, axis):
+        gradcheck(lambda x: x.mean(axis=axis), [rng.normal(size=(2, 3, 4))])
+
+    def test_mean_grad_scale(self):
+        t = Tensor(np.ones((2, 5)), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 5), 0.1))
+
+
+class TestMaxMin:
+    def test_max_value(self, rng):
+        a = rng.normal(size=(3, 7))
+        np.testing.assert_allclose(Tensor(a).max(axis=1).data, a.max(axis=1), rtol=1e-6)
+
+    def test_max_grad_unique(self, rng):
+        a = rng.normal(size=(4, 6))
+        gradcheck(lambda x: x.max(axis=1), [a])
+
+    def test_max_grad_keepdims(self, rng):
+        a = rng.normal(size=(4, 6))
+        gradcheck(lambda x: x.max(axis=0, keepdims=True), [a])
+
+    def test_max_ties_split(self):
+        t = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        t.max(axis=1).backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5, 0.0]])
+
+    def test_min_value_and_grad(self, rng):
+        a = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(Tensor(a).min(axis=0).data, a.min(axis=0), rtol=1e-6)
+        gradcheck(lambda x: x.min(axis=0), [a])
+
+    def test_global_max(self, rng):
+        a = rng.normal(size=(3, 3))
+        assert Tensor(a).max().item() == pytest.approx(a.max())
+
+
+class TestVar:
+    def test_var_matches_numpy(self, rng):
+        a = rng.normal(size=(6, 5))
+        np.testing.assert_allclose(
+            Tensor(a).var(axis=0).data, a.var(axis=0), rtol=1e-5
+        )
+
+    def test_var_grad(self, rng):
+        gradcheck(lambda x: x.var(axis=1), [rng.normal(size=(3, 5))])
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Tensor(rng.normal(size=(4, 9)) * 10).softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_softmax_stability_large_logits(self):
+        out = Tensor(np.array([[1000.0, 1000.0, 0.0]])).softmax()
+        assert np.isfinite(out.data).all()
+        assert out.data[0, 0] == pytest.approx(0.5, rel=1e-4)
+
+    def test_softmax_grad(self, rng):
+        gradcheck(lambda x: x.softmax(axis=-1), [rng.normal(size=(2, 5))])
+
+    def test_log_softmax_consistency(self, rng):
+        a = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(
+            Tensor(a).log_softmax().data,
+            np.log(Tensor(a).softmax().data),
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
+    def test_log_softmax_grad(self, rng):
+        gradcheck(lambda x: x.log_softmax(axis=0), [rng.normal(size=(4, 3))])

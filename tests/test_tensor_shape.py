@@ -1,0 +1,141 @@
+"""Unit tests for shape ops: reshape/transpose/indexing/pad/concat."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, cat, gradcheck, stack
+
+
+class TestReshape:
+    def test_reshape_roundtrip(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = Tensor(a).reshape(6, 4).reshape(2, 3, 4)
+        np.testing.assert_allclose(out.data, a, rtol=1e-6)
+
+    def test_reshape_minus_one(self, rng):
+        out = Tensor(rng.normal(size=(2, 3, 4))).reshape(2, -1)
+        assert out.shape == (2, 12)
+
+    def test_reshape_grad(self, rng):
+        gradcheck(lambda x: x.reshape(-1) * 2.0, [rng.normal(size=(3, 4))])
+
+    def test_flatten(self, rng):
+        out = Tensor(rng.normal(size=(2, 3, 4, 5))).flatten(1)
+        assert out.shape == (2, 60)
+
+
+class TestTranspose:
+    def test_default_reverses(self, rng):
+        out = Tensor(rng.normal(size=(2, 3, 4))).transpose()
+        assert out.shape == (4, 3, 2)
+
+    def test_permute_grad(self, rng):
+        gradcheck(lambda x: x.transpose(1, 2, 0), [rng.normal(size=(2, 3, 4))])
+
+    def test_T_property(self, rng):
+        a = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(Tensor(a).T.data, a.T, rtol=1e-6)
+
+    def test_swapaxes(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(
+            Tensor(a).swapaxes(1, 2).data, np.swapaxes(a, 1, 2), rtol=1e-6
+        )
+
+
+class TestIndexing:
+    def test_basic_slice_grad(self, rng):
+        gradcheck(lambda x: x[1:, ::2], [rng.normal(size=(4, 6))])
+
+    def test_int_index(self, rng):
+        a = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(Tensor(a)[2].data, a[2], rtol=1e-6)
+
+    def test_advanced_index_accumulates(self):
+        t = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        t[idx].sum().backward()
+        np.testing.assert_array_equal(t.grad, [2.0, 0.0, 1.0])
+
+    def test_fancy_2d_index(self, rng):
+        a = rng.normal(size=(5, 4))
+        rows = np.array([0, 2, 4])
+        cols = np.array([1, 1, 3])
+        t = Tensor(a, requires_grad=True)
+        t[rows, cols].sum().backward()
+        expected = np.zeros((5, 4))
+        np.add.at(expected, (rows, cols), 1.0)
+        np.testing.assert_array_equal(t.grad, expected)
+
+
+class TestPad:
+    def test_pad_values(self, rng):
+        a = rng.normal(size=(2, 3))
+        out = Tensor(a).pad([(1, 1), (0, 2)])
+        assert out.shape == (4, 5)
+        np.testing.assert_allclose(out.data[1:3, :3], a, rtol=1e-6)
+        assert out.data[0].sum() == 0
+
+    def test_pad_grad(self, rng):
+        gradcheck(lambda x: x.pad([(1, 0), (2, 1)]), [rng.normal(size=(2, 3))])
+
+
+class TestConcatStack:
+    def test_cat_values(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        out = cat([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b]), rtol=1e-6)
+
+    def test_cat_grad_splits(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        cat([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+        np.testing.assert_array_equal(a.grad, np.ones((2, 2)))
+
+    def test_stack(self, rng):
+        a, b = rng.normal(size=(3,)), rng.normal(size=(3,))
+        out = stack([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.stack([a, b]), rtol=1e-6)
+
+    def test_broadcast_to_grad(self, rng):
+        gradcheck(lambda x: x.broadcast_to((4, 3)), [rng.normal(size=(1, 3))])
+
+    def test_expand_squeeze(self, rng):
+        a = rng.normal(size=(2, 3))
+        t = Tensor(a).expand_dims(1)
+        assert t.shape == (2, 1, 3)
+        assert t.squeeze(1).shape == (2, 3)
+
+
+class TestMatmulShapes:
+    def test_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, rtol=1e-6)
+
+    def test_batched_grad(self, rng):
+        gradcheck(
+            lambda x, y: x @ y,
+            [rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 5))],
+        )
+
+    def test_broadcast_batch_grad(self, rng):
+        # (B, k, N, D) @ (k, D, N): batch-dim broadcast as used by MHSA
+        gradcheck(
+            lambda x, y: x @ y,
+            [rng.normal(size=(2, 3, 4, 5)), rng.normal(size=(3, 5, 4))],
+        )
+
+    def test_vector_matrix(self, rng):
+        a, b = rng.normal(size=(4,)), rng.normal(size=(4, 3))
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matrix_vector(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_vector_vector(self, rng):
+        a, b = rng.normal(size=(4,)), rng.normal(size=(4,))
+        out = Tensor(a) @ Tensor(b)
+        assert out.data == pytest.approx(a @ b)

@@ -1,0 +1,326 @@
+"""Tests for losses, optimizers, schedulers, metrics and the Trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset, DataLoader
+from repro.tensor import Tensor
+from repro.train import (
+    SGD,
+    ConstantLR,
+    CosineAnnealingWarmRestarts,
+    CrossEntropyLoss,
+    StepLR,
+    Trainer,
+    accuracy,
+    confusion_matrix,
+    topk_accuracy,
+)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+        loss = CrossEntropyLoss()(Tensor(logits, dtype=np.float64), labels)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        ref = -logp[np.arange(4), labels].mean()
+        assert loss.item() == pytest.approx(ref, rel=1e-6)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = CrossEntropyLoss()(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-3
+
+    def test_uniform_logits_log_k(self):
+        loss = CrossEntropyLoss()(Tensor(np.zeros((5, 10))), np.zeros(5, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True, dtype=np.float64)
+        labels = np.array([1, 0, 3])
+        CrossEntropyLoss()(logits, labels).backward()
+        p = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        onehot = np.eye(4)[labels]
+        np.testing.assert_allclose(logits.grad, (p - onehot) / 3, rtol=1e-5, atol=1e-8)
+
+    def test_label_smoothing_bounds(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)), dtype=np.float64)
+        labels = np.array([0, 1, 2, 3])
+        plain = CrossEntropyLoss()(logits, labels).item()
+        smooth = CrossEntropyLoss(smoothing=0.1)(logits, labels).item()
+        assert smooth != plain
+
+    def test_invalid_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(smoothing=1.5)
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        p = nn.Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1, momentum=0.0, weight_decay=0.0).step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.99)
+
+    def test_momentum_accumulates(self):
+        p = nn.Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9, weight_decay=0.0)
+        for _ in range(2):
+            p.grad = np.array([1.0])
+            opt.step()
+        # step1: v=1 -> p=-1; step2: v=1.9 -> p=-2.9
+        assert p.data[0] == pytest.approx(-2.9)
+
+    def test_matches_torch_semantics_vs_reference(self, rng):
+        """Cross-check a short trajectory against a hand-rolled reference
+        implementing torch's SGD update rule."""
+        w0 = rng.normal(size=(3,))
+        p = nn.Parameter(w0.copy())
+        opt = SGD([p], lr=0.05, momentum=0.9, weight_decay=0.01)
+        ref_w = w0.copy().astype(np.float64)
+        ref_v = np.zeros(3)
+        for step in range(5):
+            g = np.sin(ref_w + step)  # deterministic pseudo-gradient
+            p.grad = np.sin(p.data.astype(np.float64) + step)
+            opt.step()
+            gg = g + 0.01 * ref_w
+            ref_v = 0.9 * ref_v + gg
+            ref_w = ref_w - 0.05 * ref_v
+        np.testing.assert_allclose(p.data, ref_w, rtol=1e-5)
+
+    def test_none_grad_skipped(self):
+        p = nn.Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no grad set
+        assert p.data[0] == 1.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nesterov(self):
+        p = nn.Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9, weight_decay=0.0, nesterov=True)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(-1.9)
+
+    def test_zero_grad_clears(self):
+        p = nn.Parameter(np.array([1.0]))
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSchedulers:
+    def _opt(self, lr=0.1):
+        return SGD([nn.Parameter(np.zeros(1))], lr=lr)
+
+    def test_constant(self):
+        opt = self._opt()
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 0.1
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([0.1, 0.01, 0.01, 0.001])
+
+    def test_cosine_warm_restarts_paper_schedule(self):
+        """T_0=10, T_mult=2: restarts at epochs 10 and 30."""
+        opt = self._opt(lr=0.1)
+        sched = CosineAnnealingWarmRestarts(opt, T_0=10, T_mult=2, eta_min=1e-4)
+        lrs = [0.1]
+        for _ in range(35):
+            sched.step()
+            lrs.append(opt.lr)
+        # just before the first restart LR is near eta_min
+        assert lrs[9] < 0.01
+        # restart at epoch 10 returns to base LR
+        assert lrs[10] == pytest.approx(0.1, rel=1e-6)
+        # second cycle is twice as long: epoch 30 restarts again
+        assert lrs[30] == pytest.approx(0.1, rel=1e-6)
+        assert lrs[29] < 0.01
+
+    def test_cosine_monotone_within_cycle(self):
+        opt = self._opt()
+        sched = CosineAnnealingWarmRestarts(opt, T_0=10)
+        lrs = []
+        for _ in range(10):
+            lrs.append(opt.lr)
+            sched.step()
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_t0_raises(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingWarmRestarts(self._opt(), T_0=0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(logits, [0, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_topk(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert topk_accuracy(logits, [2], k=3) == 1.0
+        assert topk_accuracy(logits, [3], k=3) == 0.0
+
+    def test_confusion_matrix(self):
+        logits = np.eye(3)[[0, 1, 1, 2]]
+        cm = confusion_matrix(logits, [0, 1, 2, 2], num_classes=3)
+        assert cm[2, 1] == 1  # true 2 predicted 1
+        assert cm.sum() == 4
+        assert np.trace(cm) == 3
+
+
+class TestTrainer:
+    def _toy_problem(self):
+        """Linearly separable 2-class blobs."""
+        rng = np.random.default_rng(0)
+        n = 60
+        x0 = rng.normal(size=(n, 2, 4, 4)) - 1.2
+        x1 = rng.normal(size=(n, 2, 4, 4)) + 1.2
+        images = np.concatenate([x0, x1]).astype(np.float32)
+        labels = np.array([0] * n + [1] * n)
+        ds = ArrayDataset(images, labels)
+        model = nn.Sequential(
+            nn.Flatten(), nn.Linear(32, 2, rng=np.random.default_rng(1))
+        )
+        return ds, model
+
+    def test_loss_decreases_and_learns(self):
+        ds, model = self._toy_problem()
+        loader = DataLoader(ds, batch_size=20, shuffle=True, seed=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1, weight_decay=0.0))
+        hist = trainer.fit(loader, loader, epochs=5)
+        assert hist.train_loss[-1] < hist.train_loss[0]
+        assert hist.test_accuracy[-1] > 0.95
+
+    def test_history_fields_aligned(self):
+        ds, model = self._toy_problem()
+        loader = DataLoader(ds, batch_size=30)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        hist = trainer.fit(loader, loader, epochs=3)
+        assert len(hist.epoch) == len(hist.train_loss) == 3
+        assert len(hist.test_accuracy) == 3
+
+    def test_eval_every(self):
+        ds, model = self._toy_problem()
+        loader = DataLoader(ds, batch_size=30)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        hist = trainer.fit(loader, loader, epochs=4, eval_every=2)
+        assert np.isnan(hist.test_accuracy[0])
+        assert not np.isnan(hist.test_accuracy[1])
+
+    def test_best(self):
+        ds, model = self._toy_problem()
+        loader = DataLoader(ds, batch_size=30)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1, weight_decay=0.0))
+        hist = trainer.fit(loader, loader, epochs=3)
+        epoch, acc = hist.best()
+        assert acc == max(hist.test_accuracy)
+
+    def test_scheduler_steps_each_epoch(self):
+        ds, model = self._toy_problem()
+        loader = DataLoader(ds, batch_size=30)
+        opt = SGD(model.parameters(), lr=0.1)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        trainer = Trainer(model, opt, scheduler=sched)
+        hist = trainer.fit(loader, epochs=2)
+        assert hist.lr == pytest.approx([0.1, 0.05])
+
+
+class TestHistoryBest:
+    def test_best_ignores_nan_epochs(self):
+        from repro.train import TrainingHistory
+
+        h = TrainingHistory()
+        h.epoch.extend([0, 1, 2, 3])
+        h.test_accuracy.extend([float("nan"), 0.5, float("nan"), 0.4])
+        epoch, acc = h.best()
+        assert (epoch, acc) == (1, 0.5)
+
+    def test_best_all_nan(self):
+        from repro.train import TrainingHistory
+
+        h = TrainingHistory()
+        h.epoch.extend([0])
+        h.test_accuracy.extend([float("nan")])
+        assert h.best() == (0, 0.0)
+
+    def test_best_empty(self):
+        from repro.train import TrainingHistory
+
+        assert TrainingHistory().best() == (0, 0.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        from repro.train import clip_grad_norm
+
+        p = nn.Parameter(np.zeros(3))
+        p.grad = np.array([0.3, 0.4, 0.0])  # norm 0.5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4, 0.0])
+
+    def test_clips_to_max_norm(self):
+        from repro.train import clip_grad_norm
+
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        from repro.train import clip_grad_norm
+
+        p1, p2 = nn.Parameter(np.zeros(1)), nn.Parameter(np.zeros(1))
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        clip_grad_norm([p1, p2], max_norm=1.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_skips_none_grads(self):
+        from repro.train import clip_grad_norm
+
+        p = nn.Parameter(np.zeros(1))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_trainer_integration(self):
+        from repro.train import Trainer
+
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(
+            rng.normal(size=(16, 1, 2, 2)).astype(np.float32) * 100,
+            rng.integers(0, 2, size=16),
+        )
+        model = nn.Sequential(nn.Flatten(), nn.Linear(4, 2, rng=rng))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1),
+                          clip_grad=0.5)
+        loader = DataLoader(ds, batch_size=16)
+        trainer.fit(loader, epochs=2)
+        assert np.isfinite(
+            np.concatenate([p.data.ravel() for p in model.parameters()])
+        ).all()

@@ -1,0 +1,93 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+from repro.train import SGD, load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_model_roundtrip(self, tmp_path, rng):
+        m1 = build_model("ode_botnet", profile="tiny", seed=1)
+        m2 = build_model("ode_botnet", profile="tiny", seed=2)
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, m1)
+        load_checkpoint(path, m2)
+        with no_grad():
+            np.testing.assert_array_equal(m1.eval()(x).data, m2.eval()(x).data)
+
+    def test_metadata_roundtrip(self, tmp_path, rng):
+        m = nn.Linear(3, 2, rng=rng)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, m, metadata={"epoch": 42, "best_acc": 0.81})
+        meta = load_checkpoint(path, m)
+        assert meta["epoch"] == 42
+        assert meta["best_acc"] == pytest.approx(0.81)
+
+    def test_optimizer_momentum_restored(self, tmp_path, rng):
+        m = nn.Linear(4, 2, rng=rng)
+        opt = SGD(m.parameters(), lr=0.1, momentum=0.9)
+        # build momentum state
+        out = m(Tensor(rng.normal(size=(5, 4)).astype(np.float32)))
+        out.sum().backward()
+        opt.step()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, m, optimizer=opt, metadata={"epoch": 1})
+
+        m2 = nn.Linear(4, 2, rng=np.random.default_rng(5))
+        opt2 = SGD(m2.parameters(), lr=0.5, momentum=0.9)
+        load_checkpoint(path, m2, optimizer=opt2)
+        assert opt2.lr == pytest.approx(0.1)
+        for v1, v2 in zip(opt._velocity, opt2._velocity):
+            if v1 is None:
+                assert v2 is None
+            else:
+                np.testing.assert_array_equal(v1, v2)
+
+    def test_bn_running_stats_restored(self, tmp_path, rng):
+        bn1 = nn.BatchNorm2d(3)
+        bn1(Tensor(rng.normal(size=(8, 3, 4, 4)).astype(np.float32)))
+        path = tmp_path / "bn.npz"
+        save_checkpoint(path, bn1)
+        bn2 = nn.BatchNorm2d(3)
+        load_checkpoint(path, bn2)
+        np.testing.assert_allclose(bn2.running_mean, bn1.running_mean)
+        np.testing.assert_allclose(bn2.running_var, bn1.running_var)
+
+    def test_resume_training_trajectory(self, tmp_path, rng):
+        """Save mid-training, reload into fresh objects, and verify the
+        continued trajectory matches an uninterrupted run."""
+
+        def make():
+            m = nn.Sequential(nn.Flatten(), nn.Linear(8, 2, rng=np.random.default_rng(0)))
+            return m, SGD(m.parameters(), lr=0.1, momentum=0.9, weight_decay=0.0)
+
+        x = Tensor(rng.normal(size=(4, 2, 2, 2)).astype(np.float32))
+
+        def step(m, opt):
+            opt.zero_grad()
+            m(x).sum().backward()
+            opt.step()
+
+        # uninterrupted: 4 steps
+        m_ref, opt_ref = make()
+        for _ in range(4):
+            step(m_ref, opt_ref)
+
+        # interrupted after 2 steps
+        m_a, opt_a = make()
+        for _ in range(2):
+            step(m_a, opt_a)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(path, m_a, optimizer=opt_a)
+        m_b, opt_b = make()
+        load_checkpoint(path, m_b, optimizer=opt_b)
+        for _ in range(2):
+            step(m_b, opt_b)
+
+        for p_ref, p_b in zip(m_ref.parameters(), m_b.parameters()):
+            np.testing.assert_allclose(p_b.data, p_ref.data, rtol=1e-5)

@@ -1,0 +1,13 @@
+"""Execute the python blocks of docs/TUTORIAL.md cumulatively."""
+
+import os
+import re
+
+
+def test_tutorial_blocks_run():
+    path = os.path.join(os.path.dirname(__file__), "..", "docs", "TUTORIAL.md")
+    blocks = re.findall(r"```python\n(.*?)```", open(path).read(), flags=re.DOTALL)
+    assert len(blocks) >= 7
+    namespace = {}
+    for index, block in enumerate(blocks):
+        exec(compile(block, f"TUTORIAL block {index}", "exec"), namespace)

@@ -1,0 +1,109 @@
+"""Tests for variance analysis, Bosh3 and the dataflow design variant."""
+
+import numpy as np
+import pytest
+
+from repro import ode
+from repro.experiments.designs import FIXED_DEFAULT, botnet_mhsa_design, proposed_mhsa_design
+from repro.models import build_model
+from repro.profiling import (
+    block_variance_ratio,
+    mhsa_vs_conv_variance,
+    stage_variance_profile,
+)
+from repro.tensor import Tensor
+
+
+class TestVarianceAnalysis:
+    def test_stage_profile_structure(self, rng):
+        model = build_model("ode_botnet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(4, 3, 32, 32)).astype(np.float32))
+        rows = stage_variance_profile(model, x)
+        assert [r["stage"] for r in rows] == [
+            "stem", "block1", "down1", "block2", "down2", "block3",
+        ]
+        assert all(r["variance"] > 0 for r in rows)
+
+    def test_block_variance_ratio_identity(self, rng):
+        from repro import nn
+
+        x = Tensor(rng.normal(size=(2, 4, 5, 5)).astype(np.float32))
+        assert block_variance_ratio(nn.Identity(), x) == pytest.approx(1.0)
+
+    def test_mhsa_vs_conv_keys(self, rng):
+        model = build_model("ode_botnet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(4, 3, 32, 32)).astype(np.float32))
+        ratios = mhsa_vs_conv_variance(model, x)
+        assert "block3 (mhsa)" in ratios
+        assert "block1 (conv)" in ratios
+        assert all(np.isfinite(v) for v in ratios.values())
+
+    def test_plain_odenet_labels_conv(self, rng):
+        model = build_model("odenet", profile="tiny").eval()
+        x = Tensor(rng.normal(size=(2, 3, 32, 32)).astype(np.float32))
+        ratios = mhsa_vs_conv_variance(model, x)
+        assert "block3 (conv)" in ratios
+
+
+class TestBosh3:
+    def test_registered(self):
+        assert "bosh3" in ode.available_solvers()
+
+    def test_accuracy(self):
+        s = ode.Bosh3(rtol=1e-7, atol=1e-9)
+        z1 = s.integrate(lambda t, z: -z, Tensor(np.ones(3), dtype=np.float64))
+        np.testing.assert_allclose(z1.data, np.exp(-1.0), atol=1e-6)
+
+    def test_four_stages_per_step(self):
+        s = ode.Bosh3()
+        s.integrate(lambda t, z: -z, Tensor(np.ones(1), dtype=np.float64))
+        assert s.stats["nfe"] == 4 * (s.stats["accepted"] + s.stats["rejected"])
+
+    def test_cheaper_per_step_than_dopri5(self):
+        """At loose tolerance Bosh3 needs fewer function evaluations per
+        step (4 vs 7)."""
+        b = ode.Bosh3(rtol=1e-2, atol=1e-3)
+        d = ode.Dopri5(rtol=1e-2, atol=1e-3)
+        z0 = Tensor(np.ones(1), dtype=np.float64)
+        b.integrate(lambda t, z: -z, z0)
+        d.integrate(lambda t, z: -z, z0)
+        assert b.stats["nfe"] / max(b.stats["accepted"], 1) < d.stats["nfe"] / max(
+            d.stats["accepted"], 1
+        )
+
+    def test_gradient_flows(self):
+        z0 = Tensor(np.array([1.0]), requires_grad=True, dtype=np.float64)
+        s = ode.Bosh3(rtol=1e-6, atol=1e-8)
+        s.integrate(lambda t, z: -z, z0).sum().backward()
+        assert z0.grad[0] == pytest.approx(np.exp(-1.0), rel=1e-3)
+
+    def test_in_ode_block(self, rng):
+        func = ode.ConvODEFunc(4, rng=rng)
+        block = ode.ODEBlock(func, solver="bosh3", steps=4)
+        out = block(Tensor(rng.normal(size=(1, 4, 4, 4)).astype(np.float32)))
+        assert out.shape == (1, 4, 4, 4)
+
+
+class TestDataflowDesign:
+    def test_saves_cycles(self):
+        seq = botnet_mhsa_design(FIXED_DEFAULT)
+        df = botnet_mhsa_design(FIXED_DEFAULT, dataflow=True)
+        assert df.total_cycles() < seq.total_cycles()
+        # the saving is bounded by the weight-stream time
+        saving = seq.total_cycles() - df.total_cycles()
+        assert saving <= seq.weight_stream_cycles()
+
+    def test_costs_a_second_weight_buffer(self):
+        seq = botnet_mhsa_design(FIXED_DEFAULT)
+        df = botnet_mhsa_design(FIXED_DEFAULT, dataflow=True)
+        names = {b.name for b in df.buffer_plan().buffers}
+        assert "W_shadow" in names
+        assert df.resource_report().bram > seq.resource_report().bram
+
+    def test_bram_tradeoff_at_512(self):
+        """Design-space insight: the ping-pong buffer does NOT fit at
+        the (512, 3, 3) geometry but does at the proposed (64, 6, 6)."""
+        big = botnet_mhsa_design(FIXED_DEFAULT, dataflow=True)
+        small = proposed_mhsa_design(FIXED_DEFAULT, dataflow=True)
+        assert not big.resource_report().fits()
+        assert small.resource_report().fits()

@@ -11,6 +11,8 @@ Shows, for the (512, 3, 3) BoTNet MHSA and the proposed (64, 6, 6) MHSA:
 Run:  python examples/fpga_accelerator.py
 """
 
+import numpy as np
+
 from repro.experiments import (
     FIXED_DEFAULT,
     FLOAT32,
@@ -25,6 +27,9 @@ from repro.experiments import (
     table7_resource_utilization,
     table9_execution_time,
 )
+from repro.fpga import MHSAAccelerator
+from repro.models import build_model
+from repro.runtime import InferenceSession
 
 
 def resource_rows(rows):
@@ -106,6 +111,20 @@ def main():
         d = proposed_mhsa_design(arith)
         print(f"{label}: kernel {d.latency_ms():.2f} ms, "
               f"{d.resource_report().row()}")
+
+    print("\n=== Unified predict API over the simulated accelerator ===")
+    # the attention block the paper offloads, taken from the registry
+    # model exactly as deployment would see it (eval mode)
+    mhsa = build_model("ode_botnet", profile="paper", inference=True).mhsa
+    acc = MHSAAccelerator(mhsa, proposed_mhsa_design(FIXED_DEFAULT))
+    session = InferenceSession(acc)   # same API as any float model
+    x = np.random.default_rng(0).normal(
+        size=(1, mhsa.channels, mhsa.height, mhsa.width)
+    ).astype(np.float32)
+    y = session.predict_batch(x)
+    snap = session.stats.snapshot()
+    print(f"backend={session.backend}: batch {x.shape} -> {y.shape}, "
+          f"{snap['batches']} dispatch, p50 {snap['p50_ms']:.2f} ms")
 
     print("\n=== Execution schedule (512ch fixed, sequential) ===")
     from repro.fpga import execution_trace, format_gantt

@@ -13,7 +13,7 @@ from repro.data import DataLoader, SynthSTL
 from repro.experiments import FIXED_DEFAULT, format_table
 from repro.fpga import Arithmetic, MHSAAccelerator, MHSADesign
 from repro.models import MODELS, build_model
-from repro.tensor import Tensor, no_grad
+from repro.runtime import InferenceSession
 from repro.train import SGD, CosineAnnealingWarmRestarts, Trainer
 
 
@@ -25,7 +25,7 @@ def main():
     rows = []
     counts = {}
     for name in MODELS:
-        model = build_model(name, profile="paper")
+        model = build_model(name, profile="paper", inference=True)
         counts[name] = model.num_parameters()
         rows.append([name, counts[name]])
     print(format_table(["model", "parameters"], rows))
@@ -64,8 +64,12 @@ def main():
     x = np.random.default_rng(0).normal(
         size=(1, mhsa.channels, mhsa.height, mhsa.width)
     ).astype(np.float32)
-    hw_out = acc.run(x)
-    sw_out = mhsa.forward_numpy(x)
+    # one predict API for both executions: the simulated FPGA and the
+    # float software reference are each wrapped in an InferenceSession
+    hw = InferenceSession(acc)
+    sw = InferenceSession(mhsa)
+    hw_out = hw.predict_batch(x)
+    sw_out = sw.predict_batch(x)
     print(design.describe())
     print(f"fixed-point vs float max |diff|: {np.abs(hw_out - sw_out).max():.2e}")
     lat = acc.latency()

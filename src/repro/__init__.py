@@ -17,6 +17,9 @@ Subpackages
     SGD + cosine-warm-restarts training stack.
 ``repro.fixedpoint``
     bit-accurate Q-format arithmetic (ap_fixed semantics).
+``repro.runtime``
+    batched inference runtime: InferenceSession + MicroBatcher, the
+    single predict API over float/quantized/FPGA execution.
 ``repro.fpga``
     ZCU104 accelerator simulator: cycles, resources, power, DMA.
 ``repro.profiling``
@@ -41,6 +44,7 @@ __all__ = [
     "data",
     "train",
     "fixedpoint",
+    "runtime",
     "fpga",
     "profiling",
     "experiments",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..fixedpoint import QuantizedMHSA2d
+from ..nn import functional
 from .axi import HP0, dma_cycles
 from .mhsa_design import MHSADesign
 
@@ -86,10 +87,11 @@ class MHSAAccelerator:
             # behavioural half precision: inputs/outputs live in fp16
             # (intermediate accumulation modelled at full precision, as
             # a DSP-based half-precision MAC tree would provide)
-            out = self.mhsa.forward_numpy(np.asarray(x, dtype=np.float16)
-                                          .astype(np.float32))
+            out = functional.mhsa2d_eval(
+                self.mhsa, np.asarray(x, dtype=np.float16).astype(np.float32)
+            )
             return out.astype(np.float16).astype(np.float32)
-        return self.mhsa.forward_numpy(np.asarray(x, dtype=np.float32))
+        return functional.mhsa2d_eval(self.mhsa, np.asarray(x, dtype=np.float32))
 
     # ------------------------------------------------------------------
     def latency(self) -> LatencyReport:

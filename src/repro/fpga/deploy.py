@@ -22,6 +22,7 @@ import os
 import numpy as np
 
 from ..fixedpoint import QFormat, QuantizedMHSA2d
+from ..nn import functional
 from .mhsa_design import Arithmetic, MHSADesign
 
 
@@ -124,7 +125,7 @@ def generate_testbench(mhsa, design: MHSADesign, out_dir,
         )
         y = q.forward(x)
     else:
-        y = mhsa.forward_numpy(x)
+        y = functional.mhsa2d_eval(mhsa, x)
 
     in_path = os.path.join(out_dir, "golden_in.txt")
     out_path = os.path.join(out_dir, "golden_out.txt")

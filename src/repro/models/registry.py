@@ -70,7 +70,15 @@ def _build_vit(profile_cfg, input_size, num_classes, rng):
     )
 
 
-def build_model(name, profile="paper", num_classes=10, seed=0, **overrides):
+def build_model(
+    name,
+    profile="paper",
+    num_classes=10,
+    seed=0,
+    pretrained_state=None,
+    inference=False,
+    **overrides,
+):
     """Construct one of the paper's models.
 
     Parameters
@@ -80,10 +88,27 @@ def build_model(name, profile="paper", num_classes=10, seed=0, **overrides):
         model) or 'vit_base'.
     profile:
         'paper', 'small' or 'tiny' (see module docstring).
+    pretrained_state:
+        optional state dict (from :meth:`~repro.nn.Module.state_dict`)
+        loaded into the freshly built model.
+    inference:
+        build for serving: the model is returned in ``eval()`` mode,
+        ready to wrap in a :class:`repro.runtime.InferenceSession`.
+        Default ``False`` returns a training-mode model as before.
     overrides:
         forwarded to the underlying builder (e.g. ``steps=4``,
         ``solver='rk4'``, ``attention_activation='softmax'``).
     """
+    model = _build(name, profile, num_classes, seed, overrides)
+    if pretrained_state is not None:
+        model.load_state_dict(pretrained_state)
+    if inference:
+        model.eval()
+    return model
+
+
+def _build(name, profile, num_classes, seed, overrides):
+    """Dispatch to the per-architecture builder (overrides consumed)."""
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; choose {sorted(PROFILES)}")
     cfg = PROFILES[profile]

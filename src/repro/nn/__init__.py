@@ -6,6 +6,7 @@ encoding and the hardware-friendly ReLU-attention variant the paper
 deploys on the FPGA (Eqs. 15-17).
 """
 
+from . import functional
 from .activation import GELU, Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
 from .attention import MHSA2d, RelativePositionEncoding2d, SinusoidalPositionEncoding
 from .container import ModuleList, Sequential
@@ -20,6 +21,7 @@ from .pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from .summary import model_summary
 
 __all__ = [
+    "functional",
     "Module",
     "Parameter",
     "Sequential",

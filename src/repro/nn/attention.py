@@ -222,52 +222,26 @@ class MHSA2d(Module):
 
     # ------------------------------------------------------------------
     def forward_numpy(self, x: np.ndarray, head_mask=None) -> np.ndarray:
-        """Pure-numpy inference forward (no autograd graph).
+        """Deprecated alias for the shared graph-free attention kernel.
 
-        This is the *software reference* the FPGA accelerator is checked
-        against bit-for-bit (before quantisation); it is also the "CPU"
-        implementation timed in the paper's Table IX.
-
-        ``head_mask`` is an optional length-``heads`` 0/1 array applied
-        to the per-head outputs before concatenation — used by the
-        head-importance analysis (:mod:`repro.profiling.head_importance`).
+        Historically this was a second, hand-maintained numpy copy of
+        :meth:`forward`; it now delegates to
+        :func:`repro.nn.functional.mhsa2d_eval` — the single attention
+        implementation used by :class:`repro.runtime.InferenceSession`,
+        the FPGA accelerator's software reference and the
+        head-importance analysis.  New code should call
+        ``functional.mhsa2d_eval(mhsa, x)`` or go through an
+        ``InferenceSession``.
         """
-        b, d, h, w = x.shape
-        n = h * w
-        kh = self.heads
-        dh = self.dim_head
-        tokens = x.reshape(b, d, n).transpose(0, 2, 1)
-        if self.pos_enc == "absolute":
-            tokens = tokens + self.abs.table.astype(x.dtype)
+        import warnings
 
-        def split(t):
-            return t.reshape(b, n, kh, dh).transpose(0, 2, 1, 3)
+        from .functional import mhsa2d_eval
 
-        q = split(tokens @ self.w_q.data)
-        k = split(tokens @ self.w_k.data)
-        v = split(tokens @ self.w_v.data)
-        logits = q @ k.transpose(0, 1, 3, 2)
-        if self.pos_enc == "relative":
-            r = (
-                self.rel.rel_h.data[:, :, None, :]
-                + self.rel.rel_w.data[:, None, :, :]
-            ).reshape(kh, n, dh)
-            logits = logits + q @ r.transpose(0, 2, 1)
-        logits = logits / np.sqrt(dh)
-        if self.attention_activation == "softmax":
-            logits = logits - logits.max(axis=-1, keepdims=True)
-            e = np.exp(logits)
-            attn = e / e.sum(axis=-1, keepdims=True)
-        else:
-            attn = np.maximum(logits, 0.0)
-        per_head = attn @ v  # (B, heads, N, Dh)
-        if head_mask is not None:
-            per_head = per_head * np.asarray(head_mask, dtype=per_head.dtype
-                                             ).reshape(1, kh, 1, 1)
-        out = per_head.transpose(0, 2, 1, 3).reshape(b, n, d)
-        if self.norm is not None:
-            mu = out.mean(axis=-1, keepdims=True)
-            var = out.var(axis=-1, keepdims=True)
-            out = (out - mu) / np.sqrt(var + self.norm.eps)
-            out = out * self.norm.weight.data + self.norm.bias.data
-        return out.transpose(0, 2, 1).reshape(b, d, h, w)
+        warnings.warn(
+            "MHSA2d.forward_numpy is deprecated; use "
+            "repro.nn.functional.mhsa2d_eval or repro.runtime."
+            "InferenceSession instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return mhsa2d_eval(self, x, head_mask=head_mask)

@@ -1,0 +1,195 @@
+"""Graph-free numpy forwards for eval-mode layers — the runtime fast path.
+
+One implementation per layer, shared by every inference consumer:
+
+* :class:`repro.runtime.InferenceSession`'s packed execution plans,
+* the FPGA accelerator's software reference
+  (:class:`~repro.fpga.MHSAAccelerator`, Table IX "CPU" column),
+* the head-importance analysis,
+* the deprecated ``MHSA2d.forward_numpy`` alias.
+
+Every function mirrors the corresponding :class:`~repro.tensor.Tensor`
+op sequence *operation for operation* (same numpy calls, same operand
+order, same dtype promotion), so a graph-free forward is bit-identical
+to the autograd forward of an eval-mode module.  The parity tests in
+``tests/test_runtime.py`` pin this.
+
+Convolution and pooling reuse the :class:`~repro.tensor.Function`
+forward kernels directly (numpy in / numpy out) with a throwaway
+:class:`~repro.tensor.InferenceContext`, so there is exactly one conv
+implementation in the codebase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import InferenceContext
+from ..tensor import ops_conv
+
+
+def conv2d(x, weight, bias=None, stride=(1, 1), padding=(0, 0), groups=1):
+    """Eval forward of :class:`~repro.nn.Conv2d` on raw arrays."""
+    out = ops_conv.Conv2d.forward(
+        InferenceContext(), x, weight,
+        stride=tuple(stride), padding=tuple(padding), groups=groups,
+    )
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    return out
+
+
+def max_pool2d(x, kernel_size, stride=None, padding=(0, 0)):
+    """Eval forward of :class:`~repro.nn.MaxPool2d` on raw arrays."""
+    return ops_conv.MaxPool2d.forward(
+        InferenceContext(), x,
+        kernel_size=tuple(kernel_size),
+        stride=None if stride is None else tuple(stride),
+        padding=tuple(padding),
+    )
+
+
+def relu(x):
+    """ReLU with the autograd op's exact arithmetic (``x * (x > 0)``)."""
+    return x * (x > 0)
+
+
+def batchnorm2d_params(bn):
+    """Pack an eval-mode :class:`~repro.nn.BatchNorm2d` into apply-ready
+    arrays ``(mean, inv_std, weight, bias)`` (weight/bias may be None).
+
+    ``inv_std`` is computed exactly as the module's forward does
+    (``(var + eps) ** -0.5`` on the float64 running buffer), so
+    :func:`batchnorm2d_eval` reproduces the autograd eval path bitwise.
+    """
+    mean = bn.running_mean.reshape(1, -1, 1, 1)
+    var = bn.running_var.reshape(1, -1, 1, 1)
+    inv = (var + np.asarray(bn.eps, dtype=var.dtype)) ** -0.5
+    w = None if bn.weight is None else bn.weight.data.reshape(1, -1, 1, 1)
+    b = None if bn.bias is None else bn.bias.data.reshape(1, -1, 1, 1)
+    return mean, inv, w, b
+
+
+def batchnorm2d_eval(x, params):
+    """Apply packed running-stats batch norm (*params* from
+    :func:`batchnorm2d_params`)."""
+    mean, inv, w, b = params
+    out = (x - mean) * inv
+    if w is not None:
+        out = out * w + b
+    return out
+
+
+def layer_norm(x, weight, bias, eps=1e-5):
+    """Eval forward of :class:`~repro.nn.LayerNorm` over the last axis,
+    mirroring the autograd composite (mean, ``(x-mu)**2`` mean, rsqrt)."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = ((x - mu) ** 2.0).mean(axis=-1, keepdims=True)
+    out = (x - mu) * ((var + np.asarray(eps, dtype=var.dtype)) ** -0.5)
+    if weight is not None:
+        out = out * weight + bias
+    return out
+
+
+def linear(x, weight, bias=None):
+    """Eval forward of :class:`~repro.nn.Linear`: ``x @ W.T + b``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def global_avg_pool2d(x):
+    """(N, C, H, W) -> (N, C) spatial mean."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# multi-head self-attention — THE single graph-free implementation
+# ----------------------------------------------------------------------
+
+def mhsa2d_forward(x, w_q, w_k, w_v, heads, *, rel_table=None, abs_table=None,
+                   attention_activation="softmax", ln=None, head_mask=None):
+    """BoTNet-style MHSA over an NCHW array (paper Eqs. 15-17), graph-free.
+
+    Parameters mirror :class:`~repro.nn.MHSA2d`: ``rel_table`` is the
+    fused (heads, N, D_h) relative-position table, ``abs_table`` the
+    (N, D) sinusoidal table (at most one may be given), ``ln`` the
+    optional output LayerNorm as a ``(weight, bias, eps)`` triple (with
+    ``weight``/``bias`` None for a non-affine norm).  ``head_mask`` is a
+    length-``heads`` 0/1 vector applied to per-head outputs before
+    concatenation (used by the head-importance analysis).
+
+    The op sequence matches ``MHSA2d.forward`` exactly, so for an
+    eval-mode module this returns the autograd forward bit-for-bit.
+    """
+    b, d, h, w = x.shape
+    n = h * w
+    dh = d // heads
+    tokens = x.reshape(b, d, n).transpose(0, 2, 1)  # (B, N, D)
+    if abs_table is not None:
+        tokens = tokens + abs_table.astype(x.dtype)
+
+    def split(t):
+        return t.reshape(b, n, heads, dh).transpose(0, 2, 1, 3)
+
+    q = split(tokens @ w_q)
+    k = split(tokens @ w_k)
+    v = split(tokens @ w_v)
+
+    logits = q @ k.transpose(0, 1, 3, 2)  # (B, heads, N, N)
+    if rel_table is not None:
+        logits = logits + q @ rel_table.transpose(0, 2, 1)
+    logits = logits * np.asarray(1.0 / np.sqrt(dh), dtype=logits.dtype)
+
+    if attention_activation == "softmax":
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        attn = e / e.sum(axis=-1, keepdims=True)
+    else:
+        attn = relu(logits)
+
+    per_head = attn @ v  # (B, heads, N, Dh)
+    if head_mask is not None:
+        per_head = per_head * np.asarray(
+            head_mask, dtype=per_head.dtype
+        ).reshape(1, heads, 1, 1)
+    out = per_head.transpose(0, 2, 1, 3).reshape(b, n, d)  # concat heads
+    if ln is not None:
+        ln_weight, ln_bias, ln_eps = ln
+        out = layer_norm(out, ln_weight, ln_bias, eps=ln_eps)
+    return out.transpose(0, 2, 1).reshape(b, d, h, w)
+
+
+def mhsa_rel_table(mhsa):
+    """Fused (heads, N, D_h) relative-position table of an MHSA module,
+    numerically identical to ``mhsa.rel.table()``."""
+    rel = mhsa.rel
+    return (
+        rel.rel_h.data[:, :, None, :] + rel.rel_w.data[:, None, :, :]
+    ).reshape(rel.heads, rel.height * rel.width, rel.dim_head)
+
+
+def mhsa2d_eval(mhsa, x, head_mask=None):
+    """Graph-free forward of an :class:`~repro.nn.MHSA2d` module.
+
+    Reads the module's current parameters on every call (safe during
+    training); :class:`repro.runtime.InferenceSession` packs them once
+    instead.
+    """
+    norm = mhsa.norm
+    kwargs = dict(
+        rel_table=mhsa_rel_table(mhsa) if mhsa.pos_enc == "relative" else None,
+        abs_table=mhsa.abs.table if mhsa.pos_enc == "absolute" else None,
+        attention_activation=mhsa.attention_activation,
+        head_mask=head_mask,
+        ln=None if norm is None else (
+            None if norm.weight is None else norm.weight.data,
+            None if norm.bias is None else norm.bias.data,
+            norm.eps,
+        ),
+    )
+    return mhsa2d_forward(
+        np.asarray(x), mhsa.w_q.data, mhsa.w_k.data, mhsa.w_v.data,
+        mhsa.heads, **kwargs,
+    )

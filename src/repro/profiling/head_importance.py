@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.attention import MHSA2d
+from ..nn.functional import mhsa2d_eval
 from ..tensor import Tensor, no_grad
 
 
@@ -46,7 +47,7 @@ def head_importance(model, images, labels) -> list:
 
             def masked_forward(x, _mask=mask):
                 return Tensor(
-                    mhsa.forward_numpy(x.data, head_mask=_mask), _copy=False
+                    mhsa2d_eval(mhsa, x.data, head_mask=_mask), _copy=False
                 )
 
             object.__setattr__(mhsa, "forward", masked_forward)

@@ -1,0 +1,32 @@
+"""Batched inference runtime — the single supported serving path.
+
+::
+
+    requests ──submit()──▶ MicroBatcher ──batches──▶ InferenceSession
+                                                          │
+                                          ┌───────────────┼──────────────┐
+                                     PackedODENet     ModulePlan    run(batch)
+                                     (graph-free,     (inference     (quantized /
+                                      Euler loop)      mode)          FPGA)
+
+:class:`InferenceSession` wraps any model the repo can produce — a
+float module from :func:`repro.models.build_model`, a
+:class:`~repro.fixedpoint.QuantizedODENetExecutor`, or an FPGA
+accelerator object — behind one ``predict`` / ``predict_batch`` API,
+freezing parameters once and recording batch-size/latency statistics.
+:class:`MicroBatcher` turns concurrent single-sample submissions into
+batched dispatches.  See ``docs/ARCHITECTURE.md`` §9.
+"""
+
+from .batcher import MicroBatcher
+from .engine import ModulePlan, PackedODENet
+from .session import InferenceSession
+from .stats import SessionStats
+
+__all__ = [
+    "InferenceSession",
+    "MicroBatcher",
+    "SessionStats",
+    "PackedODENet",
+    "ModulePlan",
+]

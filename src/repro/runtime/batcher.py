@@ -1,0 +1,179 @@
+"""Micro-batching front-end for :class:`~repro.runtime.InferenceSession`.
+
+Single-sample ``submit()`` calls are queued; a collector thread gathers
+them into batches of up to ``max_batch_size``, waiting at most
+``max_wait_ms`` after the first queued sample before dispatching
+whatever has arrived.  Batches are stacked into one array and executed
+by the session's ``predict_batch`` on a small worker pool, so the
+expensive conv/GEMM kernels amortise across concurrent requests — the
+same trick serving systems use to trade a bounded latency budget for
+throughput.
+
+Results come back as futures; ``predict(x)`` is the blocking
+convenience wrapper.  All dispatches are recorded in the shared
+:class:`~repro.runtime.SessionStats`, so the achieved batch-size
+histogram and p50/p95 latency are directly observable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+
+class MicroBatcher:
+    """Batches single-sample requests in front of an InferenceSession.
+
+    Parameters
+    ----------
+    session:
+        the :class:`~repro.runtime.InferenceSession` that executes
+        batches (its :class:`~repro.runtime.SessionStats` records every
+        dispatched batch).
+    max_batch_size:
+        dispatch as soon as this many samples are queued.
+    max_wait_ms:
+        dispatch a partial batch this long after its first sample
+        arrived (the latency budget).
+    workers:
+        worker threads executing batches; >1 lets a fresh batch start
+        while the previous one is still running.
+
+    Usage::
+
+        with MicroBatcher(session, max_batch_size=8) as mb:
+            futures = [mb.submit(x) for x in samples]
+            logits = [f.result() for f in futures]
+    """
+
+    def __init__(self, session, max_batch_size=8, max_wait_ms=2.0, workers=1):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.session = session
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        self._workers = int(workers)
+        self._queue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._collector = None
+        self._executor = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """The session's :class:`~repro.runtime.SessionStats`."""
+        return self.session.stats
+
+    def _ensure_started(self):
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("MicroBatcher is stopped")
+            if self._collector is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix="repro-microbatch",
+                )
+                self._collector = threading.Thread(
+                    target=self._collect_loop,
+                    name="repro-microbatch-collector",
+                    daemon=True,
+                )
+                self._collector.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, x) -> Future:
+        """Queue one sample (no batch axis); resolve to its output row."""
+        self._ensure_started()
+        future = Future()
+        self._queue.put((np.asarray(x), future))
+        return future
+
+    def predict(self, x) -> np.ndarray:
+        """Blocking single-sample predict through the batching queue."""
+        return self.submit(x).result()
+
+    # ------------------------------------------------------------------
+    def _collect_loop(self):
+        import time
+
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            deadline = time.perf_counter() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    self._dispatch(batch)
+                    return
+                batch.append(nxt)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch):
+        samples = np.stack([s for s, _ in batch])
+        futures = [f for _, f in batch]
+
+        def run():
+            try:
+                outputs = self.session.predict_batch(samples)
+            except BaseException as exc:  # propagate to every waiter
+                for f in futures:
+                    f.set_exception(exc)
+                return
+            for f, row in zip(futures, outputs):
+                f.set_result(row)
+
+        self._executor.submit(run)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Drain the queue, dispatch what remains, and join all threads."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            collector, executor = self._collector, self._executor
+        if collector is None:
+            return
+        self._queue.put(None)
+        collector.join()
+        # flush anything that raced in after the sentinel
+        leftovers = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        for i in range(0, len(leftovers), self.max_batch_size):
+            chunk = leftovers[i : i + self.max_batch_size]
+            samples = np.stack([s for s, _ in chunk])
+            outputs = self.session.predict_batch(samples)
+            for (_, f), row in zip(chunk, outputs):
+                f.set_result(row)
+        executor.shutdown(wait=True)
+        with self._lock:
+            self._collector = None
+            self._executor = None
+
+    def __enter__(self):
+        self._ensure_started()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

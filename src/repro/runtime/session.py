@@ -1,0 +1,121 @@
+"""The unified inference entry point: :class:`InferenceSession`.
+
+One object, one API — ``predict(x)`` / ``predict_batch(x)`` — across
+every way this repo can run a model:
+
+* a float :class:`~repro.nn.Module` from
+  :func:`repro.models.build_model` (packed graph-free plan when the
+  architecture allows, generic inference-mode plan otherwise),
+* a :class:`~repro.fixedpoint.QuantizedODENetExecutor` (the paper's
+  8/16-bit fixed-point deployment arithmetic),
+* an FPGA-style executor (:class:`~repro.fpga.MHSAAccelerator`,
+  :class:`~repro.fpga.DeployedMHSA`, or any object with ``run``/
+  ``__call__`` mapping a numpy batch to a numpy batch).
+
+The session freezes the model at construction: ``eval()`` is applied,
+parameters are packed once, and subsequent weight mutations are not
+observed until :meth:`InferenceSession.refresh`.  Every dispatch is
+recorded in :class:`~repro.runtime.SessionStats` (batch size + wall
+latency), which the :class:`~repro.runtime.MicroBatcher` shares.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..nn import Module
+from .engine import ModulePlan, PackedODENet
+from .stats import SessionStats
+
+
+class InferenceSession:
+    """Frozen, stats-instrumented forward path for one model.
+
+    Parameters
+    ----------
+    model:
+        a :class:`~repro.nn.Module`, a
+        :class:`~repro.fixedpoint.QuantizedODENetExecutor`, or any
+        object exposing ``run(batch)`` or ``__call__(batch)`` on numpy
+        arrays (e.g. the FPGA accelerator models).
+    packed:
+        ``True`` forces the packed ODENet plan (raises if unsupported),
+        ``False`` forces the generic inference-mode plan, ``None``
+        (default) picks automatically.
+    stats:
+        optionally share a :class:`SessionStats` instance; by default
+        each session owns a fresh one.
+
+    Notes
+    -----
+    ``predict_batch`` is numerically identical to the eval-mode
+    training forward for float models and *exactly* equal to
+    ``QuantizedODENetExecutor.run`` for quantized ones — the session
+    changes how the computation is scheduled, never what it computes.
+    """
+
+    def __init__(self, model, *, packed=None, stats=None):
+        from ..fixedpoint.quantized_model import QuantizedODENetExecutor
+
+        self._stats = stats if stats is not None else SessionStats()
+        self.model = model
+        if isinstance(model, Module):
+            model.eval()
+            use_packed = (
+                PackedODENet.supported(model) if packed is None else packed
+            )
+            self._plan = PackedODENet(model) if use_packed else ModulePlan(model)
+            self.backend = "packed" if use_packed else "module"
+        elif isinstance(model, QuantizedODENetExecutor):
+            self._plan = model.run
+            self.backend = "quantized"
+        elif hasattr(model, "run") and callable(model.run):
+            self._plan = model.run
+            self.backend = "accelerator"
+        elif callable(model):
+            self._plan = model
+            self.backend = "callable"
+        else:
+            raise TypeError(
+                f"cannot build an InferenceSession around {type(model).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SessionStats:
+        """Serving statistics for this session (shared with batchers)."""
+        return self._stats
+
+    def refresh(self) -> None:
+        """Re-freeze the model (call after mutating its parameters)."""
+        if isinstance(self.model, Module):
+            self.model.eval()
+            if self.backend == "packed":
+                self._plan = PackedODENet(self.model)
+            else:
+                self._plan = ModulePlan(self.model)
+
+    # ------------------------------------------------------------------
+    def predict_batch(self, x) -> np.ndarray:
+        """Run a batch (leading axis = samples) and return raw outputs."""
+        x = np.asarray(x)
+        start = time.perf_counter()
+        out = self._plan(x)
+        self._stats.record(x.shape[0], time.perf_counter() - start)
+        return np.asarray(out)
+
+    def predict(self, x) -> np.ndarray:
+        """Run one sample (no batch axis); returns its output row."""
+        return self.predict_batch(np.asarray(x)[None])[0]
+
+    def __call__(self, x) -> np.ndarray:
+        """Alias for :meth:`predict_batch`."""
+        return self.predict_batch(x)
+
+    def __repr__(self):
+        return (
+            f"InferenceSession(backend={self.backend!r}, "
+            f"model={type(self.model).__name__})"
+        )

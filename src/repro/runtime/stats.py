@@ -1,0 +1,74 @@
+"""Per-session serving statistics: requests, batch sizes, latency.
+
+``SessionStats`` is deliberately tiny and lock-protected so the
+micro-batcher's worker threads can record into one shared instance; the
+observability layer planned in the ROADMAP hooks in via
+:meth:`SessionStats.snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+
+import numpy as np
+
+
+class SessionStats:
+    """Counters and latency reservoir for one :class:`InferenceSession`.
+
+    Records one entry per *dispatch* (a ``predict_batch`` call): the
+    batch size and the wall-clock latency.  ``requests`` counts
+    individual samples, so ``requests / batches`` is the mean achieved
+    batching factor.  Latencies are kept in a bounded window (newest
+    ``latency_window`` dispatches) so long-lived sessions stay O(1).
+    """
+
+    def __init__(self, latency_window=2048):
+        self._lock = threading.Lock()
+        self._window = int(latency_window)
+        self._latencies_ms = deque(maxlen=self._window)
+        self.requests = 0
+        self.batches = 0
+        self.batch_histogram = Counter()
+
+    def record(self, batch_size, latency_s) -> None:
+        """Record one dispatched batch of *batch_size* samples."""
+        with self._lock:
+            self.requests += int(batch_size)
+            self.batches += 1
+            self.batch_histogram[int(batch_size)] += 1
+            self._latencies_ms.append(float(latency_s) * 1e3)
+
+    def latency_ms(self, percentile) -> float:
+        """Latency percentile (ms) over the retained window; NaN if empty."""
+        with self._lock:
+            lats = list(self._latencies_ms)
+        if not lats:
+            return float("nan")
+        return float(np.percentile(np.asarray(lats), percentile))
+
+    def snapshot(self) -> dict:
+        """A plain-dict view: requests, batches, histogram, p50/p95 (ms)."""
+        with self._lock:
+            lats = np.asarray(self._latencies_ms, dtype=float)
+            out = {
+                "requests": self.requests,
+                "batches": self.batches,
+                "batch_histogram": dict(sorted(self.batch_histogram.items())),
+            }
+        if lats.size:
+            out["p50_ms"] = float(np.percentile(lats, 50))
+            out["p95_ms"] = float(np.percentile(lats, 95))
+        else:
+            out["p50_ms"] = float("nan")
+            out["p95_ms"] = float("nan")
+        return out
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. after a warmup phase)."""
+        with self._lock:
+            self.requests = 0
+            self.batches = 0
+            self.batch_histogram.clear()
+            self._latencies_ms.clear()

@@ -26,20 +26,23 @@ Design notes
   ``numpy.random.Generator`` objects explicitly.
 """
 
-from .autograd import is_grad_enabled, no_grad
-from .function import Function
+from .autograd import inference_mode, is_grad_enabled, is_inference_mode, no_grad
+from .function import Function, InferenceContext
 from .gradcheck import gradcheck, numerical_gradient
 from .tensor import Tensor, cat, stack, tensor, where
 
 __all__ = [
     "Tensor",
     "Function",
+    "InferenceContext",
     "tensor",
     "cat",
     "stack",
     "where",
     "no_grad",
     "is_grad_enabled",
+    "inference_mode",
+    "is_inference_mode",
     "gradcheck",
     "numerical_gradient",
 ]

@@ -42,6 +42,33 @@ def no_grad():
         _set_grad_enabled(prev)
 
 
+def is_inference_mode() -> bool:
+    """Return ``True`` inside an :func:`inference_mode` block."""
+    return getattr(_state, "inference_mode", False)
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """Stronger form of :func:`no_grad` used by the serving runtime.
+
+    Besides disabling gradient recording, operations skip *all* graph
+    bookkeeping: :meth:`Function.apply` never links a context, never
+    checks ``requires_grad`` and discards anything ``forward`` saves for
+    backward, so a forward pass allocates nothing beyond the output
+    arrays.  This is the substrate of
+    :class:`repro.runtime.InferenceSession`.
+    """
+    prev_grad = is_grad_enabled()
+    prev_inf = is_inference_mode()
+    _state.grad_enabled = False
+    _state.inference_mode = True
+    try:
+        yield
+    finally:
+        _state.grad_enabled = prev_grad
+        _state.inference_mode = prev_inf
+
+
 def topo_sort(root):
     """Return tensors of the autograd graph rooted at *root* in reverse
     topological order (root first)."""

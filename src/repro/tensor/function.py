@@ -24,6 +24,27 @@ from __future__ import annotations
 from . import autograd
 
 
+class InferenceContext:
+    """Throwaway context for graph-free forwards (inference mode).
+
+    Accepts everything a ``forward`` may stash for backward and discards
+    the expensive part: :meth:`save_for_backward` drops its arrays so no
+    references to intermediates survive the call.  Plain attribute
+    assignments (shapes, strides, ...) land in ``__dict__`` and die with
+    the instance.  Used by :meth:`Function.apply` under
+    :func:`~repro.tensor.inference_mode` and by the numpy fast paths in
+    :mod:`repro.nn.functional`.
+    """
+
+    __slots__ = ("saved", "__dict__")
+
+    def __init__(self):
+        self.saved = ()
+
+    def save_for_backward(self, *arrays) -> None:
+        """Discard *arrays* — nothing runs backward in inference mode."""
+
+
 class Function:
     """One node of the autograd graph.
 
@@ -59,6 +80,12 @@ class Function:
         non-differentiable configuration (strides, axes, ...).
         """
         from .tensor import Tensor
+
+        if autograd.is_inference_mode():
+            out_data = cls.forward(
+                InferenceContext(), *(t.data for t in tensors), **kwargs
+            )
+            return Tensor(out_data, _copy=False)
 
         ctx = cls(tensors)
         out_data = cls.forward(ctx, *(t.data for t in tensors), **kwargs)

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor
 from .loss import CrossEntropyLoss
 from .metrics import accuracy
 
@@ -86,15 +86,23 @@ class Trainer:
         return float(np.mean(losses)), correct / max(total, 1)
 
     def evaluate(self, loader) -> float:
-        """Top-1 accuracy over *loader* in eval mode."""
-        self.model.eval()
+        """Top-1 accuracy over *loader* in eval mode.
+
+        Routes through the shared serving path — a fresh
+        :class:`repro.runtime.InferenceSession` per call, so evaluation
+        uses exactly the arithmetic deployment sees (the session's
+        packed/graph-free forward is bit-identical to the eval-mode
+        autograd forward).
+        """
+        from ..runtime import InferenceSession
+
+        session = InferenceSession(self.model)
         correct = 0
         total = 0
-        with no_grad():
-            for images, labels in loader:
-                logits = self.model(Tensor(images, _copy=False))
-                correct += int((np.argmax(logits.data, axis=-1) == labels).sum())
-                total += len(labels)
+        for images, labels in loader:
+            logits = session.predict_batch(images)
+            correct += int((np.argmax(logits, axis=-1) == labels).sum())
+            total += len(labels)
         return correct / max(total, 1)
 
     def fit(self, train_loader, test_loader=None, epochs=10, verbose=False,

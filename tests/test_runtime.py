@@ -1,0 +1,229 @@
+"""InferenceSession / MicroBatcher: parity, unification, statistics.
+
+The runtime's contract is strict: ``predict_batch`` must match the
+eval-mode training forward *bitwise* for float models (packed plan and
+generic plan alike, including adaptive solvers) and *exactly* equal
+``QuantizedODENetExecutor.run`` for quantized models.  These tests pin
+that contract for every registry model, plus the micro-batcher's
+correctness and the serving statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import QFormat, QuantizedODENetExecutor
+from repro.models import MODELS, build_model
+from repro.nn import functional
+from repro.runtime import (
+    InferenceSession,
+    MicroBatcher,
+    ModulePlan,
+    PackedODENet,
+    SessionStats,
+)
+from repro.tensor import Tensor, inference_mode, is_grad_enabled
+
+
+def _input_for(model, profile="tiny", batch=3, seed=0):
+    size = {"tiny": 32}[profile]
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((batch, 3, size, size)).astype(np.float32)
+
+
+class TestSessionParity:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_matches_training_mode_forward(self, name):
+        model = build_model(name, profile="tiny")
+        x = _input_for(model)
+        model.eval()
+        ref = model(Tensor(x, _copy=False)).data
+
+        session = InferenceSession(build_model(name, profile="tiny"))
+        out = session.predict_batch(x)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-6)
+
+    @pytest.mark.parametrize("name", ("odenet", "ode_botnet"))
+    def test_packed_plan_is_bit_exact(self, name):
+        model = build_model(name, profile="tiny", inference=True)
+        x = _input_for(model, batch=4, seed=3)
+        ref = model(Tensor(x, _copy=False)).data
+        session = InferenceSession(model)
+        assert session.backend == "packed"
+        assert np.array_equal(session.predict_batch(x), ref)
+
+    def test_dopri5_falls_back_to_module_plan(self):
+        model = build_model(
+            "ode_botnet", profile="tiny", solver="dopri5", inference=True
+        )
+        x = _input_for(model, batch=2, seed=5)
+        ref = model(Tensor(x, _copy=False)).data
+        session = InferenceSession(model)
+        assert session.backend == "module"
+        assert np.array_equal(session.predict_batch(x), ref)
+
+    def test_quantized_backend_is_exact(self):
+        model = build_model("ode_botnet", profile="tiny", inference=True)
+        executor = QuantizedODENetExecutor(
+            model, QFormat(32, 16), QFormat(24, 8)
+        )
+        x = _input_for(model, batch=2, seed=1)
+        session = InferenceSession(executor)
+        assert session.backend == "quantized"
+        assert np.array_equal(session.predict_batch(x), executor.run(x))
+
+    def test_predict_single_sample_matches_batch_row(self):
+        session = InferenceSession(
+            build_model("ode_botnet", profile="tiny", inference=True)
+        )
+        x = _input_for(session.model, batch=1, seed=2)
+        row = session.predict(x[0])
+        assert np.array_equal(row, session.predict_batch(x)[0])
+
+    def test_refresh_observes_new_parameters(self):
+        model = build_model("odenet", profile="tiny", inference=True)
+        session = InferenceSession(model)
+        x = _input_for(model, batch=2)
+        before = session.predict_batch(x)
+        model.fc.bias.data[...] += 1.0
+        session.refresh()
+        after = session.predict_batch(x)
+        np.testing.assert_allclose(after - before, 1.0, atol=1e-9)
+
+
+class TestSessionApi:
+    def test_registry_inference_kwargs(self):
+        trained = build_model("odenet", profile="tiny")
+        trained.fc.bias.data[...] = 7.0
+        rebuilt = build_model(
+            "odenet", profile="tiny",
+            pretrained_state=trained.state_dict(), inference=True,
+        )
+        assert not rebuilt.training
+        assert np.array_equal(rebuilt.fc.bias.data, trained.fc.bias.data)
+
+    def test_session_forces_eval_mode(self):
+        model = build_model("ode_botnet", profile="tiny")
+        assert model.training
+        InferenceSession(model)
+        assert not model.training
+
+    def test_inference_mode_disables_grad_and_graph(self):
+        assert is_grad_enabled()
+        with inference_mode():
+            assert not is_grad_enabled()
+            a = Tensor(np.ones((2, 2)), requires_grad=True)
+            out = (a * a).sum()
+            assert out._ctx is None
+        assert is_grad_enabled()
+
+    def test_rejects_unsupported_model(self):
+        with pytest.raises(TypeError):
+            InferenceSession(42)
+
+    def test_plans_require_eval_mode(self):
+        model = build_model("odenet", profile="tiny")
+        with pytest.raises(ValueError):
+            PackedODENet(model)
+        with pytest.raises(ValueError):
+            ModulePlan(model)
+
+    def test_forward_numpy_alias_warns_and_matches(self):
+        model = build_model("ode_botnet", profile="tiny", inference=True)
+        mhsa = model.mhsa
+        x = np.random.default_rng(0).standard_normal(
+            (2, mhsa.channels, mhsa.height, mhsa.width)
+        ).astype(np.float32)
+        with pytest.warns(DeprecationWarning):
+            legacy = mhsa.forward_numpy(x)
+        assert np.array_equal(legacy, functional.mhsa2d_eval(mhsa, x))
+        assert np.array_equal(
+            legacy, mhsa(Tensor(x, _copy=False)).data
+        )
+
+
+class TestStats:
+    def test_session_records_dispatches(self):
+        session = InferenceSession(
+            build_model("odenet", profile="tiny", inference=True)
+        )
+        x = _input_for(session.model, batch=4)
+        session.predict_batch(x)
+        session.predict(x[0])
+        snap = session.stats.snapshot()
+        assert snap["requests"] == 5
+        assert snap["batches"] == 2
+        assert snap["batch_histogram"] == {1: 1, 4: 1}
+        assert snap["p50_ms"] > 0
+        assert snap["p95_ms"] >= snap["p50_ms"]
+
+    def test_reset_and_window(self):
+        stats = SessionStats(latency_window=2)
+        for i in range(5):
+            stats.record(2, 0.001 * (i + 1))
+        assert stats.requests == 10
+        assert len(stats._latencies_ms) == 2
+        assert stats.latency_ms(50) == pytest.approx(4.5)
+        stats.reset()
+        assert stats.snapshot()["batches"] == 0
+        assert np.isnan(stats.latency_ms(50))
+
+
+class TestMicroBatcher:
+    def test_batched_results_match_direct_predict(self):
+        session = InferenceSession(
+            build_model("ode_botnet", profile="tiny", inference=True)
+        )
+        rng = np.random.default_rng(11)
+        xs = rng.standard_normal((12, 3, 32, 32)).astype(np.float32)
+        direct = session.predict_batch(xs)
+        session.stats.reset()  # keep only the batched-phase statistics
+
+        with MicroBatcher(session, max_batch_size=4, max_wait_ms=200.0) as mb:
+            futures = [mb.submit(x) for x in xs]
+            rows = [f.result(timeout=60) for f in futures]
+
+        # dispatched batch sizes differ from the direct batch, so allow
+        # BLAS shape-dependent rounding (well below any decision change)
+        for row, ref in zip(rows, direct):
+            np.testing.assert_allclose(row, ref, rtol=1e-12, atol=1e-9)
+        snap = session.stats.snapshot()
+        assert snap["requests"] == 12
+        assert snap["batches"] <= 12
+        assert any(size > 1 for size in snap["batch_histogram"])
+
+    def test_blocking_predict_and_restartable_stop(self):
+        session = InferenceSession(
+            build_model("odenet", profile="tiny", inference=True)
+        )
+        x = _input_for(session.model, batch=1, seed=9)[0]
+        mb = MicroBatcher(session, max_batch_size=2, max_wait_ms=1.0)
+        row = mb.predict(x)
+        assert np.array_equal(row, session.predict(x))
+        mb.stop()
+        with pytest.raises(RuntimeError):
+            mb.submit(x)
+
+    def test_worker_pool_mode(self):
+        session = InferenceSession(
+            build_model("odenet", profile="tiny", inference=True)
+        )
+        rng = np.random.default_rng(13)
+        xs = rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
+        direct = session.predict_batch(xs)
+        with MicroBatcher(
+            session, max_batch_size=2, max_wait_ms=5.0, workers=2
+        ) as mb:
+            rows = [f.result(timeout=60) for f in [mb.submit(x) for x in xs]]
+        for row, ref in zip(rows, direct):
+            np.testing.assert_allclose(row, ref, rtol=1e-12, atol=1e-9)
+
+    def test_errors_propagate_to_futures(self):
+        def broken(batch):
+            raise RuntimeError("backend down")
+
+        session = InferenceSession(broken)
+        assert session.backend == "callable"
+        with MicroBatcher(session, max_batch_size=2, max_wait_ms=1.0) as mb:
+            fut = mb.submit(np.zeros(3, dtype=np.float32))
+            with pytest.raises(RuntimeError, match="backend down"):
+                fut.result(timeout=60)

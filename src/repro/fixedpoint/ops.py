@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from .qformat import QFormat
 
 
@@ -49,7 +50,7 @@ def fixed_matmul(a_raw, a_fmt: QFormat, b_raw, b_fmt: QFormat,
     """
     a = np.asarray(a_raw, dtype=np.int64)
     b = np.asarray(b_raw, dtype=np.int64)
-    acc = a @ b  # exact in int64
+    acc = kernels.matmul(a, b)  # exact in int64 under every backend
     return _rescale(acc, a_fmt.frac_bits + b_fmt.frac_bits, out_fmt)
 
 

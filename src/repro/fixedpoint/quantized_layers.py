@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor._util import as_strided_patches
-from .ops import _rescale, fixed_add, fixed_matmul, requantize
+from .. import kernels
+from .ops import _rescale, fixed_add, requantize
 from .qformat import QFormat
 
 
@@ -29,20 +29,10 @@ def fixed_conv2d(x_raw, x_fmt: QFormat, w_raw, w_fmt: QFormat,
     """
     x = np.asarray(x_raw, dtype=np.int64)
     w = np.asarray(w_raw, dtype=np.int64)
-    n, c, h, wd = x.shape
-    f, cg, kh, kw = w.shape
-    sh, sw = stride
-    ph, pw = padding
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    oh = (h + 2 * ph - kh) // sh + 1
-    ow = (wd + 2 * pw - kw) // sw + 1
-    patches = as_strided_patches(x, kh, kw, sh, sw)  # (N,C,OH,OW,KH,KW)
-    fg = f // groups
-    pg = patches.reshape(n, groups, cg, oh, ow, kh, kw)
-    wg = w.reshape(groups, fg, cg, kh, kw)
-    acc = np.einsum("ngcxykl,gfckl->ngfxy", pg, wg, optimize=True)
-    acc = acc.reshape(n, f, oh, ow)
+    # Integer accumulation is associative, so the result is exact under
+    # every kernel backend (the fused GEMM strategies included).
+    acc = kernels.conv2d(x, w, stride=tuple(stride),
+                         padding=tuple(padding), groups=groups)
     acc_frac = x_fmt.frac_bits + w_fmt.frac_bits
     if bias_raw is not None:
         shift = acc_frac - bias_fmt.frac_bits
@@ -84,7 +74,8 @@ def fixed_linear(x_raw, x_fmt: QFormat, w_raw, w_fmt: QFormat,
                  out_fmt: QFormat, bias_raw=None, bias_fmt: QFormat = None
                  ) -> np.ndarray:
     """``x @ W^T + b`` in the integer domain (torch weight layout)."""
-    acc = np.asarray(x_raw, dtype=np.int64) @ np.asarray(w_raw, dtype=np.int64).T
+    acc = kernels.linear(np.asarray(x_raw, dtype=np.int64),
+                         np.asarray(w_raw, dtype=np.int64))
     acc_frac = x_fmt.frac_bits + w_fmt.frac_bits
     if bias_raw is not None:
         acc = acc + (np.asarray(bias_raw, dtype=np.int64)
@@ -94,15 +85,12 @@ def fixed_linear(x_raw, x_fmt: QFormat, w_raw, w_fmt: QFormat,
 
 def fixed_maxpool2d(x_raw, kernel_size, stride=None, padding=(0, 0)) -> np.ndarray:
     """Max pooling on raw values (format-preserving, exact)."""
-    kh, kw = kernel_size
-    sh, sw = stride if stride is not None else kernel_size
-    ph, pw = padding
-    x = np.asarray(x_raw, dtype=np.int64)
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
-                   constant_values=np.iinfo(np.int64).min)
-    patches = as_strided_patches(x, kh, kw, sh, sw)
-    return patches.max(axis=(4, 5))
+    return kernels.maxpool2d(
+        np.asarray(x_raw, dtype=np.int64),
+        kernel_size=tuple(kernel_size),
+        stride=None if stride is None else tuple(stride),
+        padding=tuple(padding),
+    )
 
 
 def fixed_global_avgpool(x_raw, fmt: QFormat) -> np.ndarray:

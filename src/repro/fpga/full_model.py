@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..kernels.shapes import conv_out_size
 from ..models.odenet import ODENet
 from ..ode import ConvODEFunc, MHSABottleneckODEFunc
 from .board import mhsa_macs as _mhsa_macs
@@ -78,8 +79,7 @@ class FullModelDesign:
         kh, kw = conv.kernel_size
         sh, sw = conv.stride
         ph, pw = conv.padding
-        oh = (h + 2 * ph - kh) // sh + 1
-        ow = (w + 2 * pw - kw) // sw + 1
+        oh, ow = conv_out_size(h, w, kh, kw, sh, sw, ph, pw, strict=False)
         macs = conv.out_channels * oh * ow * (
             conv.in_channels // conv.groups
         ) * kh * kw

@@ -1,0 +1,167 @@
+"""The ``reference`` backend: today's numpy kernels, bit for bit.
+
+Every method reproduces the exact numpy call sequence the pre-kernel
+codebase used (same operations, same operand order, same dtype
+promotion), so routing the autograd ops and eval fast paths through
+this backend changes *nothing* numerically — the runtime parity tests
+stay bit-exact.  It is the default backend and the semantic yardstick
+for every other backend.
+
+All kernels are dtype-polymorphic: the fixed-point layer calls them on
+``int64`` raw arrays (integer matmul/conv accumulate exactly, so the
+backend choice can never change quantised results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import shapes
+
+
+class ReferenceBackend:
+    """Plain numpy kernels — the canonical semantics of every kernel."""
+
+    name = "reference"
+
+    # -- GEMM family ---------------------------------------------------
+    def matmul(self, a, b):
+        """``a @ b`` with full numpy batching semantics."""
+        return a @ b
+
+    def linear(self, x, weight, bias=None):
+        """``x @ W.T (+ b)`` — torch weight layout (out, in)."""
+        out = x @ weight.T
+        if bias is not None:
+            out = out + bias
+        return out
+
+    # -- convolution / pooling -----------------------------------------
+    def conv2d(self, x, weight, stride=(1, 1), padding=(0, 0), groups=1):
+        """Grouped 2-D cross-correlation (im2col einsum), NCHW, no bias."""
+        n, c, h, w, f, cg, kh, kw, fg, oh, ow = shapes.conv_geometry(
+            x.shape, weight.shape, stride, padding, groups
+        )
+        sh, sw = stride
+        ph, pw = padding
+        xp = shapes.pad_nchw(x, ph, pw)
+        patches = shapes.as_strided_patches(xp, kh, kw, sh, sw)
+        pg = patches.reshape(n, groups, cg, oh, ow, kh, kw)
+        wg = weight.reshape(groups, fg, cg, kh, kw)
+        out = np.einsum("ngcxykl,gfckl->ngfxy", pg, wg, optimize=True)
+        return np.ascontiguousarray(out.reshape(n, f, oh, ow))
+
+    def conv2d_backward(self, x, weight, grad, stride, padding, groups, out_size):
+        """Gradients (gx, gw) of :meth:`conv2d` given upstream *grad*."""
+        sh, sw = stride
+        ph, pw = padding
+        oh, ow = out_size
+        n, c, h, w = x.shape
+        f, cg, kh, kw = weight.shape
+        fg = f // groups
+
+        xp = shapes.pad_nchw(x, ph, pw)
+        patches = shapes.as_strided_patches(xp, kh, kw, sh, sw)
+        pg = patches.reshape(n, groups, cg, oh, ow, kh, kw)
+        gg = grad.reshape(n, groups, fg, oh, ow)
+
+        gw = np.einsum("ngfxy,ngcxykl->gfckl", gg, pg, optimize=True)
+        gw = gw.reshape(f, cg, kh, kw)
+
+        wg = weight.reshape(groups, fg, cg, kh, kw)
+        dpatches = np.einsum("ngfxy,gfckl->ngcxykl", gg, wg, optimize=True)
+        dpatches = dpatches.reshape(n, c, oh, ow, kh, kw)
+
+        gxp = shapes.scatter_patches(
+            dpatches, xp.shape, kh, kw, sh, sw, oh, ow
+        )
+        gx = gxp[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gxp
+        return np.ascontiguousarray(gx), gw
+
+    def maxpool2d(self, x, kernel_size, stride=None, padding=(0, 0)):
+        """Max pooling; padding is filled with the dtype's max-identity
+        (``-inf`` for floats, int-min for fixed-point raw arrays)."""
+        kh, kw = kernel_size
+        sh, sw = stride if stride is not None else kernel_size
+        ph, pw = padding
+        n, c, h, w = x.shape
+        shapes.conv_out_size(h, w, kh, kw, sh, sw, ph, pw)
+        xp = shapes.pad_nchw(x, ph, pw, fill=shapes.pool_pad_value(x.dtype))
+        patches = shapes.as_strided_patches(xp, kh, kw, sh, sw)
+        return patches.max(axis=(4, 5))
+
+    def avgpool2d(self, x, kernel_size, stride=None, padding=(0, 0)):
+        """Average pooling (zero padding counts toward the mean)."""
+        kh, kw = kernel_size
+        sh, sw = stride if stride is not None else kernel_size
+        ph, pw = padding
+        n, c, h, w = x.shape
+        shapes.conv_out_size(h, w, kh, kw, sh, sw, ph, pw)
+        xp = shapes.pad_nchw(x, ph, pw)
+        patches = shapes.as_strided_patches(xp, kh, kw, sh, sw)
+        return patches.mean(axis=(4, 5))
+
+    def global_avg_pool(self, x):
+        """(N, C, H, W) -> (N, C) spatial mean."""
+        return x.mean(axis=(2, 3))
+
+    # -- elementwise / activation --------------------------------------
+    def add(self, a, b, out=None):
+        if out is None:
+            return a + b
+        np.add(a, b, out=out)
+        return out
+
+    def mul(self, a, b, out=None):
+        if out is None:
+            return a * b
+        np.multiply(a, b, out=out)
+        return out
+
+    def relu(self, x, out=None):
+        """ReLU with the autograd op's exact arithmetic (``x * (x > 0)``)."""
+        if out is None:
+            return x * (x > 0)
+        np.multiply(x, x > 0, out=out)
+        return out
+
+    def relu_forward(self, x):
+        """(out, mask) pair for the autograd op's backward pass."""
+        mask = x > 0
+        return x * mask, mask
+
+    # -- score / normalisation kernels ---------------------------------
+    def softmax(self, x, axis=-1):
+        """Numerically stable softmax (shift, exp, normalise)."""
+        shifted = x - x.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=axis, keepdims=True)
+
+    def layernorm(self, x, weight, bias, eps=1e-5):
+        """LayerNorm over the last axis, mirroring the autograd composite."""
+        mu = x.mean(axis=-1, keepdims=True)
+        var = ((x - mu) ** 2.0).mean(axis=-1, keepdims=True)
+        out = (x - mu) * ((var + np.asarray(eps, dtype=var.dtype)) ** -0.5)
+        if weight is not None:
+            out = out * weight + bias
+        return out
+
+    def batchnorm2d(self, x, mean, inv_std, weight=None, bias=None):
+        """Eval-mode batch norm from packed running stats."""
+        out = (x - mean) * inv_std
+        if weight is not None:
+            out = out * weight + bias
+        return out
+
+    # -- reductions ----------------------------------------------------
+    def reduce_sum(self, x, axis=None, keepdims=False):
+        return x.sum(axis=axis, keepdims=keepdims)
+
+    def reduce_mean(self, x, axis=None, keepdims=False):
+        return x.mean(axis=axis, keepdims=keepdims)
+
+    def reduce_max(self, x, axis=None, keepdims=False):
+        return x.max(axis=axis, keepdims=keepdims)
+
+    def reduce_min(self, x, axis=None, keepdims=False):
+        return x.min(axis=axis, keepdims=keepdims)

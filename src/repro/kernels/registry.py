@@ -1,0 +1,106 @@
+"""Backend registry and per-thread backend selection.
+
+A *backend* is an object providing one method per kernel (see
+:class:`repro.kernels.reference.ReferenceBackend` for the canonical
+list).  Backends register under a short name; the active backend is a
+per-thread setting so micro-batcher workers and tests can pick
+different backends concurrently.
+
+The process-wide default comes from the ``REPRO_BACKEND`` environment
+variable (used by the CI matrix to run the whole test suite under every
+backend) and falls back to ``"reference"``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+_BACKENDS: dict = {}
+_DEFAULT_ENV = "REPRO_BACKEND"
+
+
+def register_backend(name: str, backend) -> None:
+    """Register *backend* under *name* (last registration wins)."""
+    _BACKENDS[str(name)] = backend
+
+
+def available_backends() -> tuple:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _resolve(name):
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+def default_backend_name() -> str:
+    """The process default: ``$REPRO_BACKEND`` or ``"reference"``."""
+    return os.environ.get(_DEFAULT_ENV, "reference")
+
+
+class _ThreadState(threading.local):
+    """Per-thread active backend; new threads start at the default."""
+
+    def __init__(self):
+        self.backend = _resolve(default_backend_name())
+
+
+_state = None  # initialised by _init_state() once backends exist
+
+
+def _init_state() -> None:
+    """Validate the environment default and arm the thread-local state.
+
+    Called once from ``repro.kernels.__init__`` after the built-in
+    backends have registered, so a typo in ``REPRO_BACKEND`` fails fast
+    at import instead of at the first kernel call.
+    """
+    global _state
+    _resolve(default_backend_name())
+    _state = _ThreadState()
+
+
+def get_backend(name: str | None = None):
+    """The backend registered under *name*, or this thread's active one."""
+    if name is None:
+        return _state.backend
+    return _resolve(name)
+
+
+def backend_name() -> str:
+    """Name of this thread's active backend."""
+    active = _state.backend
+    for name, backend in _BACKENDS.items():
+        if backend is active:
+            return name
+    return type(active).__name__  # pragma: no cover - unregistered
+
+
+class use_backend:
+    """Select this thread's kernel backend.
+
+    Applies immediately — ``use_backend("fused")`` switches the calling
+    thread for good — and doubles as a context manager that restores
+    the previous backend on exit::
+
+        with use_backend("fused"):
+            session.predict_batch(x)
+    """
+
+    def __init__(self, name: str):
+        self._prev = _state.backend
+        _state.backend = _resolve(name)
+
+    def __enter__(self):
+        return _state.backend
+
+    def __exit__(self, *exc):
+        _state.backend = self._prev
+        return False

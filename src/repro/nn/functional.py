@@ -8,31 +8,25 @@ One implementation per layer, shared by every inference consumer:
 * the head-importance analysis,
 * the deprecated ``MHSA2d.forward_numpy`` alias.
 
-Every function mirrors the corresponding :class:`~repro.tensor.Tensor`
-op sequence *operation for operation* (same numpy calls, same operand
-order, same dtype promotion), so a graph-free forward is bit-identical
-to the autograd forward of an eval-mode module.  The parity tests in
-``tests/test_runtime.py`` pin this.
-
-Convolution and pooling reuse the :class:`~repro.tensor.Function`
-forward kernels directly (numpy in / numpy out) with a throwaway
-:class:`~repro.tensor.InferenceContext`, so there is exactly one conv
-implementation in the codebase.
+Every function routes its array math through :mod:`repro.kernels` — the
+same dispatchable kernels the autograd ops call — so a graph-free
+forward under the ``reference`` backend is bit-identical to the autograd
+forward of an eval-mode module (the parity tests in
+``tests/test_runtime.py`` pin this), and switching the thread or session
+to the ``fused`` backend accelerates both paths consistently.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import InferenceContext
-from ..tensor import ops_conv
+from .. import kernels
 
 
 def conv2d(x, weight, bias=None, stride=(1, 1), padding=(0, 0), groups=1):
     """Eval forward of :class:`~repro.nn.Conv2d` on raw arrays."""
-    out = ops_conv.Conv2d.forward(
-        InferenceContext(), x, weight,
-        stride=tuple(stride), padding=tuple(padding), groups=groups,
+    out = kernels.conv2d(
+        x, weight, stride=tuple(stride), padding=tuple(padding), groups=groups
     )
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1)
@@ -41,8 +35,8 @@ def conv2d(x, weight, bias=None, stride=(1, 1), padding=(0, 0), groups=1):
 
 def max_pool2d(x, kernel_size, stride=None, padding=(0, 0)):
     """Eval forward of :class:`~repro.nn.MaxPool2d` on raw arrays."""
-    return ops_conv.MaxPool2d.forward(
-        InferenceContext(), x,
+    return kernels.maxpool2d(
+        x,
         kernel_size=tuple(kernel_size),
         stride=None if stride is None else tuple(stride),
         padding=tuple(padding),
@@ -51,7 +45,7 @@ def max_pool2d(x, kernel_size, stride=None, padding=(0, 0)):
 
 def relu(x):
     """ReLU with the autograd op's exact arithmetic (``x * (x > 0)``)."""
-    return x * (x > 0)
+    return kernels.relu(x)
 
 
 def batchnorm2d_params(bn):
@@ -74,34 +68,23 @@ def batchnorm2d_eval(x, params):
     """Apply packed running-stats batch norm (*params* from
     :func:`batchnorm2d_params`)."""
     mean, inv, w, b = params
-    out = (x - mean) * inv
-    if w is not None:
-        out = out * w + b
-    return out
+    return kernels.batchnorm2d(x, mean, inv, weight=w, bias=b)
 
 
 def layer_norm(x, weight, bias, eps=1e-5):
     """Eval forward of :class:`~repro.nn.LayerNorm` over the last axis,
     mirroring the autograd composite (mean, ``(x-mu)**2`` mean, rsqrt)."""
-    mu = x.mean(axis=-1, keepdims=True)
-    var = ((x - mu) ** 2.0).mean(axis=-1, keepdims=True)
-    out = (x - mu) * ((var + np.asarray(eps, dtype=var.dtype)) ** -0.5)
-    if weight is not None:
-        out = out * weight + bias
-    return out
+    return kernels.layernorm(x, weight, bias, eps=eps)
 
 
 def linear(x, weight, bias=None):
     """Eval forward of :class:`~repro.nn.Linear`: ``x @ W.T + b``."""
-    out = x @ weight.T
-    if bias is not None:
-        out = out + bias
-    return out
+    return kernels.linear(x, weight, bias=bias)
 
 
 def global_avg_pool2d(x):
     """(N, C, H, W) -> (N, C) spatial mean."""
-    return x.mean(axis=(2, 3))
+    return kernels.global_avg_pool(x)
 
 
 # ----------------------------------------------------------------------
@@ -120,8 +103,10 @@ def mhsa2d_forward(x, w_q, w_k, w_v, heads, *, rel_table=None, abs_table=None,
     length-``heads`` 0/1 vector applied to per-head outputs before
     concatenation (used by the head-importance analysis).
 
-    The op sequence matches ``MHSA2d.forward`` exactly, so for an
-    eval-mode module this returns the autograd forward bit-for-bit.
+    The op sequence matches ``MHSA2d.forward`` exactly (projections,
+    score and value GEMMs, softmax/ReLU scores — all dispatched through
+    :mod:`repro.kernels`), so for an eval-mode module this returns the
+    autograd forward bit-for-bit under the ``reference`` backend.
     """
     b, d, h, w = x.shape
     n = h * w
@@ -133,23 +118,21 @@ def mhsa2d_forward(x, w_q, w_k, w_v, heads, *, rel_table=None, abs_table=None,
     def split(t):
         return t.reshape(b, n, heads, dh).transpose(0, 2, 1, 3)
 
-    q = split(tokens @ w_q)
-    k = split(tokens @ w_k)
-    v = split(tokens @ w_v)
+    q = split(kernels.matmul(tokens, w_q))
+    k = split(kernels.matmul(tokens, w_k))
+    v = split(kernels.matmul(tokens, w_v))
 
-    logits = q @ k.transpose(0, 1, 3, 2)  # (B, heads, N, N)
+    logits = kernels.matmul(q, k.transpose(0, 1, 3, 2))  # (B, heads, N, N)
     if rel_table is not None:
-        logits = logits + q @ rel_table.transpose(0, 2, 1)
+        logits = logits + kernels.matmul(q, rel_table.transpose(0, 2, 1))
     logits = logits * np.asarray(1.0 / np.sqrt(dh), dtype=logits.dtype)
 
     if attention_activation == "softmax":
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        e = np.exp(shifted)
-        attn = e / e.sum(axis=-1, keepdims=True)
+        attn = kernels.softmax(logits, axis=-1)
     else:
-        attn = relu(logits)
+        attn = kernels.relu(logits)
 
-    per_head = attn @ v  # (B, heads, N, Dh)
+    per_head = kernels.matmul(attn, v)  # (B, heads, N, Dh)
     if head_mask is not None:
         per_head = per_head * np.asarray(
             head_mask, dtype=per_head.dtype
@@ -157,7 +140,7 @@ def mhsa2d_forward(x, w_q, w_k, w_v, heads, *, rel_table=None, abs_table=None,
     out = per_head.transpose(0, 2, 1, 3).reshape(b, n, d)  # concat heads
     if ln is not None:
         ln_weight, ln_bias, ln_eps = ln
-        out = layer_norm(out, ln_weight, ln_bias, eps=ln_eps)
+        out = kernels.layernorm(out, ln_weight, ln_bias, eps=ln_eps)
     return out.transpose(0, 2, 1).reshape(b, d, h, w)
 
 

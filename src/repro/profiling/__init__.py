@@ -12,6 +12,7 @@ from .attention_stats import (
     head_diversity,
     summarize_attention,
 )
+from ..kernels import KernelCounters, collect as collect_kernels
 from .breakdown import mhsa_time_ratio, time_module_forward
 from .flops import count_macs, model_macs
 from .head_importance import head_importance
@@ -27,6 +28,8 @@ from .variance import (
 __all__ = [
     "Timer",
     "WallClock",
+    "KernelCounters",
+    "collect_kernels",
     "count_macs",
     "model_macs",
     "time_module_forward",

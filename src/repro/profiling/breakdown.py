@@ -4,31 +4,27 @@ The paper reports how much of the MHSABlock's software execution time
 is spent inside the MHSA mechanism itself: 20.5% for BoTNet and 50.7%
 for the proposed model — the motivation for accelerating MHSA on the
 PL.  We measure the same ratio by timing the MHSA submodule against its
-enclosing block with real wall clocks.
+enclosing block with real wall clocks (one shared
+:class:`~repro.profiling.Timer`, so section totals and per-repeat laps
+come from the same clock).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..nn.attention import MHSA2d
-from ..tensor import Tensor, no_grad
+from ..tensor import no_grad
 from .timers import Timer
 
 
 def time_module_forward(module, x, repeats=5) -> float:
     """Median wall-clock seconds of ``module(x)`` under ``no_grad``."""
-    import time
-
-    times = []
+    timer = Timer()
     with no_grad():
-        module_out = module(x)  # warm-up (einsum path caching)
-        del module_out
+        module(x)  # warm-up (einsum path caching)
         for _ in range(repeats):
-            t0 = time.perf_counter()
-            module(x)
-            times.append(time.perf_counter() - t0)
-    return float(np.median(times))
+            with timer.section("forward"):
+                module(x)
+    return timer.median("forward")
 
 
 def mhsa_time_ratio(block, x, repeats=5) -> dict:
@@ -49,20 +45,17 @@ def mhsa_time_ratio(block, x, repeats=5) -> dict:
             f"expected exactly one MHSA2d inside the block, found {len(mhsa_modules)}"
         )
     mhsa = mhsa_modules[0]
-    timer = Timer()
     original = mhsa.forward
+    timer = Timer()
 
     def timed_forward(inp, _orig=original, _timer=timer):
         with _timer.section("mhsa"):
             return _orig(inp)
 
-    import time
-
     object.__setattr__(mhsa, "forward", timed_forward)
     try:
         with no_grad():
-            block(x)  # warm-up
-        # reset timer after warm-up
+            block(x)  # warm-up (not measured: timer created below)
         timer = Timer()
 
         def timed_forward2(inp, _orig=original, _timer=timer):
@@ -70,16 +63,14 @@ def mhsa_time_ratio(block, x, repeats=5) -> dict:
                 return _orig(inp)
 
         object.__setattr__(mhsa, "forward", timed_forward2)
-        block_times = []
         with no_grad():
             for _ in range(repeats):
-                t0 = time.perf_counter()
-                block(x)
-                block_times.append(time.perf_counter() - t0)
+                with timer.section("block"):
+                    block(x)
     finally:
         object.__setattr__(mhsa, "forward", original)
 
-    block_s = float(np.sum(block_times))
+    block_s = timer.total("block")
     mhsa_s = timer.total("mhsa")
     return {
         "block_s": block_s / repeats,

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..kernels.shapes import conv_out_size
 from ..ode import ODEBlock
 
 
@@ -18,8 +19,7 @@ def _conv_macs(conv: "nn.Conv2d", in_hw) -> int:
     kh, kw = conv.kernel_size
     sh, sw = conv.stride
     ph, pw = conv.padding
-    oh = (h + 2 * ph - kh) // sh + 1
-    ow = (w + 2 * pw - kw) // sw + 1
+    oh, ow = conv_out_size(h, w, kh, kw, sh, sw, ph, pw, strict=False)
     per_out = (conv.in_channels // conv.groups) * kh * kw
     return conv.out_channels * oh * ow * per_out
 
@@ -55,7 +55,7 @@ def _walk(module, hw):
         kh, kw = module.kernel_size
         sh, sw = module.stride
         ph, pw = module.padding
-        return m, ((h + 2 * ph - kh) // sh + 1, (w + 2 * pw - kw) // sw + 1)
+        return m, conv_out_size(h, w, kh, kw, sh, sw, ph, pw, strict=False)
     if isinstance(module, nn.DepthwiseSeparableConv2d):
         m1, hw1 = _walk(module.depthwise, hw)
         m2, hw2 = _walk(module.pointwise, hw1)
@@ -78,7 +78,7 @@ def _walk(module, hw):
         kh, kw = module.kernel_size
         sh, sw = module.stride if module.stride else module.kernel_size
         ph, pw = module.padding
-        return 0, ((h + 2 * ph - kh) // sh + 1, (w + 2 * pw - kw) // sw + 1)
+        return 0, conv_out_size(h, w, kh, kw, sh, sw, ph, pw, strict=False)
     if isinstance(module, ODEBlock):
         # dynamics evaluated `steps` times (Euler; other solvers scale
         # by evaluations per step)

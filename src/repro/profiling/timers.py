@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import statistics
 import time
 from collections import defaultdict
 
@@ -41,6 +42,7 @@ class Timer:
     def __init__(self):
         self._totals = defaultdict(float)
         self._counts = defaultdict(int)
+        self._laps = defaultdict(list)
 
     def section(self, name):
         return _Section(self, name)
@@ -48,12 +50,24 @@ class Timer:
     def add(self, name, seconds):
         self._totals[name] += seconds
         self._counts[name] += 1
+        self._laps[name].append(seconds)
 
     def total(self, name) -> float:
         return self._totals[name]
 
     def count(self, name) -> int:
         return self._counts[name]
+
+    def laps(self, name) -> list:
+        """Individual durations recorded for *name*, in order."""
+        return list(self._laps[name])
+
+    def median(self, name) -> float:
+        """Median of the individual durations recorded for *name*."""
+        laps = self._laps[name]
+        if not laps:
+            raise KeyError(f"no sections recorded under {name!r}")
+        return float(statistics.median(laps))
 
     def totals(self) -> dict:
         return dict(self._totals)

@@ -29,14 +29,14 @@ import threading
 
 import numpy as np
 
+from .. import kernels
 from ..nn import DepthwiseSeparableConv2d, MHSA2d, functional as F
 from ..tensor import Tensor, inference_mode
 
 
 def _relu_(a):
     """In-place ReLU on an owned array (same arithmetic as the op)."""
-    np.multiply(a, a > 0, out=a)
-    return a
+    return kernels.relu(a, out=a)
 
 
 class _BufferPool:
@@ -190,8 +190,8 @@ class _PackedODEBlock:
         t = self.t0
         for _ in range(self.steps):
             f = self.func(t, z)
-            np.multiply(f, np.asarray(h, dtype=f.dtype), out=f)
-            np.add(z, f, out=f)
+            kernels.mul(f, np.asarray(h, dtype=f.dtype), out=f)
+            kernels.add(z, f, out=f)
             z = f
             t += h
         return z

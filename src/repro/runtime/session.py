@@ -25,6 +25,7 @@ import time
 
 import numpy as np
 
+from .. import kernels
 from ..nn import Module
 from .engine import ModulePlan, PackedODENet
 from .stats import SessionStats
@@ -47,6 +48,16 @@ class InferenceSession:
     stats:
         optionally share a :class:`SessionStats` instance; by default
         each session owns a fresh one.
+    backend:
+        kernel backend name from :mod:`repro.kernels`
+        (``"reference"`` or ``"fused"``); ``None`` (default) leaves the
+        calling thread's active backend in charge.  The choice is
+        applied around every dispatch, including ones running on
+        :class:`~repro.runtime.MicroBatcher` worker threads.
+    instrument:
+        when ``True``, per-kernel call counts / wall time / bytes are
+        collected for every dispatch and aggregated into
+        ``stats.snapshot()["kernels"]``.
 
     Notes
     -----
@@ -56,10 +67,15 @@ class InferenceSession:
     changes how the computation is scheduled, never what it computes.
     """
 
-    def __init__(self, model, *, packed=None, stats=None):
+    def __init__(self, model, *, packed=None, stats=None, backend=None,
+                 instrument=False):
         from ..fixedpoint.quantized_model import QuantizedODENetExecutor
 
         self._stats = stats if stats is not None else SessionStats()
+        if backend is not None:
+            kernels.get_backend(backend)  # validate eagerly
+        self.kernel_backend = backend
+        self.instrument = bool(instrument)
         self.model = model
         if isinstance(model, Module):
             model.eval()
@@ -102,9 +118,27 @@ class InferenceSession:
         """Run a batch (leading axis = samples) and return raw outputs."""
         x = np.asarray(x)
         start = time.perf_counter()
-        out = self._plan(x)
+        if self.kernel_backend is None and not self.instrument:
+            out = self._plan(x)
+        else:
+            out = self._dispatch_instrumented(x)
         self._stats.record(x.shape[0], time.perf_counter() - start)
         return np.asarray(out)
+
+    def _dispatch_instrumented(self, x):
+        """Plan call with the session's kernel backend and/or collectors
+        armed.  Runs on whichever thread dispatches (micro-batcher
+        workers included) — both mechanisms are thread-local."""
+        counters = kernels.KernelCounters() if self.instrument else None
+        with kernels.use_backend(self.kernel_backend or kernels.backend_name()):
+            if counters is None:
+                out = self._plan(x)
+            else:
+                with kernels.collect(counters):
+                    out = self._plan(x)
+        if counters is not None:
+            self._stats.record_kernels(counters)
+        return out
 
     def predict(self, x) -> np.ndarray:
         """Run one sample (no batch axis); returns its output row."""

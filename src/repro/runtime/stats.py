@@ -31,6 +31,9 @@ class SessionStats:
         self.requests = 0
         self.batches = 0
         self.batch_histogram = Counter()
+        self._kernel_calls = Counter()
+        self._kernel_seconds = Counter()
+        self._kernel_bytes = Counter()
 
     def record(self, batch_size, latency_s) -> None:
         """Record one dispatched batch of *batch_size* samples."""
@@ -39,6 +42,16 @@ class SessionStats:
             self.batches += 1
             self.batch_histogram[int(batch_size)] += 1
             self._latencies_ms.append(float(latency_s) * 1e3)
+
+    def record_kernels(self, counters) -> None:
+        """Merge a :class:`repro.kernels.KernelCounters` into the running
+        per-kernel totals (used by instrumented sessions)."""
+        with self._lock:
+            self._kernel_calls.update(counters.calls)
+            for name, s in counters.seconds.items():
+                self._kernel_seconds[name] += s
+            for name, b in counters.bytes.items():
+                self._kernel_bytes[name] += b
 
     def latency_ms(self, percentile) -> float:
         """Latency percentile (ms) over the retained window; NaN if empty."""
@@ -57,6 +70,18 @@ class SessionStats:
                 "batches": self.batches,
                 "batch_histogram": dict(sorted(self.batch_histogram.items())),
             }
+            if self._kernel_calls:
+                out["kernels"] = {
+                    name: {
+                        "calls": self._kernel_calls[name],
+                        "seconds": self._kernel_seconds[name],
+                        "bytes": self._kernel_bytes[name],
+                    }
+                    for name in sorted(
+                        self._kernel_calls,
+                        key=lambda n: -self._kernel_seconds[n],
+                    )
+                }
         if lats.size:
             out["p50_ms"] = float(np.percentile(lats, 50))
             out["p95_ms"] = float(np.percentile(lats, 95))
@@ -72,3 +97,6 @@ class SessionStats:
             self.batches = 0
             self.batch_histogram.clear()
             self._latencies_ms.clear()
+            self._kernel_calls.clear()
+            self._kernel_seconds.clear()
+            self._kernel_bytes.clear()

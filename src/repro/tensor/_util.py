@@ -1,8 +1,15 @@
-"""Shared helpers for op implementations."""
+"""Shared helpers for op implementations.
+
+``as_strided_patches`` moved to :mod:`repro.kernels.shapes` (the kernel
+layer owns all im2col machinery now); the re-export below keeps old
+import sites working.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..kernels.shapes import as_strided_patches  # noqa: F401  (re-export)
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -23,22 +30,3 @@ def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
-
-
-def as_strided_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
-    """Extract sliding (kh, kw) patches from NCHW input *x* as a view.
-
-    Returns an array of shape (N, C, OH, OW, kh, kw) that aliases *x*
-    (zero copies), suitable for a reshape-free einsum/GEMM. The caller
-    must not write through the view.
-    """
-    n, c, h, w = x.shape
-    oh = (h - kh) // sh + 1
-    ow = (w - kw) // sw + 1
-    sn, sc, sh_, sw_ = x.strides
-    return np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, oh, ow, kh, kw),
-        strides=(sn, sc, sh_ * sh, sw_ * sw, sh_, sw_),
-        writeable=False,
-    )

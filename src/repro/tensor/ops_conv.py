@@ -1,10 +1,10 @@
 """Convolution and pooling as differentiable ops.
 
-Convolutions are computed as a single ``einsum`` over a zero-copy
-sliding-window view of the (padded) input — the im2col-as-GEMM idiom —
-so there is no Python looping over output pixels.  The backward pass
-scatters patch gradients back with a loop over the (small) kernel
-offsets only.
+The array math lives in :mod:`repro.kernels` (one dispatchable
+im2col-GEMM conv kernel shared with the eval fast paths and the
+fixed-point layer); these ``Function`` subclasses only add the autograd
+bookkeeping — what to save in the context and how to route upstream
+gradients back through the kernel layer.
 
 Grouped convolution is supported, which covers both the standard dense
 case (``groups=1``) and the depthwise case (``groups=C``) used by the
@@ -15,25 +15,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ._util import as_strided_patches
+from .. import kernels
+from ..kernels.shapes import (
+    as_strided_patches,
+    conv_out_size,
+    pad_nchw,
+    pool_pad_value,
+    scatter_patches,
+)
 from .function import Function
-
-
-def _pad_nchw(x, ph, pw):
-    if ph == 0 and pw == 0:
-        return x
-    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-
-
-def _conv_out_size(h, w, kh, kw, sh, sw, ph, pw):
-    oh = (h + 2 * ph - kh) // sh + 1
-    ow = (w + 2 * pw - kw) // sw + 1
-    if oh <= 0 or ow <= 0:
-        raise ValueError(
-            f"conv output would be empty: input {h}x{w}, kernel {kh}x{kw}, "
-            f"stride {sh}x{sw}, padding {ph}x{pw}"
-        )
-    return oh, ow
 
 
 class Conv2d(Function):
@@ -47,60 +37,18 @@ class Conv2d(Function):
 
     @staticmethod
     def forward(ctx, x, weight, stride=(1, 1), padding=(0, 0), groups=1):
-        n, c, h, w = x.shape
-        f, cg, kh, kw = weight.shape
-        sh, sw = stride
-        ph, pw = padding
-        if c % groups or f % groups:
-            raise ValueError(
-                f"channels ({c}) and filters ({f}) must divide groups ({groups})"
-            )
-        if cg != c // groups:
-            raise ValueError(
-                f"weight expects {cg} channels/group but input has {c // groups}"
-            )
-        oh, ow = _conv_out_size(h, w, kh, kw, sh, sw, ph, pw)
-
-        xp = _pad_nchw(x, ph, pw)
-        patches = as_strided_patches(xp, kh, kw, sh, sw)  # (N,C,OH,OW,KH,KW)
-        fg = f // groups
-        pg = patches.reshape(n, groups, cg, oh, ow, kh, kw)
-        wg = weight.reshape(groups, fg, cg, kh, kw)
-        out = np.einsum("ngcxykl,gfckl->ngfxy", pg, wg, optimize=True)
-        out = out.reshape(n, f, oh, ow)
-
+        out = kernels.conv2d(x, weight, stride=stride, padding=padding, groups=groups)
         ctx.save_for_backward(x, weight)
-        ctx.conf = (stride, padding, groups, (oh, ow))
-        return np.ascontiguousarray(out)
+        ctx.conf = (stride, padding, groups, out.shape[2:])
+        return out
 
     @staticmethod
     def backward(ctx, grad):
         x, weight = ctx.saved
-        (sh, sw), (ph, pw), groups, (oh, ow) = ctx.conf
-        n, c, h, w = x.shape
-        f, cg, kh, kw = weight.shape
-        fg = f // groups
-
-        xp = _pad_nchw(x, ph, pw)
-        patches = as_strided_patches(xp, kh, kw, sh, sw)
-        pg = patches.reshape(n, groups, cg, oh, ow, kh, kw)
-        gg = grad.reshape(n, groups, fg, oh, ow)
-
-        gw = np.einsum("ngfxy,ngcxykl->gfckl", gg, pg, optimize=True)
-        gw = gw.reshape(f, cg, kh, kw)
-
-        wg = weight.reshape(groups, fg, cg, kh, kw)
-        dpatches = np.einsum("ngfxy,gfckl->ngcxykl", gg, wg, optimize=True)
-        dpatches = dpatches.reshape(n, c, oh, ow, kh, kw)
-
-        gxp = np.zeros_like(xp)
-        for i in range(kh):
-            for j in range(kw):
-                gxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += dpatches[
-                    :, :, :, :, i, j
-                ]
-        gx = gxp[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gxp
-        return np.ascontiguousarray(gx), gw
+        stride, padding, groups, out_size = ctx.conf
+        return kernels.conv2d_backward(
+            x, weight, grad, stride, padding, groups, out_size
+        )
 
 
 class MaxPool2d(Function):
@@ -112,18 +60,10 @@ class MaxPool2d(Function):
         sh, sw = stride if stride is not None else kernel_size
         ph, pw = padding
         n, c, h, w = x.shape
-        oh, ow = _conv_out_size(h, w, kh, kw, sh, sw, ph, pw)
-        if ph or pw:
-            # Padding must never win the max; use -inf fill.
-            xp = np.pad(
-                x,
-                ((0, 0), (0, 0), (ph, ph), (pw, pw)),
-                constant_values=-np.inf,
-            )
-        else:
-            xp = x
-        patches = as_strided_patches(xp, kh, kw, sh, sw)
-        out = patches.max(axis=(4, 5))
+        oh, ow = conv_out_size(h, w, kh, kw, sh, sw, ph, pw)
+        out = kernels.maxpool2d(
+            x, kernel_size=kernel_size, stride=stride, padding=padding
+        )
         ctx.save_for_backward(x, out)
         ctx.conf = (kh, kw, sh, sw, ph, pw, oh, ow)
         return out
@@ -133,23 +73,16 @@ class MaxPool2d(Function):
         x, out = ctx.saved
         kh, kw, sh, sw, ph, pw, oh, ow = ctx.conf
         n, c, h, w = x.shape
-        if ph or pw:
-            # -inf padding so padded cells can never tie with the max.
-            xp = np.pad(
-                x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf
-            )
-        else:
-            xp = x
+        # Padding must never win the max; refill with the dtype's -inf.
+        xp = pad_nchw(x, ph, pw, fill=pool_pad_value(x.dtype))
         patches = as_strided_patches(xp, kh, kw, sh, sw)
         mask = patches == out[..., None, None]
         counts = mask.sum(axis=(4, 5), keepdims=True)
         dpatches = mask * (grad[..., None, None] / counts)
-        gxp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=grad.dtype)
-        for i in range(kh):
-            for j in range(kw):
-                gxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += dpatches[
-                    :, :, :, :, i, j
-                ]
+        gxp = scatter_patches(
+            dpatches, (n, c, h + 2 * ph, w + 2 * pw), kh, kw, sh, sw, oh, ow,
+            dtype=grad.dtype,
+        )
         gx = gxp[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else gxp
         return (np.ascontiguousarray(gx),)
 
@@ -161,10 +94,10 @@ class AvgPool2d(Function):
         sh, sw = stride if stride is not None else kernel_size
         ph, pw = padding
         n, c, h, w = x.shape
-        oh, ow = _conv_out_size(h, w, kh, kw, sh, sw, ph, pw)
-        xp = _pad_nchw(x, ph, pw)
-        patches = as_strided_patches(xp, kh, kw, sh, sw)
-        out = patches.mean(axis=(4, 5))
+        oh, ow = conv_out_size(h, w, kh, kw, sh, sw, ph, pw)
+        out = kernels.avgpool2d(
+            x, kernel_size=kernel_size, stride=stride, padding=padding
+        )
         ctx.conf = (x.shape, kh, kw, sh, sw, ph, pw, oh, ow)
         return out
 

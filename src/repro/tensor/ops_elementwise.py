@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ._util import unbroadcast
 from .function import Function
 
@@ -151,9 +152,9 @@ class Sigmoid(Function):
 class ReLU(Function):
     @staticmethod
     def forward(ctx, a):
-        mask = a > 0
+        out, mask = kernels.relu_forward(a)
         ctx.save_for_backward(mask)
-        return a * mask
+        return out
 
     @staticmethod
     def backward(ctx, grad):

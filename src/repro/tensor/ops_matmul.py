@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ._util import unbroadcast
 from .function import Function
 
@@ -22,7 +23,7 @@ class MatMul(Function):
     @staticmethod
     def forward(ctx, a, b):
         ctx.save_for_backward(a, b)
-        return a @ b
+        return kernels.matmul(a, b)
 
     @staticmethod
     def backward(ctx, grad):
@@ -41,8 +42,8 @@ class MatMul(Function):
         elif b_was_1d:
             g = np.expand_dims(grad, -1)
 
-        ga = g @ _swap_last(b2)
-        gb = _swap_last(a2) @ g
+        ga = kernels.matmul(g, _swap_last(b2))
+        gb = kernels.matmul(_swap_last(a2), g)
         ga = unbroadcast(ga, a2.shape)
         gb = unbroadcast(gb, b2.shape)
         if a_was_1d:

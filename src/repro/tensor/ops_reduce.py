@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from .function import Function
 
 
@@ -28,7 +29,7 @@ class Sum(Function):
         ctx.kept_shape = tuple(
             1 if i in axes else s for i, s in enumerate(a.shape)
         )
-        return a.sum(axis=axes, keepdims=keepdims)
+        return kernels.reduce_sum(a, axis=axes, keepdims=keepdims)
 
     @staticmethod
     def backward(ctx, grad):
@@ -44,7 +45,7 @@ class Mean(Function):
             1 if i in axes else s for i, s in enumerate(a.shape)
         )
         ctx.count = int(np.prod([a.shape[i] for i in axes])) if axes else 1
-        return a.mean(axis=axes, keepdims=keepdims)
+        return kernels.reduce_mean(a, axis=axes, keepdims=keepdims)
 
     @staticmethod
     def backward(ctx, grad):
@@ -62,7 +63,7 @@ class Max(Function):
         ctx.kept_shape = tuple(
             1 if i in axes else s for i, s in enumerate(a.shape)
         )
-        out = a.max(axis=axes, keepdims=True)
+        out = kernels.reduce_max(a, axis=axes, keepdims=True)
         mask = (a == out)
         ctx.save_for_backward(mask)
         return out if keepdims else out.reshape(
@@ -87,7 +88,7 @@ class Min(Function):
         ctx.kept_shape = tuple(
             1 if i in axes else s for i, s in enumerate(a.shape)
         )
-        out = a.min(axis=axes, keepdims=True)
+        out = kernels.reduce_min(a, axis=axes, keepdims=True)
         mask = (a == out)
         ctx.save_for_backward(mask)
         return out if keepdims else out.reshape(

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
+from repro.nn import functional
 from repro.profiling import (
     attention_entropy,
     attention_sparsity,
@@ -40,7 +41,7 @@ class TestAttentionMaps:
 
     def test_maps_consistent_with_forward(self, rng):
         """Re-deriving the output from the returned maps must match
-        forward_numpy (no LayerNorm so the algebra is direct)."""
+        functional.mhsa2d_eval (no LayerNorm so the algebra is direct)."""
         m = nn.MHSA2d(8, 3, 3, heads=2, pos_enc="none",
                       attention_activation="softmax", rng=rng)
         x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
@@ -48,7 +49,7 @@ class TestAttentionMaps:
         tokens = x.reshape(1, 8, 9).transpose(0, 2, 1).astype(np.float64)
         v = (tokens @ m.w_v.data).reshape(1, 9, 2, 4).transpose(0, 2, 1, 3)
         out = (attn @ v).transpose(0, 2, 1, 3).reshape(1, 9, 8)
-        ref = m.forward_numpy(x).reshape(1, 8, 9).transpose(0, 2, 1)
+        ref = functional.mhsa2d_eval(m, x).reshape(1, 8, 9).transpose(0, 2, 1)
         np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
 
 

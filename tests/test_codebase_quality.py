@@ -99,3 +99,66 @@ class TestDeterminism:
         assert loss_a == loss_b
         for a, b in zip(params_a, params_b):
             np.testing.assert_array_equal(a, b)
+
+
+class TestKernelSeam:
+    """The kernel layer owns every hot-path array computation.
+
+    Grep-level gates: the im2col conv einsum, the conv output-size
+    formula and the strided-patch extractor may live only under
+    ``repro/kernels`` — every other layer must route through the
+    dispatch seam instead of keeping a private copy.
+    """
+
+    def _source_files(self):
+        for root, _dirs, files in os.walk(SRC):
+            for fname in files:
+                if fname.endswith(".py"):
+                    yield os.path.join(root, fname)
+
+    def _offenders(self, pattern, allowed):
+        pat = re.compile(pattern)
+        hits = []
+        for path in self._source_files():
+            rel = os.path.relpath(path, SRC).replace(os.sep, "/")
+            if any(rel.startswith(a) for a in allowed):
+                continue
+            for lineno, line in enumerate(open(path), 1):
+                if pat.search(line):
+                    hits.append(f"{rel}:{lineno}: {line.strip()}")
+        return hits
+
+    def test_conv_einsum_only_in_kernels(self):
+        offenders = self._offenders(r"ngcxykl", allowed=("kernels/",))
+        assert not offenders, "\n".join(offenders)
+
+    def test_out_size_formula_only_in_kernels_shapes(self):
+        offenders = self._offenders(
+            r"2 \* p[hw] - k[hw]\) // s[hw] \+ 1",
+            allowed=("kernels/shapes.py",),
+        )
+        assert not offenders, "\n".join(offenders)
+
+    def test_strided_patches_defined_only_in_kernels_shapes(self):
+        offenders = self._offenders(
+            r"def as_strided_patches|np\.lib\.stride_tricks\.as_strided",
+            allowed=("kernels/shapes.py",),
+        )
+        assert not offenders, "\n".join(offenders)
+
+    def test_consumer_layers_import_the_seam(self):
+        """All four consumer layers route through repro.kernels."""
+        consumers = (
+            "tensor/ops_matmul.py",
+            "tensor/ops_conv.py",
+            "nn/functional.py",
+            "fixedpoint/ops.py",
+            "fixedpoint/quantized_layers.py",
+            "runtime/engine.py",
+        )
+        missing = []
+        for rel in consumers:
+            text = open(os.path.join(SRC, rel)).read()
+            if "from .. import kernels" not in text:
+                missing.append(rel)
+        assert not missing, missing

@@ -15,6 +15,7 @@ from repro.fixedpoint import (
     parse_format_pair,
     requantize,
 )
+from repro.nn import functional
 
 
 class TestQFormat:
@@ -167,13 +168,13 @@ class TestQuantizedMHSA:
         m = self._mhsa(rng)
         x = rng.normal(size=(2, 8, 3, 3)).astype(np.float32)
         q = QuantizedMHSA2d(m, QFormat(32, 16), QFormat(24, 8))
-        np.testing.assert_allclose(q(x), m.forward_numpy(x), atol=1e-3)
+        np.testing.assert_allclose(q(x), functional.mhsa2d_eval(m, x), atol=1e-3)
 
     def test_error_monotone_in_format_width(self, rng):
         """Figs 9-10: narrower formats give strictly larger error."""
         m = self._mhsa(rng)
         x = rng.normal(size=(2, 8, 3, 3)).astype(np.float32)
-        ref = m.forward_numpy(x)
+        ref = functional.mhsa2d_eval(m, x)
         errs = []
         for pair in PAPER_FORMATS:
             f, p = parse_format_pair(pair)
@@ -194,7 +195,7 @@ class TestQuantizedMHSA:
         m = self._mhsa(rng, attention_activation="softmax", out_layernorm=False)
         x = rng.normal(size=(1, 8, 3, 3)).astype(np.float32)
         q = QuantizedMHSA2d(m, QFormat(32, 16), QFormat(24, 8))
-        np.testing.assert_allclose(q(x), m.forward_numpy(x), atol=1e-3)
+        np.testing.assert_allclose(q(x), functional.mhsa2d_eval(m, x), atol=1e-3)
 
     def test_absolute_pos_enc_rejected(self, rng):
         m = self._mhsa(rng, pos_enc="absolute")

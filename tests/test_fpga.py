@@ -30,6 +30,7 @@ from repro.fpga import (
 from repro.fpga.axi import AxiPort
 from repro.fpga.buffers import mhsa_buffer_plan
 from repro.fpga.power import board_power_w, energy_efficiency
+from repro.nn import functional
 
 
 class TestDevice:
@@ -237,13 +238,13 @@ class TestAccelerator:
         m = proposed_mhsa_module()
         acc = MHSAAccelerator(m, proposed_mhsa_design(FLOAT32))
         x = rng.normal(size=(1, 64, 6, 6)).astype(np.float32)
-        np.testing.assert_allclose(acc.run(x), m.forward_numpy(x), rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(acc.run(x), functional.mhsa2d_eval(m, x), rtol=1e-5, atol=1e-5)
 
     def test_fixed_run_close_to_float(self, rng):
         m = proposed_mhsa_module()
         acc = MHSAAccelerator(m, proposed_mhsa_design(FIXED_DEFAULT))
         x = rng.normal(size=(1, 64, 6, 6)).astype(np.float32)
-        assert np.abs(acc.run(x) - m.forward_numpy(x)).max() < 0.05
+        assert np.abs(acc.run(x) - functional.mhsa2d_eval(m, x)).max() < 0.05
 
     def test_latency_stats_deterministic(self):
         acc = MHSAAccelerator(botnet_mhsa_module(), botnet_mhsa_design(FIXED_DEFAULT))

@@ -14,6 +14,7 @@ from repro.fixedpoint.quantized_mhsa import use_quantized_mhsa
 from repro.fpga import MHSAAccelerator, MHSADesign
 from repro.models import build_model
 from repro.tensor import Tensor, no_grad
+from repro.nn import functional
 from repro.train import (
     SGD,
     CosineAnnealingWarmRestarts,
@@ -81,7 +82,7 @@ class TestTrainedPipeline:
             size=(2, mhsa.channels, mhsa.height, mhsa.width)
         ).astype(np.float32)
         hw = acc.run(x)
-        sw = mhsa.forward_numpy(x)
+        sw = functional.mhsa2d_eval(mhsa, x)
         assert np.abs(hw - sw).max() < 0.01
         assert design.resource_report().fits()
         assert acc.latency().total_ms > 0

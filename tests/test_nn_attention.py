@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
+from repro.nn import functional
 from repro.tensor import Tensor, gradcheck, no_grad
 
 
@@ -65,7 +66,7 @@ class TestForward:
         out = m(Tensor(rng.normal(size=(1, 8, 3, 3)).astype(np.float32)))
         assert out.shape == (1, 8, 3, 3)
 
-    def test_forward_numpy_matches_tensor(self, rng):
+    def test_mhsa2d_eval_matches_tensor(self, rng):
         for act in ("softmax", "relu"):
             for pe in ("relative", "none"):
                 m = make_mhsa(
@@ -76,7 +77,7 @@ class TestForward:
                 with no_grad():
                     t_out = m(Tensor(x)).data
                 np.testing.assert_allclose(
-                    t_out, m.forward_numpy(x), rtol=1e-4, atol=1e-5
+                    t_out, functional.mhsa2d_eval(m, x), rtol=1e-4, atol=1e-5
                 )
 
     def test_gradients_reach_all_params(self, rng):

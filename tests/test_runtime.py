@@ -8,6 +8,8 @@ that contract for every registry model, plus the micro-batcher's
 correctness and the serving statistics.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -133,8 +135,14 @@ class TestSessionApi:
         x = np.random.default_rng(0).standard_normal(
             (2, mhsa.channels, mhsa.height, mhsa.width)
         ).astype(np.float32)
-        with pytest.warns(DeprecationWarning):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
             legacy = mhsa.forward_numpy(x)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1  # the alias warns exactly once per call
+        assert "mhsa2d_eval" in str(deprecations[0].message)
         assert np.array_equal(legacy, functional.mhsa2d_eval(mhsa, x))
         assert np.array_equal(
             legacy, mhsa(Tensor(x, _copy=False)).data

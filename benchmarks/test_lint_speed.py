@@ -1,0 +1,57 @@
+"""Lint-speed smoke benchmark: the full-tree lint stays interactive.
+
+The linter is wired into CI and into `tests/test_codebase_quality.py`,
+so its wall-clock cost is paid on every run. Contract: one cold pass of
+the AST rule engine over the whole repository (`src`, `tests`,
+`examples`, `benchmarks`) finishes in well under 10 s, and one static
+shape/Q-format walk of the registry model costs milliseconds.
+"""
+
+import os
+import time
+
+import repro
+from repro.fixedpoint import QFormat
+from repro.lint import check_fixed_point, lint_paths
+from repro.models import build_model
+
+from conftest import show
+
+# .../src/repro/__init__.py -> repository root
+ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+)
+TREE = [
+    os.path.join(ROOT, d) for d in ("src", "tests", "examples", "benchmarks")
+]
+
+
+def test_full_tree_lint_under_ten_seconds():
+    existing = [p for p in TREE if os.path.isdir(p)]
+    assert existing, TREE
+    start = time.perf_counter()
+    diags = lint_paths(existing)
+    elapsed = time.perf_counter() - start
+    show(
+        "Full-tree lint speed",
+        f"paths: {', '.join(os.path.basename(p) for p in existing)}\n"
+        f"findings: {len(diags)}\n"
+        f"elapsed: {elapsed * 1000:.0f} ms (budget 10000 ms)",
+    )
+    assert elapsed < 10.0, f"full-tree lint took {elapsed:.1f}s"
+
+
+def test_shape_check_is_milliseconds():
+    model = build_model("ode_botnet", profile="tiny", seed=0)
+    model.eval()
+    ffmt, pfmt = QFormat(32, 16), QFormat(24, 8)
+    check_fixed_point(model, ffmt, pfmt)  # warm imports
+    start = time.perf_counter()
+    for _ in range(10):
+        check_fixed_point(model, ffmt, pfmt)
+    elapsed = (time.perf_counter() - start) / 10
+    show(
+        "Static shape/Q-format walk speed",
+        f"per walk: {elapsed * 1000:.2f} ms (budget 250 ms)",
+    )
+    assert elapsed < 0.25, f"shape walk took {elapsed * 1000:.0f} ms"

@@ -24,6 +24,11 @@ Subpackages
     ZCU104 accelerator simulator: cycles, resources, power, DMA.
 ``repro.profiling``
     timers and MAC counting (Table VI).
+``repro.kernels``
+    pluggable kernel backends behind one dispatch seam.
+``repro.lint``
+    AST project linter + static shape/dtype/Q-format checker
+    (``python -m repro.lint``).
 ``repro.experiments``
     one entry point per paper table/figure.
 
@@ -48,4 +53,6 @@ __all__ = [
     "fpga",
     "profiling",
     "experiments",
+    "kernels",
+    "lint",
 ]

@@ -94,9 +94,10 @@ def loss_flatness(model, images, labels, epsilons=(0.0, 0.01, 0.02, 0.05),
                 norm = np.linalg.norm(direction)
                 if norm > 0:
                     direction *= np.linalg.norm(orig) / norm
-                p.data[...] = orig + eps * direction
+                # perturbation sweep runs forward-only between graphs
+                p.data[...] = orig + eps * direction  # repro-lint: ignore[MUT001]
             losses.append(current_loss())
         for p, orig in zip(params, originals):
-            p.data[...] = orig
+            p.data[...] = orig  # repro-lint: ignore[MUT001] restore originals
         rows.append({"epsilon": float(eps), "loss": float(np.mean(losses))})
     return rows

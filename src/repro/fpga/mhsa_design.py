@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..fixedpoint import QFormat
+from ..kernels import shapes
 from .buffers import mhsa_buffer_plan
 from .device import ZCU104, DeviceSpec
 from .hls import LoopNest
@@ -149,8 +150,7 @@ class MHSADesign:
         dataflow=False,
         device: DeviceSpec = ZCU104,
     ):
-        if channels % heads:
-            raise ValueError("channels must divide heads")
+        shapes.mhsa_geometry(channels, heads, height, width)
         self.channels = channels
         self.height = height
         self.width = width

@@ -82,6 +82,22 @@ def conv_geometry(x_shape, w_shape, stride, padding, groups):
     return n, c, h, w, f, cg, kh, kw, f // groups, oh, ow
 
 
+def mhsa_geometry(channels, heads, height, width):
+    """Validate the MHSA head split / token geometry.
+
+    Returns ``(dim_head, n_tokens)`` = ``(channels // heads,
+    height * width)``; raises ``ValueError`` when the embedding does not
+    split evenly across heads.  The single home of the check every MHSA
+    consumer (attention layers, the FPGA design model, the static shape
+    checker) routes through.
+    """
+    if heads <= 0:
+        raise ValueError(f"heads must be positive, got {heads}")
+    if channels % heads:
+        raise ValueError(f"channels {channels} must divide heads {heads}")
+    return channels // heads, height * width
+
+
 def as_strided_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
     """Extract sliding (kh, kw) patches from NCHW input *x* as a view.
 

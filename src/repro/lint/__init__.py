@@ -1,0 +1,59 @@
+"""repro.lint — AST project linter + static shape/dtype checker.
+
+Two halves, one diagnostic vocabulary:
+
+* a **rule engine** (:mod:`~repro.lint.engine`) that parses every file
+  into an AST and runs pluggable :class:`~repro.lint.rules.Rule`
+  visitors — the project's real invariants (kernel-seam routing, RNG
+  discipline, autograd mutation safety, docstring coverage, debug
+  hygiene, deprecation) as structured, file:line diagnostics;
+* a **static shape checker** (:mod:`~repro.lint.shapecheck`) that
+  abstractly interprets models and runtime execution plans over
+  :mod:`repro.kernels.shapes` geometry — shape mismatches, dtype mixing
+  across the fixed-point boundary and Q-format accumulator overflow
+  risk, all before a single kernel runs.
+
+CLI: ``python -m repro.lint [paths] [--select/--ignore] [--format
+text|json] [--check-plan model:profile] [--fixed-point "32(16)-24(8)"]``
+— exit 0 when clean, 1 on error-severity findings, 2 on usage errors.
+Suppress a finding inline with ``# repro-lint: ignore[RULE] reason``.
+See ``docs/LINTING.md`` for the rule catalogue and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from .cli import main
+from .diagnostics import Diagnostic, Severity, Summary, render_json, render_text
+from .engine import Linter, SourceFile, lint_paths, lint_text
+from .rules import Rule, all_rules, get_rule, register
+from .shapecheck import (
+    ShapeChecker,
+    SymbolicTensor,
+    check_fixed_point,
+    check_model,
+    check_plan,
+    check_quantized,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Summary",
+    "render_text",
+    "render_json",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "Linter",
+    "SourceFile",
+    "lint_paths",
+    "lint_text",
+    "ShapeChecker",
+    "SymbolicTensor",
+    "check_model",
+    "check_plan",
+    "check_fixed_point",
+    "check_quantized",
+    "main",
+]

@@ -1,0 +1,143 @@
+"""Structured diagnostics: what every lint rule and shape check emits.
+
+A :class:`Diagnostic` is one actionable finding — rule id, severity,
+location (path/line/column), human message and an optional suggested
+fix.  The two renderers, :func:`render_text` and :func:`render_json`,
+back the CLI's ``--format`` switch; the JSON form is what CI uploads as
+an artifact.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering is by how loudly CI should react.
+
+    ``ERROR`` fails the lint run (exit code 1), ``WARNING`` is reported
+    but does not fail, ``INFO`` carries advisory context (e.g. a module
+    the shape checker could not see through).
+    """
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self):
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, what rule, how bad, and what to do about it.
+
+    ``path`` is a file path for AST rules and a symbolic location such
+    as ``<plan:ode_botnet>`` for shape-checker findings (``line`` 0).
+    """
+
+    path: str
+    line: int
+    rule: str
+    severity: Severity
+    message: str
+    col: int = 0
+    suggestion: str = ""
+
+    @property
+    def sort_key(self):
+        """Stable ordering: by location first, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """Render ``path:line:col: SEV RULE message [suggestion]``."""
+        loc = f"{self.path}:{self.line}:{self.col}"
+        text = f"{loc}: {self.severity} {self.rule} {self.message}"
+        if self.suggestion:
+            text += f" (fix: {self.suggestion})"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping with the severity spelled out."""
+        out = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.suggestion:
+            out["suggestion"] = self.suggestion
+        return out
+
+
+@dataclass
+class Summary:
+    """Per-severity counts plus how many files were scanned."""
+
+    errors: int = 0
+    warnings: int = 0
+    info: int = 0
+    files_scanned: int = 0
+    files_with_findings: int = field(default=0)
+
+    @classmethod
+    def of(cls, diagnostics, files_scanned=0):
+        """Tally *diagnostics* (any iterable) into a Summary."""
+        s = cls(files_scanned=files_scanned)
+        paths = set()
+        for d in diagnostics:
+            paths.add(d.path)
+            if d.severity is Severity.ERROR:
+                s.errors += 1
+            elif d.severity is Severity.WARNING:
+                s.warnings += 1
+            else:
+                s.info += 1
+        s.files_with_findings = len(paths)
+        return s
+
+    def to_dict(self) -> dict:
+        return {
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "info": self.info,
+            "files_scanned": self.files_scanned,
+            "files_with_findings": self.files_with_findings,
+        }
+
+
+def render_text(diagnostics, summary: Summary | None = None) -> str:
+    """One line per diagnostic (sorted) plus a closing summary line."""
+    diags = sorted(diagnostics, key=lambda d: d.sort_key)
+    lines = [d.format() for d in diags]
+    if summary is not None:
+        lines.append(
+            f"{summary.errors} error(s), {summary.warnings} warning(s), "
+            f"{summary.info} info in {summary.files_scanned} file(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics, summary: Summary | None = None) -> str:
+    """Machine-readable report: ``{"diagnostics": [...], "summary": {...}}``."""
+    diags = sorted(diagnostics, key=lambda d: d.sort_key)
+    doc = {
+        "version": 1,
+        "diagnostics": [d.to_dict() for d in diags],
+    }
+    if summary is not None:
+        doc["summary"] = summary.to_dict()
+    return json.dumps(doc, indent=2)
+
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "Summary",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,251 @@
+"""The lint engine: file collection, parsing, suppression handling and
+rule execution.
+
+The engine turns paths into :class:`SourceFile` objects (text + AST +
+comment tokens + inline suppressions + domain), runs every applicable
+rule over each, and returns sorted
+:class:`~repro.lint.diagnostics.Diagnostic` lists.  Rules are filtered
+by *domain* (``library`` for files inside the ``repro`` package,
+``tests`` for the pytest suite, ``examples`` for example scripts and
+benchmarks) and by ``--select`` / ``--ignore`` prefixes.
+
+Inline suppressions use ``# repro-lint: ignore[RULE1,RULE2] reason`` on
+the offending line; the reason text is free-form but expected — a
+suppression documents a deliberate exception, not a shortcut.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+
+from .diagnostics import Diagnostic, Severity
+from .rules import all_rules
+
+# import for the registration side effect: rule modules self-register
+from . import rules_numpy, rules_style  # noqa: F401
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_*\-,\s]+)\]"
+)
+
+#: rule id used for files that fail to parse
+PARSE_RULE = "PARSE"
+
+
+class SourceFile:
+    """One parsed file plus everything rules need to inspect it."""
+
+    def __init__(self, path, text, *, rel=None, domain=None, display_path=None):
+        self.path = display_path or path
+        self.text = text
+        self.rel = rel if rel is not None else package_rel(path)
+        self.domain = domain if domain is not None else classify_domain(path)
+        self.tree = ast.parse(text, filename=self.path)
+        self.lines = text.splitlines()
+        self.suppressions = self._scan_suppressions(self.lines)
+        self._comments = None
+
+    @property
+    def comments(self):
+        """``(lineno, text)`` for every comment token, lazily tokenized."""
+        if self._comments is None:
+            found = []
+            try:
+                tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+                for tok in tokens:
+                    if tok.type == tokenize.COMMENT:
+                        found.append((tok.start[0], tok.string))
+            except (tokenize.TokenError, IndentationError):
+                found = [
+                    (i, line)
+                    for i, line in enumerate(self.lines, 1)
+                    if line.lstrip().startswith("#")
+                ]
+            self._comments = found
+        return self._comments
+
+    def suppressed(self, diag: Diagnostic) -> bool:
+        """True when the diagnostic's line carries a matching suppression."""
+        ids = self.suppressions.get(diag.line)
+        if not ids:
+            return False
+        return "*" in ids or diag.rule.upper() in ids
+
+    @staticmethod
+    def _scan_suppressions(lines):
+        out = {}
+        for lineno, line in enumerate(lines, 1):
+            m = _SUPPRESS_RE.search(line)
+            if m:
+                out[lineno] = {
+                    part.strip().upper()
+                    for part in m.group(1).split(",")
+                    if part.strip()
+                }
+        return out
+
+
+def classify_domain(path) -> str:
+    """Map a path to a rule domain: library / tests / examples."""
+    if package_rel(path):
+        return "library"
+    parts = os.path.abspath(path).replace(os.sep, "/").split("/")
+    if "tests" in parts or os.path.basename(path).startswith("test_"):
+        return "tests"
+    if "examples" in parts or "benchmarks" in parts:
+        return "examples"
+    return "library"
+
+
+def package_rel(path) -> str:
+    """Path relative to the enclosing ``repro`` package ('' if outside).
+
+    ``.../src/repro/nn/functional.py`` -> ``nn/functional.py``; used by
+    rules that key on specific library modules (seam pins).
+    """
+    parts = os.path.abspath(path).replace(os.sep, "/").split("/")
+    for i in range(len(parts) - 1, 0, -1):
+        if parts[i - 1] == "repro" and parts[i - 1] != parts[-1]:
+            candidate = "/".join(parts[:i])
+            if os.path.isfile(os.path.join(candidate, "__init__.py")):
+                return "/".join(parts[i:])
+    return ""
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen = set()
+    out = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path]
+        else:
+            candidates = []
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                candidates.extend(
+                    os.path.join(root, f)
+                    for f in sorted(files)
+                    if f.endswith(".py")
+                )
+        for cand in candidates:
+            real = os.path.realpath(cand)
+            if real not in seen:
+                seen.add(real)
+                out.append(cand)
+    return out
+
+
+def _matches(rule, patterns) -> bool:
+    if not patterns:
+        return False
+    rid = rule.id.upper()
+    rname = rule.name.lower()
+    for pat in patterns:
+        p = pat.strip()
+        if not p:
+            continue
+        if rid.startswith(p.upper()) or rname == p.lower():
+            return True
+    return False
+
+
+class Linter:
+    """Run a (filtered) rule set over files, text snippets or trees."""
+
+    def __init__(self, *, select=None, ignore=None, rules=None):
+        candidates = list(rules) if rules is not None else all_rules()
+        if select:
+            candidates = [r for r in candidates if _matches(r, select)]
+        if ignore:
+            candidates = [r for r in candidates if not _matches(r, ignore)]
+        self.rules = candidates
+        self.files_scanned = 0
+
+    def run(self, paths):
+        """Lint every .py file reachable from *paths*; sorted diagnostics."""
+        diags = []
+        for path in iter_python_files(paths):
+            diags.extend(self.run_path(path))
+        return sorted(diags, key=lambda d: d.sort_key)
+
+    def run_path(self, path):
+        """Lint a single file, reporting unreadable/unparsable files as
+        ``PARSE`` errors instead of raising."""
+        self.files_scanned += 1
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            src = SourceFile(path, text)
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            return [
+                Diagnostic(
+                    path=path,
+                    line=line,
+                    rule=PARSE_RULE,
+                    severity=Severity.ERROR,
+                    message=f"could not parse: {exc}",
+                )
+            ]
+        return self.run_source(src)
+
+    def run_source(self, src: SourceFile):
+        """Apply every domain-applicable rule to one SourceFile."""
+        diags = []
+        for rule in self.rules:
+            if src.domain not in rule.domains:
+                continue
+            for diag in rule.check(src):
+                if not src.suppressed(diag):
+                    diags.append(diag)
+        return sorted(diags, key=lambda d: d.sort_key)
+
+
+def lint_paths(paths, *, select=None, ignore=None):
+    """One-shot convenience: lint *paths* with the full (filtered) rule set."""
+    return Linter(select=select, ignore=ignore).run(paths)
+
+
+def lint_text(text, *, filename="<snippet>", rel="", domain="library",
+              select=None, ignore=None):
+    """Lint an in-memory snippet — the fixture-test entry point.
+
+    *rel* positions the snippet inside the virtual ``repro`` package
+    (e.g. ``"nn/functional.py"``) so path-keyed rules fire; *domain*
+    defaults to ``library``.  Unparsable text yields a ``PARSE``
+    diagnostic, matching the file path.
+    """
+    try:
+        src = SourceFile(filename, text, rel=rel, domain=domain)
+    except (SyntaxError, ValueError) as exc:
+        return [
+            Diagnostic(
+                path=filename,
+                line=getattr(exc, "lineno", 0) or 0,
+                rule=PARSE_RULE,
+                severity=Severity.ERROR,
+                message=f"could not parse: {exc}",
+            )
+        ]
+    return Linter(select=select, ignore=ignore).run_source(src)
+
+
+__all__ = [
+    "SourceFile",
+    "Linter",
+    "lint_paths",
+    "lint_text",
+    "iter_python_files",
+    "classify_domain",
+    "package_rel",
+    "PARSE_RULE",
+]

@@ -1,0 +1,170 @@
+"""Rule plumbing: the :class:`Rule` base class, the registry, and the
+AST helpers rules share (numpy alias resolution, dotted-name walking).
+
+A rule is a small visitor over one parsed source file.  It declares a
+stable ``id`` (what ``--select`` / suppression comments refer to), a
+kebab-case ``name``, a default :class:`~repro.lint.diagnostics.Severity`
+and the *domains* it applies to (``library`` — files inside the
+``repro`` package; ``tests``; ``examples`` — example scripts and
+benchmarks).  ``check(src)`` yields diagnostics; the engine handles
+domain filtering, ``--select``/``--ignore`` and inline suppressions so
+rules never need to.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .diagnostics import Diagnostic, Severity
+
+#: the three file domains the engine classifies paths into
+DOMAINS = ("library", "tests", "examples")
+
+_REGISTRY: "dict[str, Rule]" = {}
+
+
+def register(cls):
+    """Class decorator: instantiate *cls* and add it to the rule registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules():
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str):
+    """Look up one rule by its exact id (raises ``KeyError`` if unknown)."""
+    return _REGISTRY[rule_id]
+
+
+class Rule:
+    """Base class for lint rules; subclass, set metadata, implement check.
+
+    Subclasses override :meth:`check`, a generator over one
+    :class:`~repro.lint.engine.SourceFile`, and use :meth:`diag` to
+    build well-formed diagnostics.
+    """
+
+    id = ""
+    name = ""
+    severity = Severity.ERROR
+    domains = ("library",)
+    description = ""
+
+    def check(self, src):
+        """Yield :class:`Diagnostic` objects for *src* (a SourceFile)."""
+        raise NotImplementedError
+
+    def diag(self, src, node, message, suggestion="", severity=None):
+        """Build a diagnostic at *node* (an AST node or a line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0)
+        return Diagnostic(
+            path=src.path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+def dotted_parts(node):
+    """Flatten ``a.b.c`` into ``["a", "b", "c"]``; None if not a pure
+    attribute chain rooted at a plain name."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class NumpyNamespace:
+    """Resolve how one module spells numpy — aliases included.
+
+    Handles ``import numpy``, ``import numpy as np``,
+    ``import numpy.random [as nr]``, ``from numpy import random [as r]``
+    and ``from numpy.random import X [as y]``, so rules see through any
+    renaming a regex gate would miss.
+    """
+
+    def __init__(self, tree):
+        self.numpy_names = set()
+        self.random_names = set()
+        self.from_random = {}  # local name -> numpy.random attribute
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        self.numpy_names.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.random_names.add(alias.asname)
+                        else:
+                            self.numpy_names.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.random_names.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.from_random[alias.asname or alias.name] = alias.name
+
+    def random_attr(self, node):
+        """If *node* reaches into ``numpy.random``, return the attribute
+        name accessed (``"seed"``, ``"default_rng"``, ...), else None.
+
+        Covers ``np.random.X``, ``<random alias>.X`` and bare names
+        bound by ``from numpy.random import X``.
+        """
+        if isinstance(node, ast.Name):
+            return self.from_random.get(node.id)
+        parts = dotted_parts(node)
+        if not parts or len(parts) < 2:
+            return None
+        if len(parts) >= 3 and parts[0] in self.numpy_names and parts[1] == "random":
+            return parts[2]
+        if parts[0] in self.random_names:
+            return parts[1]
+        return None
+
+    def numpy_call(self, node):
+        """For a ``Call``, the dotted path under the numpy alias
+        (``"matmul"``, ``"lib.stride_tricks.as_strided"``), else None."""
+        if not isinstance(node, ast.Call):
+            return None
+        parts = dotted_parts(node.func)
+        if parts and len(parts) >= 2 and parts[0] in self.numpy_names:
+            return ".".join(parts[1:])
+        return None
+
+
+__all__ = [
+    "DOMAINS",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "dotted_parts",
+    "NumpyNamespace",
+]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import shapes
 from ..tensor import Tensor
 from . import init
 from .module import Module, Parameter
@@ -117,8 +118,7 @@ class MHSA2d(Module):
     ):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        if channels % heads:
-            raise ValueError(f"channels {channels} must divide heads {heads}")
+        dim_head, _ = shapes.mhsa_geometry(channels, heads, height, width)
         if pos_enc not in ("relative", "absolute", "none"):
             raise ValueError(f"unknown pos_enc {pos_enc!r}")
         if attention_activation not in ("softmax", "relu"):
@@ -129,7 +129,7 @@ class MHSA2d(Module):
         self.height = height
         self.width = width
         self.heads = heads
-        self.dim_head = channels // heads
+        self.dim_head = dim_head
         self.pos_enc = pos_enc
         self.attention_activation = attention_activation
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import shapes
 from ..tensor import Tensor, where
 from . import init
 from .module import Module, Parameter
@@ -44,15 +45,14 @@ class LinearAttention2d(Module):
                  out_layernorm=False, *, rng=None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        if channels % heads:
-            raise ValueError("channels must divide heads")
+        dim_head, _ = shapes.mhsa_geometry(channels, heads, height, width)
         if phi not in ("elu1", "relu"):
             raise ValueError(f"unknown feature map {phi!r}")
         self.channels = channels
         self.height = height
         self.width = width
         self.heads = heads
-        self.dim_head = channels // heads
+        self.dim_head = dim_head
         self.phi = phi
         d = channels
         self.w_q = Parameter(init.xavier_uniform(rng, (d, d)))
@@ -110,8 +110,7 @@ class WindowAttention2d(Module):
                  out_layernorm=False, *, rng=None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        if channels % heads:
-            raise ValueError("channels must divide heads")
+        dim_head, _ = shapes.mhsa_geometry(channels, heads, height, width)
         if height % window or width % window:
             raise ValueError(
                 f"window {window} must divide feature map {height}x{width}"
@@ -122,7 +121,7 @@ class WindowAttention2d(Module):
         self.height = height
         self.width = width
         self.heads = heads
-        self.dim_head = channels // heads
+        self.dim_head = dim_head
         self.window = window
         self.attention_activation = attention_activation
         self.pos_enc = pos_enc

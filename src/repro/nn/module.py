@@ -121,7 +121,9 @@ class Module:
                         f"shape mismatch for {name}: "
                         f"{params[name].data.shape} vs {value.shape}"
                     )
-                params[name].data[...] = value
+                # checkpoint restore writes in place so existing views
+                # (packed plans, optimizers) observe the loaded weights
+                params[name].data[...] = value  # repro-lint: ignore[MUT001]
         return self
 
     def _load_buffer(self, dotted, value):

@@ -221,6 +221,31 @@ class PackedODENet:
         self.fc_w = model.fc.weight.data
         self.fc_b = None if model.fc.bias is None else model.fc.bias.data
 
+    def graph(self):
+        """Execution-order introspection: ``(name, op, payload)`` triples.
+
+        Mirrors :meth:`__call__` one for one so static analyses
+        (:mod:`repro.lint.shapecheck`) can walk exactly what will run
+        without executing a kernel.  ``op`` is one of ``conv``,
+        ``batchnorm``, ``relu``, ``maxpool``, ``ode``, ``down``,
+        ``gap``, ``linear``.
+        """
+        return [
+            ("stem.conv", "conv", self.stem_conv),
+            ("stem.norm", "batchnorm", self.stem_norm),
+            ("stem.relu", "relu", None),
+            ("stem.pool", "maxpool", self.stem_pool),
+            ("block1", "ode", self.block1),
+            ("down1", "down", self.down1),
+            ("block2", "ode", self.block2),
+            ("down2", "down", self.down2),
+            ("block3", "ode", self.block3),
+            ("head.norm", "batchnorm", self.head_norm),
+            ("head.relu", "relu", None),
+            ("head.pool", "gap", None),
+            ("head.fc", "linear", (self.fc_w, self.fc_b)),
+        ]
+
     @staticmethod
     def supported(model) -> bool:
         """True when *model* is an ODENet this plan can execute exactly:

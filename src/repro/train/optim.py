@@ -72,4 +72,6 @@ class SGD(Optimizer):
                     v += g
                 self._velocity[i] = v
                 g = (g + self.momentum * v) if self.nesterov else v
-            p.data -= self.lr * g
+            # the optimizer step is the sanctioned in-place update; it
+            # runs between graphs, never inside one
+            p.data -= self.lr * g  # repro-lint: ignore[MUT001]

@@ -2,29 +2,30 @@
 
 These meta-tests enforce the project conventions (CONTRIBUTING.md):
 no global numpy RNG in library code, docstrings on every public module
-and exported symbol, no stray debug markers, and end-to-end determinism
-of training under a fixed seed.
+and exported symbol, no stray debug markers, a single owner for every
+kernel-seam computation, and end-to-end determinism of training under a
+fixed seed.
+
+Each static gate is a thin wrapper over the corresponding
+:mod:`repro.lint` rule — the linter is the single implementation of the
+invariant, so ``python -m repro.lint`` and pytest can never disagree.
+See docs/LINTING.md for the rule catalogue.
 """
 
-import importlib
-import inspect
 import os
-import pkgutil
-import re
 
 import numpy as np
-import pytest
 
 import repro
+from repro.lint import Severity, lint_paths
 
 SRC = os.path.dirname(repro.__file__)
 
 
-def _all_modules():
-    for info in pkgutil.walk_packages([SRC], prefix="repro."):
-        if "__main__" in info.name:
-            continue
-        yield info.name
+def _findings(*rule_ids):
+    """Run the named lint rules over the shipped library tree."""
+    diags = lint_paths([SRC], select=list(rule_ids))
+    return [d.format() for d in diags]
 
 
 class TestRngDiscipline:
@@ -32,51 +33,23 @@ class TestRngDiscipline:
         """Library code must use explicit Generators, never np.random.<dist>.
 
         Allowed: np.random.default_rng, np.random.Generator,
-        np.random.SeedSequence (all stateless constructors).
+        np.random.SeedSequence (all stateless constructors). (RNG001)
         """
-        pattern = re.compile(r"np\.random\.(?!default_rng|Generator|SeedSequence)\w+")
-        offenders = []
-        for root, _dirs, files in os.walk(SRC):
-            for fname in files:
-                if not fname.endswith(".py"):
-                    continue
-                path = os.path.join(root, fname)
-                for lineno, line in enumerate(open(path), 1):
-                    if pattern.search(line):
-                        offenders.append(f"{path}:{lineno}: {line.strip()}")
-        assert not offenders, "\n".join(offenders)
+        assert not _findings("RNG001")
 
     def test_no_debug_markers(self):
-        markers = re.compile(r"\b(XXX|FIXME|breakpoint\(\)|pdb\.set_trace)\b")
-        offenders = []
-        for root, _dirs, files in os.walk(SRC):
-            for fname in files:
-                if fname.endswith(".py"):
-                    text = open(os.path.join(root, fname)).read()
-                    if markers.search(text):
-                        offenders.append(os.path.join(root, fname))
-        assert not offenders, offenders
+        """No XXX/FIXME comments or debugger hooks in library code. (DBG001)"""
+        assert not _findings("DBG001")
 
 
 class TestDocstrings:
     def test_every_module_has_docstring(self):
-        missing = []
-        for name in _all_modules():
-            mod = importlib.import_module(name)
-            if not (mod.__doc__ or "").strip():
-                missing.append(name)
-        assert not missing, missing
+        """Every library module carries a module docstring. (DOC001)"""
+        assert not _findings("DOC001")
 
     def test_every_exported_symbol_documented(self):
-        missing = []
-        for name in _all_modules():
-            mod = importlib.import_module(name)
-            for sym in getattr(mod, "__all__", []):
-                obj = getattr(mod, sym)
-                if inspect.isclass(obj) or inspect.isfunction(obj):
-                    if not (inspect.getdoc(obj) or "").strip():
-                        missing.append(f"{name}.{sym}")
-        assert not missing, missing
+        """Every ``__all__`` export defined in-module is documented. (DOC002)"""
+        assert not _findings("DOC002")
 
 
 class TestDeterminism:
@@ -104,61 +77,36 @@ class TestDeterminism:
 class TestKernelSeam:
     """The kernel layer owns every hot-path array computation.
 
-    Grep-level gates: the im2col conv einsum, the conv output-size
-    formula and the strided-patch extractor may live only under
-    ``repro/kernels`` — every other layer must route through the
-    dispatch seam instead of keeping a private copy.
+    The im2col conv contraction, the conv output-size formula and the
+    strided-patch extractor may live only under ``repro/kernels`` —
+    every other layer must route through the dispatch seam instead of
+    keeping a private copy.
     """
 
-    def _source_files(self):
-        for root, _dirs, files in os.walk(SRC):
-            for fname in files:
-                if fname.endswith(".py"):
-                    yield os.path.join(root, fname)
-
-    def _offenders(self, pattern, allowed):
-        pat = re.compile(pattern)
-        hits = []
-        for path in self._source_files():
-            rel = os.path.relpath(path, SRC).replace(os.sep, "/")
-            if any(rel.startswith(a) for a in allowed):
-                continue
-            for lineno, line in enumerate(open(path), 1):
-                if pat.search(line):
-                    hits.append(f"{rel}:{lineno}: {line.strip()}")
-        return hits
-
-    def test_conv_einsum_only_in_kernels(self):
-        offenders = self._offenders(r"ngcxykl", allowed=("kernels/",))
-        assert not offenders, "\n".join(offenders)
+    def test_raw_contractions_only_in_kernels(self):
+        """matmul/einsum/dot and friends route through the seam. (HOT001)"""
+        assert not _findings("HOT001")
 
     def test_out_size_formula_only_in_kernels_shapes(self):
-        offenders = self._offenders(
-            r"2 \* p[hw] - k[hw]\) // s[hw] \+ 1",
-            allowed=("kernels/shapes.py",),
-        )
-        assert not offenders, "\n".join(offenders)
+        """The ``(x + 2p - k) // s + 1`` formula has one owner. (SEAM002)"""
+        assert not _findings("SEAM002")
 
     def test_strided_patches_defined_only_in_kernels_shapes(self):
-        offenders = self._offenders(
-            r"def as_strided_patches|np\.lib\.stride_tricks\.as_strided",
-            allowed=("kernels/shapes.py",),
-        )
-        assert not offenders, "\n".join(offenders)
+        """``as_strided`` window tricks live in kernels/shapes.py. (SEAM003)"""
+        assert not _findings("SEAM003")
 
     def test_consumer_layers_import_the_seam(self):
-        """All four consumer layers route through repro.kernels."""
-        consumers = (
-            "tensor/ops_matmul.py",
-            "tensor/ops_conv.py",
-            "nn/functional.py",
-            "fixedpoint/ops.py",
-            "fixedpoint/quantized_layers.py",
-            "runtime/engine.py",
-        )
-        missing = []
-        for rel in consumers:
-            text = open(os.path.join(SRC, rel)).read()
-            if "from .. import kernels" not in text:
-                missing.append(rel)
-        assert not missing, missing
+        """All kernel-seam consumer layers import repro.kernels. (SEAM004)"""
+        assert not _findings("SEAM004")
+
+
+class TestLintClean:
+    def test_shipped_tree_lints_clean(self):
+        """The shipped library has zero error-severity lint findings —
+        the same gate CI applies via ``python -m repro.lint src/repro``."""
+        errors = [
+            d.format()
+            for d in lint_paths([SRC])
+            if d.severity >= Severity.ERROR
+        ]
+        assert not errors, "\n".join(errors)

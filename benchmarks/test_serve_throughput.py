@@ -1,0 +1,151 @@
+"""Serving-layer benchmark: 1 vs N replicas under deterministic load.
+
+Three claims, in decreasing strictness:
+
+1. **Correctness is unconditional** — served responses are bit-exact
+   with a direct :class:`~repro.runtime.InferenceSession`, and no run
+   ever leaves a hung future.  Asserted on every machine.
+2. **Overload is bounded** — at ~2x one replica's calibrated capacity
+   the admission queue's high-water mark never exceeds its bound and
+   the overflow is shed with typed errors.  Asserted on every machine.
+3. **Replicas scale** — an N-replica *process-mode* pool (fork + pipe
+   IPC, one OS process per replica) sustains >= 1.6x the completed
+   throughput of a single replica on the fused backend.  Only asserted
+   when the machine actually has >= 2 usable cores: thread replicas
+   share the GIL and a 1-core box cannot scale anything, so there the
+   numbers are printed but not gated.
+
+Runs standalone:
+
+    pytest benchmarks/test_serve_throughput.py -q -s
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.runtime import InferenceSession
+from repro.serve import Server, arrival_offsets, calibrate_rate, run_load
+
+from conftest import show
+
+PROFILE = "tiny"
+BACKEND = "fused"
+N_REPLICAS = 2
+DURATION_S = 2.0
+SEED = 0
+
+CORES = len(os.sched_getaffinity(0))
+CAN_SCALE = CORES >= 2
+
+
+def _samples(n=32):
+    rng = np.random.default_rng(SEED)
+    return rng.standard_normal((n, 3, 32, 32)).astype(np.float32)
+
+
+def _serve_under_load(n_replicas, rate_hz, *, mode, duration_s=DURATION_S,
+                      **server_kw):
+    """Build a server, replay a seeded schedule, return the LoadReport."""
+    kw = dict(
+        backends=BACKEND,
+        mode=mode,
+        queue_capacity=32,
+        max_batch_size=8,
+        shed_policy="reject",
+    )
+    kw.update(server_kw)
+    server = Server.build("ode_botnet", PROFILE, n_replicas, seed=SEED, **kw)
+    try:
+        offsets = arrival_offsets(rate_hz, duration_s, seed=SEED)
+        report = run_load(server, _samples(), offsets, seed=SEED)
+        queue_snap = server.metrics()["queue"]
+    finally:
+        server.close()
+    return report, queue_snap
+
+
+def test_served_responses_bit_exact_and_never_hang():
+    x = _samples(8)
+    direct = InferenceSession(
+        build_model("ode_botnet", profile=PROFILE, seed=SEED,
+                    inference=True),
+        backend=BACKEND,
+    ).predict_batch(x)
+    with Server.build("ode_botnet", PROFILE, N_REPLICAS, seed=SEED,
+                      backends=BACKEND, max_batch_size=8,
+                      max_wait_ms=20.0) as server:
+        futures = [server.submit(xi) for xi in x]
+        rows = np.stack([f.result(timeout=120) for f in futures])
+    # fused BLAS rounding varies with batch split, never beyond this
+    np.testing.assert_allclose(rows, direct, rtol=1e-12, atol=1e-9)
+
+
+def test_overload_sheds_with_bounded_queue_and_zero_hangs():
+    with Server.build("ode_botnet", PROFILE, 1, seed=SEED,
+                      backends=BACKEND, queue_capacity=16,
+                      max_batch_size=8, shed_policy="reject") as server:
+        per_replica = calibrate_rate(server, _samples(1)[0], seed=SEED)
+    report, queue_snap = _serve_under_load(
+        1, 2.0 * per_replica, mode="thread", queue_capacity=16,
+    )
+    show(
+        "Serve overload smoke (1 replica, 2x calibrated capacity)",
+        f"offered {report.offered} -> completed {report.completed}, "
+        f"shed {report.shed}, deadline {report.deadline_exceeded}\n"
+        f"hung {report.hung}, errors {report.errors}, "
+        f"queue high-water {queue_snap['high_water']} (bound 16)",
+    )
+    assert report.hung == 0, "serving layer hung a future under overload"
+    assert report.errors == 0, report.error_examples
+    assert queue_snap["high_water"] <= 16, "admission bound did not hold"
+    assert report.shed > 0, "2x load on a bounded queue must shed"
+    assert report.completed > 0
+
+
+def test_n_replica_scaling():
+    mode = "process" if CAN_SCALE else "thread"
+    # common offered rate: enough to saturate one replica so the extra
+    # replicas have work to win on, finite so the run stays ~2s/leg
+    with Server.build("ode_botnet", PROFILE, 1, seed=SEED,
+                      backends=BACKEND, mode=mode) as server:
+        per_replica = calibrate_rate(server, _samples(1)[0], seed=SEED)
+    rate = 1.8 * per_replica
+
+    single, _ = _serve_under_load(1, rate, mode=mode)
+    multi, _ = _serve_under_load(N_REPLICAS, rate, mode=mode)
+
+    for leg, report in (("1 replica", single), (f"{N_REPLICAS} replicas",
+                                                multi)):
+        assert report.hung == 0, f"{leg}: hung futures"
+        assert report.errors == 0, f"{leg}: {report.error_examples}"
+        assert report.completed > 0, f"{leg}: nothing completed"
+
+    scaling = multi.achieved_rate / single.achieved_rate
+    show(
+        f"Serve replica scaling ({mode} mode, {BACKEND} backend, "
+        f"{CORES} core(s))",
+        f"offered rate       : {rate:8.1f} samples/s "
+        f"(1.8x calibrated single-replica capacity)\n"
+        f"1 replica          : {single.achieved_rate:8.1f}/s  "
+        f"p95 {single.latency_percentile(95):7.1f} ms  "
+        f"(shed {single.shed})\n"
+        f"{N_REPLICAS} replicas         : {multi.achieved_rate:8.1f}/s  "
+        f"p95 {multi.latency_percentile(95):7.1f} ms  "
+        f"(shed {multi.shed})\n"
+        f"scaling            : {scaling:.2f}x "
+        f"(gate: >= 1.6x, {'ON' if CAN_SCALE else 'OFF — needs >= 2 cores'})",
+    )
+
+    if not CAN_SCALE:
+        pytest.skip(
+            f"only {CORES} usable core(s): thread replicas share the GIL "
+            f"and process replicas share the core, so replica scaling is "
+            f"not measurable here (numbers printed above)"
+        )
+    assert scaling >= 1.6, (
+        f"{N_REPLICAS} process replicas only {scaling:.2f}x one replica "
+        f"on {CORES} cores (expected >= 1.6x)"
+    )

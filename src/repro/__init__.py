@@ -29,6 +29,10 @@ Subpackages
 ``repro.lint``
     AST project linter + static shape/dtype/Q-format checker
     (``python -m repro.lint``).
+``repro.serve``
+    production serving layer: replica pool, admission control,
+    deadlines/priorities and a deterministic load harness
+    (``python -m repro.serve``).
 ``repro.experiments``
     one entry point per paper table/figure.
 
@@ -55,4 +59,5 @@ __all__ = [
     "experiments",
     "kernels",
     "lint",
+    "serve",
 ]

@@ -1,0 +1,142 @@
+"""Serving-layer rules: RNG discipline and error-path hygiene.
+
+The serving subsystem has two invariants of its own:
+
+* ``SRV001`` — load generation is *reproducible by construction*:
+  inside ``serve/``, ``np.random.default_rng()`` must receive an
+  explicit seed argument, and any function in ``serve/loadgen.py``
+  that constructs a generator must expose a ``seed`` parameter so the
+  seed reaches the call site from the harness, not from OS entropy.
+* ``SRV002`` — scheduler/dispatch paths never swallow errors: a broad
+  handler (``except Exception`` / ``except BaseException``) in
+  ``serve/`` must either re-raise or bind the exception and actually
+  use it (forward it to a future, a pipe, a report).  A broad handler
+  that drops the exception on the floor turns an overloaded server
+  into a hung one — the exact failure mode the typed-error contract
+  exists to prevent.  (Bare ``except:`` is already banned everywhere
+  by ``EXC001``.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .diagnostics import Severity
+from .rules import NumpyNamespace, Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _in_serve(src) -> bool:
+    return src.rel.startswith("serve/")
+
+
+@register
+class ServeSeededRNGRule(Rule):
+    """Serving randomness is always seeded: soak runs and benchmarks
+    must replay bit-identical schedules across commits, which an
+    OS-entropy ``default_rng()`` silently breaks."""
+
+    id = "SRV001"
+    name = "serve-unseeded-rng"
+    severity = Severity.ERROR
+    domains = ("library",)
+    description = "serve/ RNGs must take an explicit seed"
+
+    def check(self, src):
+        if not _in_serve(src):
+            return
+        ns = NumpyNamespace(src.tree)
+        for node in ast.walk(src.tree):
+            if self._is_default_rng(node, ns) and not node.args:
+                yield self.diag(
+                    src, node,
+                    "default_rng() without an explicit seed in serve/",
+                    suggestion="thread a seed parameter through to this "
+                    "call (np.random.default_rng(seed))",
+                )
+        if src.rel == "serve/loadgen.py":
+            yield from self._check_loadgen_signatures(src, ns)
+
+    def _check_loadgen_signatures(self, src, ns):
+        for node in src.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            makes_rng = any(
+                self._is_default_rng(sub, ns) for sub in ast.walk(node)
+            )
+            if not makes_rng:
+                continue
+            args = node.args
+            names = {
+                a.arg
+                for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            }
+            if "seed" not in names:
+                yield self.diag(
+                    src, node,
+                    f"loadgen function {node.name} builds an RNG but has "
+                    "no seed parameter",
+                    suggestion="add an explicit seed argument so callers "
+                    "control the schedule",
+                )
+
+    @staticmethod
+    def _is_default_rng(node, ns) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        return ns.random_attr(node.func) == "default_rng"
+
+
+@register
+class ServeSwallowedErrorRule(Rule):
+    """A broad handler on a dispatch path must propagate what it caught
+    — re-raise, or bind the exception and hand it to a future /
+    pipe / report.  Anything else converts a failed request into a
+    permanently hung future."""
+
+    id = "SRV002"
+    name = "serve-swallowed-error"
+    severity = Severity.ERROR
+    domains = ("library",)
+    description = "serve/ broad handlers must propagate the exception"
+
+    def check(self, src):
+        if not _in_serve(src):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._propagates(node):
+                continue
+            yield self.diag(
+                src, node,
+                "broad except on a serving path drops the exception",
+                suggestion="re-raise, or bind it (except Exception as "
+                "exc) and forward it to the request future",
+            )
+
+    @staticmethod
+    def _is_broad(type_node) -> bool:
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [getattr(e, "id", None) for e in type_node.elts]
+        elif isinstance(type_node, ast.Name):
+            names = [type_node.id]
+        return any(n in _BROAD for n in names)
+
+    @staticmethod
+    def _propagates(handler) -> bool:
+        for sub in ast.walk(handler):
+            if isinstance(sub, ast.Raise):
+                return True
+        if handler.name:
+            for sub in ast.walk(handler):
+                if isinstance(sub, ast.Name) and sub.id == handler.name:
+                    return True
+        return False
+
+
+__all__ = ["ServeSeededRNGRule", "ServeSwallowedErrorRule"]

@@ -18,7 +18,7 @@ that keep architecture shape but train in CPU-tractable time.
 from .alternet import AlterNet, alternet50
 from .botnet import BoTNet, MHSABlock, botnet50
 from .odenet import ODENet, ode_botnet, odenet
-from .registry import MODELS, PROFILES, build_model
+from .registry import MODELS, PROFILES, build_model, reduced_profile
 from .resnet import Bottleneck, ResNet, resnet50
 from .vit import ViT, vit_base
 
@@ -37,6 +37,7 @@ __all__ = [
     "ViT",
     "vit_base",
     "build_model",
+    "reduced_profile",
     "MODELS",
     "PROFILES",
 ]

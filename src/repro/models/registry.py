@@ -16,6 +16,15 @@ Profiles
     *relative ordering* of models is the reproduction target.
 ``tiny``
     Minimum sizes for fast unit tests (24x24).
+
+Every profile also has a derived ``<name>-reduced`` variant with the
+ODE step count halved (``steps=max(1, steps // 2)``) and everything
+else unchanged.  ODEBlock parameters are *shared across steps*, so a
+reduced-profile model accepts the full-profile ``state_dict``
+unchanged — this is the degrade path :mod:`repro.serve` uses under
+overload: same weights, roughly half the ODE compute, graceful quality
+loss instead of queue growth.  :func:`reduced_profile` maps a profile
+name to its reduced variant.
 """
 
 from __future__ import annotations
@@ -47,6 +56,35 @@ PROFILES = {
         "vit": dict(dim_profile="tiny"),
     },
 }
+
+def _reduce(cfg):
+    """Derive the reduced variant of one profile config: ODE steps
+    halved (floor 1), all widths/resolutions untouched."""
+    out = {k: (dict(v) if isinstance(v, dict) else v) for k, v in cfg.items()}
+    out["odenet"]["steps"] = max(1, cfg["odenet"]["steps"] // 2)
+    return out
+
+
+PROFILES.update(
+    {f"{name}-reduced": _reduce(cfg) for name, cfg in list(PROFILES.items())}
+)
+
+
+def reduced_profile(profile):
+    """The degraded (halved ODE step count) variant of *profile*.
+
+    ``reduced_profile("small") == "small-reduced"``; a ``-reduced``
+    profile maps to itself, so the degrade is idempotent.  Raises
+    ``ValueError`` for unknown profiles.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose {sorted(PROFILES)}"
+        )
+    if profile.endswith("-reduced"):
+        return profile
+    return f"{profile}-reduced"
+
 
 _VIT_DIMS = {
     "base": dict(dim=768, depth=12, heads=12, patch_size=16),

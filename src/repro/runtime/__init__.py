@@ -18,7 +18,7 @@ freezing parameters once and recording batch-size/latency statistics.
 batched dispatches.  See ``docs/ARCHITECTURE.md`` §9.
 """
 
-from .batcher import MicroBatcher
+from .batcher import BatcherStopped, MicroBatcher
 from .engine import ModulePlan, PackedODENet
 from .session import InferenceSession
 from .stats import SessionStats
@@ -26,6 +26,7 @@ from .stats import SessionStats
 __all__ = [
     "InferenceSession",
     "MicroBatcher",
+    "BatcherStopped",
     "SessionStats",
     "PackedODENet",
     "ModulePlan",

@@ -13,6 +13,11 @@ Results come back as futures; ``predict(x)`` is the blocking
 convenience wrapper.  All dispatches are recorded in the shared
 :class:`~repro.runtime.SessionStats`, so the achieved batch-size
 histogram and p50/p95 latency are directly observable.
+
+Shutdown is race-free: a ``submit()`` that overlaps ``close()`` either
+lands in the queue (and is drained and answered before ``close()``
+returns) or raises :class:`BatcherStopped` — a queued future is never
+left unresolved.
 """
 
 from __future__ import annotations
@@ -22,6 +27,15 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 
 import numpy as np
+
+
+class BatcherStopped(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` once the batcher is closed.
+
+    The typed subclass lets callers (e.g. a load generator racing a
+    shutdown) distinguish "the batcher went away" from an arbitrary
+    runtime failure and retry elsewhere.
+    """
 
 
 class MicroBatcher:
@@ -70,28 +84,35 @@ class MicroBatcher:
         """The session's :class:`~repro.runtime.SessionStats`."""
         return self.session.stats
 
-    def _ensure_started(self):
-        with self._lock:
-            if self._stopping:
-                raise RuntimeError("MicroBatcher is stopped")
-            if self._collector is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self._workers,
-                    thread_name_prefix="repro-microbatch",
-                )
-                self._collector = threading.Thread(
-                    target=self._collect_loop,
-                    name="repro-microbatch-collector",
-                    daemon=True,
-                )
-                self._collector.start()
+    def _ensure_started_locked(self):
+        if self._stopping:
+            raise BatcherStopped("MicroBatcher is stopped")
+        if self._collector is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers,
+                thread_name_prefix="repro-microbatch",
+            )
+            self._collector = threading.Thread(
+                target=self._collect_loop,
+                name="repro-microbatch-collector",
+                daemon=True,
+            )
+            self._collector.start()
 
     # ------------------------------------------------------------------
     def submit(self, x) -> Future:
-        """Queue one sample (no batch axis); resolve to its output row."""
-        self._ensure_started()
+        """Queue one sample (no batch axis); resolve to its output row.
+
+        Raises :class:`BatcherStopped` if the batcher has been closed.
+        The stopped-check and the enqueue happen under one lock, so a
+        submit racing :meth:`close` either raises or its future is
+        drained (and resolved) by the closing thread — never dropped.
+        """
+        sample = np.asarray(x)
         future = Future()
-        self._queue.put((np.asarray(x), future))
+        with self._lock:
+            self._ensure_started_locked()
+            self._queue.put((sample, future))
         return future
 
     def predict(self, x) -> np.ndarray:
@@ -140,7 +161,12 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
-        """Drain the queue, dispatch what remains, and join all threads."""
+        """Drain the queue, dispatch what remains, and join all threads.
+
+        Every future queued before the stop took effect is resolved —
+        with its result, or with the executing exception — before this
+        returns; later ``submit()`` calls raise :class:`BatcherStopped`.
+        """
         with self._lock:
             if self._stopping:
                 return
@@ -150,7 +176,7 @@ class MicroBatcher:
             return
         self._queue.put(None)
         collector.join()
-        # flush anything that raced in after the sentinel
+        # flush anything that raced in ahead of the sentinel
         leftovers = []
         while True:
             try:
@@ -162,7 +188,12 @@ class MicroBatcher:
         for i in range(0, len(leftovers), self.max_batch_size):
             chunk = leftovers[i : i + self.max_batch_size]
             samples = np.stack([s for s, _ in chunk])
-            outputs = self.session.predict_batch(samples)
+            try:
+                outputs = self.session.predict_batch(samples)
+            except BaseException as exc:  # resolve waiters, never hang them
+                for _, f in chunk:
+                    f.set_exception(exc)
+                continue
             for (_, f), row in zip(chunk, outputs):
                 f.set_result(row)
         executor.shutdown(wait=True)
@@ -170,8 +201,12 @@ class MicroBatcher:
             self._collector = None
             self._executor = None
 
+    #: ``close()`` is the serving-layer spelling of :meth:`stop`.
+    close = stop
+
     def __enter__(self):
-        self._ensure_started()
+        with self._lock:
+            self._ensure_started_locked()
         return self
 
     def __exit__(self, exc_type, exc, tb):

@@ -54,15 +54,48 @@ class SessionStats:
                 self._kernel_bytes[name] += b
 
     def latency_ms(self, percentile) -> float:
-        """Latency percentile (ms) over the retained window; NaN if empty."""
+        """Latency percentile (ms) over the retained window; NaN if empty.
+
+        Any percentile works (``latency_ms(99)`` is the tail-latency
+        surface the serving layer alarms on); :meth:`snapshot` exposes
+        the conventional p50/p95/p99 triple.
+        """
         with self._lock:
             lats = list(self._latencies_ms)
         if not lats:
             return float("nan")
         return float(np.percentile(np.asarray(lats), percentile))
 
+    def merge(self, other: "SessionStats") -> None:
+        """Fold *other*'s counters and latency window into this instance.
+
+        This is how :class:`repro.serve.ReplicaPool` aggregates its
+        replicas' statistics without reaching into private deques.  The
+        donor is read under its own lock (a consistent copy), then
+        merged under ours — the two acquisitions never nest the other
+        way around, so cross-merging two instances cannot deadlock.
+        *other* is left untouched.
+        """
+        with other._lock:
+            requests = other.requests
+            batches = other.batches
+            histogram = Counter(other.batch_histogram)
+            latencies = list(other._latencies_ms)
+            kcalls = Counter(other._kernel_calls)
+            kseconds = Counter(other._kernel_seconds)
+            kbytes = Counter(other._kernel_bytes)
+        with self._lock:
+            self.requests += requests
+            self.batches += batches
+            self.batch_histogram.update(histogram)
+            self._latencies_ms.extend(latencies)
+            self._kernel_calls.update(kcalls)
+            self._kernel_seconds.update(kseconds)
+            self._kernel_bytes.update(kbytes)
+
     def snapshot(self) -> dict:
-        """A plain-dict view: requests, batches, histogram, p50/p95 (ms)."""
+        """A plain-dict view: requests, batches, histogram, p50/p95/p99
+        latency (ms) and — when instrumented — per-kernel totals."""
         with self._lock:
             lats = np.asarray(self._latencies_ms, dtype=float)
             out = {
@@ -82,12 +115,10 @@ class SessionStats:
                         key=lambda n: -self._kernel_seconds[n],
                     )
                 }
-        if lats.size:
-            out["p50_ms"] = float(np.percentile(lats, 50))
-            out["p95_ms"] = float(np.percentile(lats, 95))
-        else:
-            out["p50_ms"] = float("nan")
-            out["p95_ms"] = float("nan")
+        for pct in (50, 95, 99):
+            out[f"p{pct}_ms"] = (
+                float(np.percentile(lats, pct)) if lats.size else float("nan")
+            )
         return out
 
     def reset(self) -> None:

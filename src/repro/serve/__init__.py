@@ -1,0 +1,82 @@
+"""repro.serve — the production serving layer over the runtime.
+
+::
+
+    submit(x, priority, deadline) ─▶ AdmissionQueue ─▶ Scheduler ─▶ ReplicaPool
+                                     (bounded,         (batching,    (N sessions,
+                                      shedding)         deadlines,    least-work
+                                                        priority)     routing,
+                                                                      health)
+
+PR 1 gave the repo one ``InferenceSession`` behind a ``MicroBatcher``;
+this package turns that into a servable system:
+
+* :class:`ReplicaPool` — N :class:`~repro.runtime.InferenceSession`
+  replicas (mixed kernel backends allowed), least-outstanding-work
+  routing, per-replica health tracking, thread- or forked-process
+  execution;
+* :class:`AdmissionQueue` — a bounded priority queue with typed load
+  shedding (``reject`` / ``reject-oldest`` / ``degrade``, the last
+  running overload traffic on reduced-ODE-step sessions built from
+  :func:`repro.models.reduced_profile`);
+* :class:`Scheduler` — dynamic batching per replica with
+  :class:`~repro.runtime.MicroBatcher` mechanics, deadline fail-fast
+  (:class:`DeadlineExceeded`), priority classes drained high-first;
+* :class:`Server` — the facade: ``submit() / predict() / health() /
+  metrics()``, with :mod:`~repro.serve.metrics` aggregating every
+  replica's :class:`~repro.runtime.SessionStats` (per-kernel counters
+  included) into one snapshot;
+* :mod:`~repro.serve.loadgen` — a seeded open-loop Poisson load
+  harness (``python -m repro.serve.loadgen``) so soak runs and
+  benchmarks are reproducible.
+
+See ``docs/SERVING.md`` for semantics and tuning, and
+``docs/ARCHITECTURE.md`` §12 for how the pieces fit.
+"""
+
+from .admission import POLICIES, AdmissionQueue
+from .errors import (
+    BatcherStopped,
+    DeadlineExceeded,
+    QueueFull,
+    ReplicaUnavailable,
+    ServeError,
+    ServerStopped,
+)
+from .loadgen import (
+    LoadReport,
+    arrival_offsets,
+    calibrate_rate,
+    pick_priorities,
+    run_load,
+)
+from .metrics import render_report, snapshot
+from .pool import ProcessReplica, Replica, ReplicaPool
+from .request import Priority, Request
+from .scheduler import Scheduler
+from .server import Server
+
+__all__ = [
+    "Server",
+    "ReplicaPool",
+    "Replica",
+    "ProcessReplica",
+    "Scheduler",
+    "AdmissionQueue",
+    "POLICIES",
+    "Priority",
+    "Request",
+    "ServeError",
+    "DeadlineExceeded",
+    "QueueFull",
+    "ServerStopped",
+    "ReplicaUnavailable",
+    "BatcherStopped",
+    "snapshot",
+    "render_report",
+    "arrival_offsets",
+    "pick_priorities",
+    "run_load",
+    "calibrate_rate",
+    "LoadReport",
+]

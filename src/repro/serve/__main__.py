@@ -1,0 +1,10 @@
+"""``python -m repro.serve`` — the load-harness CLI.
+
+Thin wrapper over :func:`repro.serve.loadgen.main` (kept separate so
+the package import graph stays clean when run with ``-m``).
+"""
+
+from .loadgen import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""Admission control: a bounded priority queue with load shedding.
+
+The queue is the *only* buffer between callers and the replicas, and it
+is strictly bounded — overload turns into explicit, typed request
+failures (or degraded execution) instead of unbounded memory growth.
+
+Shedding policies
+-----------------
+``reject``
+    reject-newest: when the queue is full the incoming request fails
+    immediately with :class:`~repro.serve.QueueFull`.  Callers see
+    backpressure the instant it happens; queued work is never disturbed.
+``reject-oldest``
+    the incoming request is admitted and the *oldest* queued request of
+    an equal-or-lower priority class is evicted (failed with
+    ``QueueFull``).  Freshest-work-wins — the right policy when stale
+    answers are worthless.  If no such victim exists (everything queued
+    outranks the newcomer), the newcomer is rejected instead.
+``degrade``
+    between ``capacity`` and ``capacity + degrade_headroom`` requests
+    are admitted but flagged ``degraded`` — the scheduler runs them on
+    the replica's reduced-ODE-step session (same weights, roughly half
+    the ODE compute; see :func:`repro.models.reduced_profile`), trading
+    a little accuracy for queue drain rate.  Past the hard cap the
+    policy falls back to reject-newest, so the bound still holds.
+
+Ordering is priority-first (higher :class:`~repro.serve.Priority`
+classes drain first), FIFO within a class.  A popped batch may mix
+degraded and full-quality requests; the scheduler groups them before
+dispatch.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+
+from .errors import QueueFull, ServerStopped
+
+#: the recognised shedding policies
+POLICIES = ("reject", "reject-oldest", "degrade")
+
+
+class AdmissionQueue:
+    """Bounded, priority-ordered request queue with load shedding.
+
+    Parameters
+    ----------
+    capacity:
+        maximum number of queued (full-quality) requests.
+    policy:
+        one of :data:`POLICIES`; see the module docstring.
+    degrade_headroom:
+        extra queue slots available to degraded admissions under the
+        ``degrade`` policy (default: ``capacity``, i.e. a 2x hard cap).
+    """
+
+    def __init__(self, capacity, policy="reject", degrade_headroom=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose {POLICIES}")
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.degrade_headroom = (
+            self.capacity if degrade_headroom is None else int(degrade_headroom)
+        )
+        self._heap = []  # (sort_key, Request)
+        self._cond = threading.Condition()
+        self._closed = False
+        self._seq = 0
+        # counters (all protected by _cond's lock)
+        self.admitted = 0
+        self.shed_incoming = 0
+        self.shed_evicted = 0
+        self.degraded_admissions = 0
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Current number of queued requests."""
+        with self._cond:
+            return len(self._heap)
+
+    def next_seq(self) -> int:
+        """Allocate the next FIFO sequence number."""
+        with self._cond:
+            self._seq += 1
+            return self._seq
+
+    # ------------------------------------------------------------------
+    def offer(self, request) -> bool:
+        """Admit *request* or shed per policy; returns True if admitted.
+
+        A shed request has its future failed with a typed
+        :class:`~repro.serve.QueueFull` (or
+        :class:`~repro.serve.ServerStopped` after close) before this
+        returns — the caller always holds a future that will resolve.
+        """
+        victim = None
+        with self._cond:
+            if self._closed:
+                request.fail(ServerStopped("server is closed"))
+                return False
+            depth = len(self._heap)
+            if depth >= self.capacity:
+                if self.policy == "reject":
+                    self.shed_incoming += 1
+                    request.fail(QueueFull(self.policy, depth))
+                    return False
+                if self.policy == "reject-oldest":
+                    victim = self._evict_oldest_locked(request.priority)
+                    if victim is None:
+                        self.shed_incoming += 1
+                        request.fail(QueueFull(self.policy, depth))
+                        return False
+                    self.shed_evicted += 1
+                else:  # degrade
+                    if depth >= self.capacity + self.degrade_headroom:
+                        self.shed_incoming += 1
+                        request.fail(QueueFull(self.policy, depth))
+                        return False
+                    request.degraded = True
+                    self.degraded_admissions += 1
+            heapq.heappush(self._heap, (request.sort_key(), request))
+            self.admitted += 1
+            self.high_water = max(self.high_water, len(self._heap))
+            self._cond.notify()
+        if victim is not None:
+            victim.fail(QueueFull(self.policy, self.capacity))
+        return True
+
+    def _evict_oldest_locked(self, incoming_priority):
+        """Remove the oldest request whose priority <= *incoming*'s;
+        None when every queued request outranks the newcomer."""
+        best = None
+        for i, (_, req) in enumerate(self._heap):
+            if req.priority > incoming_priority:
+                continue
+            if best is None or req.seq < self._heap[best][1].seq:
+                best = i
+        if best is None:
+            return None
+        _, victim = self._heap[best]
+        self._heap[best] = self._heap[-1]
+        self._heap.pop()
+        heapq.heapify(self._heap)
+        return victim
+
+    # ------------------------------------------------------------------
+    def next_batch(self, max_batch, max_wait_s, poll_s=0.05):
+        """Pop up to *max_batch* requests, priority classes high-first.
+
+        Blocks until at least one request is available (or the queue is
+        closed *and* empty, returning ``[]``), then keeps collecting
+        until ``max_batch`` requests are gathered or ``max_wait_s`` has
+        passed since the first — the same partial-batch latency budget
+        as :class:`repro.runtime.MicroBatcher`.
+        """
+        batch = []
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return []
+                self._cond.wait(poll_s)
+            batch.append(heapq.heappop(self._heap)[1])
+            deadline = time.perf_counter() + float(max_wait_s)
+            while len(batch) < max_batch:
+                if self._heap:
+                    batch.append(heapq.heappop(self._heap)[1])
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+        return batch
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; wake every waiting consumer.
+
+        Queued requests stay queued — the scheduler decides whether to
+        drain them (serve) or fail them (fast shutdown) via
+        :meth:`drain_remaining`.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_remaining(self):
+        """Pop and return everything still queued (after :meth:`close`)."""
+        with self._cond:
+            remaining = [req for _, req in self._heap]
+            self._heap.clear()
+        remaining.sort(key=lambda r: r.sort_key())
+        return remaining
+
+    def snapshot(self) -> dict:
+        """Queue observability counters as a plain dict."""
+        with self._cond:
+            return {
+                "depth": len(self._heap),
+                "capacity": self.capacity,
+                "policy": self.policy,
+                "admitted": self.admitted,
+                "shed_incoming": self.shed_incoming,
+                "shed_evicted": self.shed_evicted,
+                "degraded_admissions": self.degraded_admissions,
+                "high_water": self.high_water,
+            }
+
+
+__all__ = ["AdmissionQueue", "POLICIES"]

@@ -1,0 +1,78 @@
+"""Typed failure vocabulary of the serving layer.
+
+Every way a request can fail *by design* (as opposed to a model bug)
+has its own exception class, so callers and the load harness can
+classify outcomes without string matching:
+
+* :class:`DeadlineExceeded` — the request's latency budget ran out
+  while it was still queued; the model never ran.
+* :class:`QueueFull` — admission control shed the request (either the
+  request itself under ``reject`` / at the hard cap, or a queued victim
+  under ``reject-oldest``).
+* :class:`ServerStopped` — the server was closed while the request was
+  in flight, or a submit arrived after close.
+* :class:`ReplicaUnavailable` — every replica is marked unhealthy, so
+  there is nowhere to dispatch.
+
+:class:`~repro.runtime.BatcherStopped` (the micro-batcher's typed
+shutdown error) is re-exported here for symmetry — it is the same
+contract one layer down.
+"""
+
+from __future__ import annotations
+
+from ..runtime.batcher import BatcherStopped
+
+
+class ServeError(RuntimeError):
+    """Base class for every designed-in serving failure."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before it could be dispatched.
+
+    Carries ``waited_ms`` (time spent queued) and ``deadline_ms`` (the
+    budget it was submitted with) for observability.
+    """
+
+    def __init__(self, waited_ms, deadline_ms):
+        self.waited_ms = float(waited_ms)
+        self.deadline_ms = float(deadline_ms)
+        super().__init__(
+            f"deadline of {self.deadline_ms:.1f} ms exceeded after "
+            f"waiting {self.waited_ms:.1f} ms in queue"
+        )
+
+
+class QueueFull(ServeError):
+    """Admission control shed this request to bound the queue.
+
+    ``policy`` names the shedding policy that fired and ``depth`` the
+    queue depth at the time of the decision.
+    """
+
+    def __init__(self, policy, depth):
+        self.policy = str(policy)
+        self.depth = int(depth)
+        super().__init__(
+            f"request shed by admission control "
+            f"(policy={self.policy!r}, queue depth {self.depth})"
+        )
+
+
+class ServerStopped(ServeError):
+    """The server is closed; the request was not (or will not be) run."""
+
+
+class ReplicaUnavailable(ServeError):
+    """No healthy replica is available to run the request."""
+
+
+__all__ = [
+    "ServeError",
+    "DeadlineExceeded",
+    "QueueFull",
+    "ServerStopped",
+    "ReplicaUnavailable",
+    "BatcherStopped",
+]

@@ -1,0 +1,93 @@
+"""Metrics aggregation: one snapshot, one text report, whole server.
+
+``snapshot(...)`` folds the per-replica
+:class:`~repro.runtime.SessionStats` (including the per-kernel
+counters recorded by instrumented sessions), the admission queue's
+shedding counters and the scheduler's dispatch counters into a single
+plain dict — the thing a scraper would export.  ``render_report``
+turns that dict into the aligned text block the demo and the load
+harness print.
+"""
+
+from __future__ import annotations
+
+
+def snapshot(pool, queue=None, scheduler=None) -> dict:
+    """Aggregate a serving stack into one plain-dict metrics snapshot.
+
+    ``pool`` is required; ``queue`` and ``scheduler`` are optional so
+    partial stacks (e.g. a bare pool in a test) can still report.
+    """
+    merged = pool.merged_stats()
+    out = {
+        "aggregate": merged.snapshot(),
+        "replicas": {
+            replica.name: {
+                **replica.health(),
+                "stats": replica.stats.snapshot(),
+            }
+            for replica in pool
+        },
+    }
+    if queue is not None:
+        out["queue"] = queue.snapshot()
+    if scheduler is not None:
+        out["scheduler"] = scheduler.snapshot()
+    return out
+
+
+def _fmt_ms(value) -> str:
+    return "    -" if value != value else f"{value:8.2f}"  # NaN-safe
+
+
+def render_report(snap) -> str:
+    """Render a :func:`snapshot` dict as an aligned text report."""
+    lines = []
+    agg = snap["aggregate"]
+    lines.append("=== serve metrics ===")
+    lines.append(
+        f"aggregate: {agg['requests']} requests in {agg['batches']} batches"
+        f"  p50 {_fmt_ms(agg['p50_ms'])} ms"
+        f"  p95 {_fmt_ms(agg['p95_ms'])} ms"
+        f"  p99 {_fmt_ms(agg['p99_ms'])} ms"
+    )
+    if agg.get("batch_histogram"):
+        hist = "  ".join(
+            f"{size}x{count}" for size, count in agg["batch_histogram"].items()
+        )
+        lines.append(f"batch sizes: {hist}")
+    queue = snap.get("queue")
+    if queue is not None:
+        lines.append(
+            f"queue[{queue['policy']}]: depth {queue['depth']}/"
+            f"{queue['capacity']} (high-water {queue['high_water']})"
+            f"  admitted {queue['admitted']}"
+            f"  shed {queue['shed_incoming']}+{queue['shed_evicted']}"
+            f"  degraded {queue['degraded_admissions']}"
+        )
+    sched = snap.get("scheduler")
+    if sched is not None:
+        lines.append(
+            f"scheduler: {sched['completed']} ok / {sched['failed']} failed"
+            f" ({sched['deadline_exceeded']} deadline,"
+            f" {sched['degraded_dispatched']} degraded)"
+            f"  priorities {sched['by_priority'] or '{}'}"
+        )
+    for name, rep in snap["replicas"].items():
+        stats = rep["stats"]
+        flag = "up  " if rep["healthy"] else "DOWN"
+        lines.append(
+            f"  {name} [{flag}] {stats['requests']:6d} requests"
+            f"  p95 {_fmt_ms(stats['p95_ms'])} ms"
+            f"  outstanding {rep['outstanding']}"
+            f"  failures {rep['consecutive_failures']}"
+        )
+        for kernel, k in list(stats.get("kernels", {}).items())[:4]:
+            lines.append(
+                f"      {kernel:<24s} {k['calls']:8d} calls"
+                f"  {k['seconds'] * 1e3:9.1f} ms"
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["snapshot", "render_report"]

@@ -1,0 +1,353 @@
+"""Replica management: N inference sessions behind one dispatch point.
+
+A :class:`Replica` owns one :class:`~repro.runtime.InferenceSession`
+(plus, optionally, a *degraded* session built from the registry's
+reduced profile — same weights, halved ODE step count) and tracks its
+own health: consecutive failures past a threshold mark it unhealthy and
+routing skips it until :meth:`ReplicaPool.revive`.
+
+The :class:`ReplicaPool` routes by **least outstanding work**: every
+dispatch leases the healthy replica with the fewest in-flight batches,
+so a replica stuck on a slow batch (or a slower backend — replicas may
+mix ``reference`` and ``fused`` kernels) naturally receives less
+traffic.
+
+Two execution modes:
+
+``thread`` (default)
+    replicas run in the scheduler's worker threads of this process —
+    zero-copy, deterministic, and bit-exact with a direct
+    ``InferenceSession.predict_batch``.
+``process``
+    each replica forks a worker process hosting its sessions and serves
+    batches over a pipe.  Forked workers sidestep the GIL, so on a
+    multi-core machine N replicas genuinely scale; results remain
+    bit-exact (same numpy code, same weights).  Requires a platform
+    with ``fork`` (Linux); construct the pool *before* starting any
+    scheduler threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..models import build_model, reduced_profile
+from ..runtime import InferenceSession, SessionStats
+from .errors import ReplicaUnavailable
+
+
+class Replica:
+    """One managed inference session (plus optional degraded twin).
+
+    Parameters
+    ----------
+    name:
+        stable identifier used in health/metrics reports.
+    session:
+        the full-quality :class:`~repro.runtime.InferenceSession`.
+    degraded_session:
+        optional reduced-step session for the ``degrade`` shedding
+        policy; shares the primary session's :class:`SessionStats`.
+    unhealthy_after:
+        consecutive failures before the replica is taken out of
+        routing.
+    """
+
+    def __init__(self, name, session, degraded_session=None,
+                 unhealthy_after=3):
+        self.name = str(name)
+        self.session = session
+        self.degraded_session = degraded_session
+        self.unhealthy_after = int(unhealthy_after)
+        self.outstanding = 0
+        self.consecutive_failures = 0
+        self.healthy = True
+        self.dispatches = 0
+        self.degraded_dispatches = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SessionStats:
+        """The replica's serving statistics."""
+        return self.session.stats
+
+    def run(self, samples, degraded=False) -> np.ndarray:
+        """Execute one batch, with health accounting."""
+        session = self.session
+        if degraded and self.degraded_session is not None:
+            session = self.degraded_session
+        try:
+            out = session.predict_batch(samples)
+        except Exception:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.unhealthy_after:
+                self.healthy = False
+            raise
+        self.consecutive_failures = 0
+        self.dispatches += 1
+        if degraded and self.degraded_session is not None:
+            self.degraded_dispatches += 1
+        return out
+
+    def close(self) -> None:
+        """Release replica resources (no-op for in-process replicas)."""
+
+    def health(self) -> dict:
+        """Health and routing state as a plain dict."""
+        return {
+            "healthy": self.healthy,
+            "outstanding": self.outstanding,
+            "consecutive_failures": self.consecutive_failures,
+            "dispatches": self.dispatches,
+            "degraded_dispatches": self.degraded_dispatches,
+        }
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}({self.name!r}, healthy={self.healthy}, "
+            f"outstanding={self.outstanding})"
+        )
+
+
+class ProcessReplica(Replica):
+    """A replica whose sessions live in a forked worker process.
+
+    The parent sends ``(degraded, samples)`` over a pipe and receives
+    either the output batch or the worker-side exception.  Statistics
+    are recorded parent-side (batch size + round-trip latency, i.e. the
+    latency the serving layer actually delivers).  A dead or wedged
+    worker surfaces as an ``EOFError``/``OSError`` dispatch failure and
+    health tracking takes the replica out of routing.
+    """
+
+    def __init__(self, name, session, degraded_session=None,
+                 unhealthy_after=3, timeout_s=None):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise ValueError(
+                "process-mode replicas need a fork platform (Linux); "
+                "use mode='thread' here"
+            )
+        super().__init__(name, session, degraded_session,
+                         unhealthy_after=unhealthy_after)
+        self._stats = SessionStats()
+        self._pipe_lock = threading.Lock()
+        self.timeout_s = timeout_s
+        ctx = mp.get_context("fork")
+        self._parent_conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=self._worker_loop,
+            args=(child_conn, session, degraded_session),
+            name=f"repro-serve-{self.name}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+
+    @staticmethod
+    def _worker_loop(conn, session, degraded_session):
+        """Child: answer ``(degraded, samples)`` until the pipe closes."""
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                return
+            if msg is None:
+                return
+            degraded, samples = msg
+            use = (
+                degraded_session
+                if degraded and degraded_session is not None
+                else session
+            )
+            try:
+                conn.send(("ok", use.predict_batch(samples)))
+            except Exception as exc:  # ship the failure to the parent
+                conn.send(("err", exc))
+
+    @property
+    def stats(self) -> SessionStats:
+        """Parent-side statistics (round-trip serving latency)."""
+        return self._stats
+
+    def run(self, samples, degraded=False) -> np.ndarray:
+        """Round-trip one batch through the worker process."""
+        samples = np.asarray(samples)
+        start = time.perf_counter()
+        try:
+            with self._pipe_lock:
+                self._parent_conn.send((bool(degraded), samples))
+                if self.timeout_s is not None and not self._parent_conn.poll(
+                    self.timeout_s
+                ):
+                    raise TimeoutError(
+                        f"replica {self.name} did not answer within "
+                        f"{self.timeout_s}s"
+                    )
+                kind, payload = self._parent_conn.recv()
+            if kind == "err":
+                raise payload
+        except Exception:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.unhealthy_after:
+                self.healthy = False
+            raise
+        self.consecutive_failures = 0
+        self.dispatches += 1
+        if degraded and self.degraded_session is not None:
+            self.degraded_dispatches += 1
+        self._stats.record(samples.shape[0], time.perf_counter() - start)
+        return payload
+
+    def close(self) -> None:
+        """Stop the worker process and join it."""
+        try:
+            with self._pipe_lock:
+                self._parent_conn.send(None)
+        except (OSError, ValueError):
+            pass  # worker already gone; join below still reaps it
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        self._parent_conn.close()
+
+
+class ReplicaPool:
+    """Owns N replicas; leases them out least-outstanding-work first.
+
+    Use :meth:`build` to construct a pool straight from the model
+    registry, or pass pre-built :class:`Replica` objects (mixed kernel
+    backends are fine — routing automatically biases toward the faster
+    ones because they finish, and therefore release, leases sooner).
+    """
+
+    def __init__(self, replicas):
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a ReplicaPool needs at least one replica")
+        names = [r.name for r in replicas]
+        if len(set(names)) != len(names):
+            raise ValueError(f"replica names must be unique, got {names}")
+        self.replicas = replicas
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
+              backends=None, seed=0, pretrained_state=None, degraded=False,
+              mode="thread", unhealthy_after=3, instrument=False):
+        """Build *n_replicas* identical-weight replicas from the registry.
+
+        Parameters
+        ----------
+        model, profile, seed, pretrained_state:
+            forwarded to :func:`repro.models.build_model`; every replica
+            shares one weight set, so responses are bit-exact with a
+            single direct session (answers must not depend on routing).
+        backends:
+            kernel backend per replica (name, list cycled across
+            replicas, or ``None`` for the thread-default backend).
+        degraded:
+            also build the reduced-profile session (same state dict,
+            halved ODE steps) each replica needs for the ``degrade``
+            shedding policy.
+        mode:
+            ``"thread"`` or ``"process"`` (see the module docstring).
+        """
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown mode {mode!r}; choose thread|process")
+        if backends is None or isinstance(backends, str):
+            backends = [backends] * n_replicas
+        reference = build_model(model, profile=profile, seed=seed,
+                                pretrained_state=pretrained_state,
+                                inference=True)
+        state = reference.state_dict()
+        replicas = []
+        for i in range(int(n_replicas)):
+            backend = backends[i % len(backends)]
+            stats = SessionStats()
+            session = InferenceSession(
+                build_model(model, profile=profile, seed=seed,
+                            pretrained_state=state, inference=True),
+                backend=backend, stats=stats, instrument=instrument,
+            )
+            degraded_session = None
+            if degraded:
+                degraded_session = InferenceSession(
+                    build_model(model, profile=reduced_profile(profile),
+                                seed=seed, pretrained_state=state,
+                                inference=True),
+                    backend=backend, stats=stats, instrument=instrument,
+                )
+            kind = Replica if mode == "thread" else ProcessReplica
+            replicas.append(
+                kind(f"replica-{i}", session, degraded_session,
+                     unhealthy_after=unhealthy_after)
+            )
+        return cls(replicas)
+
+    # ------------------------------------------------------------------
+    def acquire(self):
+        """Lease the healthy replica with the least outstanding work.
+
+        Raises :class:`~repro.serve.ReplicaUnavailable` when every
+        replica is unhealthy.  Pair with :meth:`release`.
+        """
+        with self._lock:
+            healthy = [r for r in self.replicas if r.healthy]
+            if not healthy:
+                raise ReplicaUnavailable(
+                    f"all {len(self.replicas)} replicas are unhealthy"
+                )
+            chosen = min(healthy, key=lambda r: r.outstanding)
+            chosen.outstanding += 1
+            return chosen
+
+    def release(self, replica) -> None:
+        """Return a lease taken with :meth:`acquire`."""
+        with self._lock:
+            replica.outstanding = max(0, replica.outstanding - 1)
+
+    def revive(self, name) -> None:
+        """Put an unhealthy replica back into routing (manual probe)."""
+        with self._lock:
+            for replica in self.replicas:
+                if replica.name == name:
+                    replica.healthy = True
+                    replica.consecutive_failures = 0
+                    return
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Per-replica health, keyed by replica name."""
+        with self._lock:
+            return {r.name: r.health() for r in self.replicas}
+
+    def merged_stats(self) -> SessionStats:
+        """All replica statistics folded into one fresh SessionStats."""
+        merged = SessionStats()
+        for replica in self.replicas:
+            merged.merge(replica.stats)
+        return merged
+
+    def close(self) -> None:
+        """Release every replica's resources (process workers join)."""
+        for replica in self.replicas:
+            replica.close()
+
+    def __len__(self):
+        return len(self.replicas)
+
+    def __iter__(self):
+        return iter(self.replicas)
+
+
+__all__ = ["Replica", "ProcessReplica", "ReplicaPool"]

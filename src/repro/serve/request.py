@@ -1,0 +1,105 @@
+"""The unit of work the serving layer moves around: :class:`Request`.
+
+A request is one sample plus its serving contract — priority class,
+optional deadline, and the :class:`~concurrent.futures.Future` the
+caller holds.  Ownership is strictly linear: the admission queue owns a
+request until it is popped or shed; whoever removes it from the queue
+resolves its future exactly once.  That discipline (not future-side
+locking) is what guarantees "zero hung futures" under shutdown, load
+shedding and deadline expiry all racing each other.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from enum import IntEnum
+
+import numpy as np
+
+
+class Priority(IntEnum):
+    """Request priority class; higher values drain first.
+
+    ``HIGH`` is for latency-sensitive interactive traffic, ``NORMAL``
+    the default, ``LOW`` for bulk/backfill work that should only use
+    spare capacity.
+    """
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+class Request:
+    """One queued sample and its serving contract.
+
+    Parameters
+    ----------
+    payload:
+        the sample (no batch axis), converted to ``np.ndarray``.
+    priority:
+        a :class:`Priority`; higher classes are dispatched first.
+    deadline_ms:
+        optional end-to-end queueing budget.  The absolute expiry is
+        fixed at construction (``perf_counter`` clock); a request still
+        queued past it fails fast with
+        :class:`~repro.serve.DeadlineExceeded` instead of running.
+    seq:
+        monotone sequence number (FIFO order within a priority class).
+    """
+
+    __slots__ = (
+        "payload", "priority", "seq", "future",
+        "t_submit", "t_expiry", "deadline_ms", "degraded",
+    )
+
+    def __init__(self, payload, *, priority=Priority.NORMAL, deadline_ms=None,
+                 seq=0, now=None):
+        now = time.perf_counter() if now is None else now
+        self.payload = np.asarray(payload)
+        self.priority = Priority(priority)
+        self.seq = int(seq)
+        self.future = Future()
+        self.t_submit = now
+        self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
+        self.t_expiry = (
+            None if deadline_ms is None else now + float(deadline_ms) / 1e3
+        )
+        #: set by admission control: execute on the reduced-step session
+        self.degraded = False
+
+    # ------------------------------------------------------------------
+    def waited_ms(self, now=None) -> float:
+        """Milliseconds spent since submission."""
+        now = time.perf_counter() if now is None else now
+        return (now - self.t_submit) * 1e3
+
+    def expired(self, now=None) -> bool:
+        """True when the deadline (if any) has passed."""
+        if self.t_expiry is None:
+            return False
+        now = time.perf_counter() if now is None else now
+        return now >= self.t_expiry
+
+    # ------------------------------------------------------------------
+    def resolve(self, row) -> None:
+        """Deliver the output row to the caller."""
+        self.future.set_result(row)
+
+    def fail(self, exc) -> None:
+        """Deliver a (typed) failure to the caller."""
+        self.future.set_exception(exc)
+
+    def sort_key(self):
+        """Heap key: higher priority first, FIFO within a class."""
+        return (-int(self.priority), self.seq)
+
+    def __repr__(self):
+        return (
+            f"Request(seq={self.seq}, priority={self.priority.name}, "
+            f"deadline_ms={self.deadline_ms}, degraded={self.degraded})"
+        )
+
+
+__all__ = ["Priority", "Request"]

@@ -1,0 +1,241 @@
+"""The dispatch engine: queue -> batches -> replicas.
+
+One collector thread drains the :class:`~repro.serve.AdmissionQueue`
+with the same partial-batch mechanics as
+:class:`~repro.runtime.MicroBatcher` (dispatch at ``max_batch_size``,
+or ``max_wait_ms`` after the first request), then routes each formed
+batch to the least-loaded healthy replica, where a dedicated
+single-thread executor runs it.  Priority classes drain high-first
+(the queue is a priority heap); degraded admissions are grouped into
+their own sub-batches so a batch always runs on exactly one session.
+
+Backpressure is explicit: the collector holds one of
+``len(pool) * inflight_per_replica`` dispatch slots for every batch in
+flight and will not pop the next batch until a slot frees.  Under
+overload the backlog therefore piles up *in the admission queue* —
+the one place with a capacity bound and shedding policies — never in
+the replicas' executor queues.
+
+Deadline contract: a request whose deadline expires while queued (or
+while waiting in a replica's executor) fails fast with
+:class:`~repro.serve.DeadlineExceeded` — the model never runs for it.
+A request whose deadline expires *after* its batch started executing
+completes normally; the deadline bounds queueing, not compute.
+
+Every request future is resolved exactly once — by the batch that ran
+it, by a deadline/shedding fail-fast, or by shutdown — and
+:meth:`Scheduler.stop` keeps that property under ``drain=True`` (serve
+what is queued, then stop) and ``drain=False`` (fail what is queued
+with :class:`~repro.serve.ServerStopped`, then stop).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .errors import DeadlineExceeded, ReplicaUnavailable, ServerStopped
+
+
+class Scheduler:
+    """Batches the admission queue onto a :class:`ReplicaPool`.
+
+    Parameters
+    ----------
+    pool:
+        the :class:`~repro.serve.ReplicaPool` to dispatch onto.
+    queue:
+        the :class:`~repro.serve.AdmissionQueue` to drain.
+    max_batch_size, max_wait_ms:
+        micro-batching knobs, same semantics as
+        :class:`~repro.runtime.MicroBatcher`.
+    """
+
+    def __init__(self, pool, queue, *, max_batch_size=8, max_wait_ms=2.0,
+                 inflight_per_replica=2):
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if inflight_per_replica < 1:
+            raise ValueError(
+                f"inflight_per_replica must be >= 1, got "
+                f"{inflight_per_replica}"
+            )
+        self.pool = pool
+        self.queue = queue
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        # Backpressure: without a bound on dispatched-but-unfinished
+        # batches, the collector would drain the admission queue into
+        # the replicas' unbounded executor queues and the admission
+        # bound (and its shedding policies) would never engage.  Each
+        # dispatch holds a slot until its batch finishes; 2 per replica
+        # keeps a replica busy while its next batch forms.
+        self._slots = threading.BoundedSemaphore(
+            len(pool) * int(inflight_per_replica)
+        )
+        self._lock = threading.Lock()
+        self._collector = None
+        self._executors = {}
+        self._stopped = False
+        # counters (protected by _lock)
+        self.dispatched_batches = 0
+        self.completed = 0
+        self.failed = 0
+        self.deadline_exceeded = 0
+        self.degraded_dispatched = 0
+        self.by_priority = Counter()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the collector thread and per-replica executors."""
+        with self._lock:
+            if self._collector is not None:
+                return
+            if self._stopped:
+                raise ServerStopped("scheduler already stopped")
+            for replica in self.pool:
+                self._executors[replica.name] = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"repro-serve-{replica.name}",
+                )
+            self._collector = threading.Thread(
+                target=self._collect_loop,
+                name="repro-serve-collector",
+                daemon=True,
+            )
+            self._collector.start()
+
+    # ------------------------------------------------------------------
+    def _collect_loop(self):
+        while True:
+            # wait for a dispatch slot BEFORE popping, so under overload
+            # the backlog accumulates in the admission queue (bounded,
+            # shed-policed) rather than downstream of it
+            self._slots.acquire()
+            batch = self.queue.next_batch(self.max_batch_size, self.max_wait_s)
+            if not batch:
+                self._slots.release()
+                return  # queue closed and empty
+            self._route(batch)
+
+    def _route(self, batch):
+        """Fail expired requests, group the rest, dispatch each group.
+
+        The caller holds one dispatch slot; the first dispatched group
+        consumes it, any further group acquires its own, and the slot
+        is returned here if every request in the batch expired.
+        """
+        now = time.perf_counter()
+        live = []
+        for req in batch:
+            if req.expired(now):
+                self._fail_deadline(req, now)
+            else:
+                live.append(req)
+        have_slot = True
+        for degraded in (False, True):
+            group = [r for r in live if r.degraded is degraded]
+            if group:
+                if not have_slot:
+                    self._slots.acquire()
+                have_slot = False
+                self._dispatch(group, degraded)
+        if have_slot:
+            self._slots.release()
+
+    def _fail_deadline(self, req, now):
+        req.fail(DeadlineExceeded(req.waited_ms(now), req.deadline_ms))
+        with self._lock:
+            self.deadline_exceeded += 1
+            self.failed += 1
+
+    def _dispatch(self, group, degraded):
+        """Run *group* on a replica; consumes the caller's dispatch slot."""
+        try:
+            replica = self.pool.acquire()
+        except ReplicaUnavailable as exc:
+            for req in group:
+                req.fail(exc)
+            with self._lock:
+                self.failed += len(group)
+            self._slots.release()
+            return
+
+        def run():
+            try:
+                # re-check deadlines: time may have passed in the
+                # replica's executor queue, and fail-fast must hold there
+                now = time.perf_counter()
+                live = []
+                for req in group:
+                    if req.expired(now):
+                        self._fail_deadline(req, now)
+                    else:
+                        live.append(req)
+                if not live:
+                    return
+                samples = np.stack([req.payload for req in live])
+                try:
+                    rows = replica.run(samples, degraded=degraded)
+                except BaseException as exc:  # typed failure to every waiter
+                    for req in live:
+                        req.fail(exc)
+                    with self._lock:
+                        self.failed += len(live)
+                    return
+                for req, row in zip(live, rows):
+                    req.resolve(row)
+                with self._lock:
+                    self.dispatched_batches += 1
+                    self.completed += len(live)
+                    if degraded:
+                        self.degraded_dispatched += len(live)
+                    for req in live:
+                        self.by_priority[req.priority.name] += 1
+            finally:
+                self.pool.release(replica)
+                self._slots.release()
+
+        self._executors[replica.name].submit(run)
+
+    # ------------------------------------------------------------------
+    def stop(self, drain=True) -> None:
+        """Stop dispatching; with *drain* serve queued work first,
+        otherwise fail it with :class:`~repro.serve.ServerStopped`."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            collector = self._collector
+        self.queue.close()
+        if not drain:
+            remaining = self.queue.drain_remaining()
+            for req in remaining:
+                req.fail(ServerStopped("server closed before dispatch"))
+            with self._lock:
+                self.failed += len(remaining)
+        if collector is not None:
+            collector.join()
+            for executor in self._executors.values():
+                executor.shutdown(wait=True)
+
+    def snapshot(self) -> dict:
+        """Dispatch counters as a plain dict."""
+        with self._lock:
+            return {
+                "dispatched_batches": self.dispatched_batches,
+                "completed": self.completed,
+                "failed": self.failed,
+                "deadline_exceeded": self.deadline_exceeded,
+                "degraded_dispatched": self.degraded_dispatched,
+                "by_priority": dict(self.by_priority),
+            }
+
+
+__all__ = ["Scheduler"]

@@ -1,0 +1,160 @@
+"""The serving facade: :class:`Server`.
+
+Wires admission control, the scheduler and a replica pool into one
+object::
+
+    pool = ReplicaPool.build("ode_botnet", "tiny", n_replicas=2,
+                             backends="fused")
+    with Server(pool, queue_capacity=64, shed_policy="reject") as server:
+        fut = server.submit(x, priority=Priority.HIGH, deadline_ms=50)
+        row = fut.result()
+        print(server.metrics_report())
+
+``submit`` never blocks on model execution and always returns a future
+that resolves — to the output row, or to a typed serving error
+(:class:`~repro.serve.QueueFull`,
+:class:`~repro.serve.DeadlineExceeded`,
+:class:`~repro.serve.ServerStopped`,
+:class:`~repro.serve.ReplicaUnavailable`).  ``predict`` is the blocking
+convenience wrapper, bit-exact with the wrapped sessions' own
+``predict``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .admission import AdmissionQueue
+from .errors import DeadlineExceeded, ServerStopped
+from .metrics import render_report, snapshot
+from .pool import ReplicaPool
+from .request import Priority, Request
+from .scheduler import Scheduler
+
+
+class Server:
+    """Replica pool + admission control + scheduler behind one API.
+
+    Parameters
+    ----------
+    pool:
+        a :class:`~repro.serve.ReplicaPool`; the server takes ownership
+        and closes it on :meth:`close`.
+    max_batch_size, max_wait_ms:
+        micro-batching knobs (see :class:`~repro.serve.Scheduler`).
+    queue_capacity, shed_policy, degrade_headroom:
+        admission control knobs (see
+        :class:`~repro.serve.AdmissionQueue`).
+    default_deadline_ms:
+        deadline applied to requests submitted without one (``None``
+        disables).
+    """
+
+    def __init__(self, pool, *, max_batch_size=8, max_wait_ms=2.0,
+                 queue_capacity=64, shed_policy="reject",
+                 degrade_headroom=None, default_deadline_ms=None):
+        self.pool = pool
+        self.queue = AdmissionQueue(queue_capacity, shed_policy,
+                                    degrade_headroom=degrade_headroom)
+        self.scheduler = Scheduler(pool, self.queue,
+                                   max_batch_size=max_batch_size,
+                                   max_wait_ms=max_wait_ms)
+        self.default_deadline_ms = default_deadline_ms
+        self._closed = False
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
+              backends=None, seed=0, pretrained_state=None, mode="thread",
+              instrument=False, **config):
+        """Build pool and server from the model registry in one call.
+
+        Pool-construction keywords are explicit; everything in
+        ``config`` goes to the :class:`Server` constructor.  When
+        ``shed_policy="degrade"`` the reduced-profile degraded sessions
+        are built automatically.
+        """
+        pool = ReplicaPool.build(
+            model, profile, n_replicas, backends=backends, seed=seed,
+            pretrained_state=pretrained_state, mode=mode,
+            degraded=config.get("shed_policy") == "degrade",
+            instrument=instrument,
+        )
+        return cls(pool, **config)
+
+    # ------------------------------------------------------------------
+    def submit(self, x, *, priority=Priority.NORMAL, deadline_ms=None):
+        """Queue one sample; returns a future that always resolves.
+
+        ``deadline_ms`` defaults to the server's ``default_deadline_ms``;
+        a request that cannot be dispatched inside its deadline fails
+        fast with :class:`~repro.serve.DeadlineExceeded` without
+        running the model.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        request = Request(x, priority=priority, deadline_ms=deadline_ms,
+                          seq=self.queue.next_seq())
+        if self._closed:
+            request.fail(ServerStopped("server is closed"))
+            return request.future
+        if request.expired():
+            request.fail(DeadlineExceeded(0.0, request.deadline_ms))
+            return request.future
+        self.queue.offer(request)
+        return request.future
+
+    def predict(self, x, *, priority=Priority.NORMAL, deadline_ms=None,
+                timeout=None) -> np.ndarray:
+        """Blocking single-sample predict through the serving path."""
+        return self.submit(
+            x, priority=priority, deadline_ms=deadline_ms
+        ).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness summary: per-replica health + queue depth."""
+        replicas = self.pool.health()
+        return {
+            "ok": not self._closed
+            and any(r["healthy"] for r in replicas.values()),
+            "closed": self._closed,
+            "queue_depth": self.queue.depth,
+            "replicas": replicas,
+        }
+
+    def metrics(self) -> dict:
+        """One aggregated metrics snapshot (see :mod:`~repro.serve.metrics`)."""
+        return snapshot(self.pool, self.queue, self.scheduler)
+
+    def metrics_report(self) -> str:
+        """The text rendering of :meth:`metrics`."""
+        return render_report(self.metrics())
+
+    # ------------------------------------------------------------------
+    def close(self, drain=True) -> None:
+        """Shut down: stop admissions, then drain (default) or fail
+        queued requests; every outstanding future resolves."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.stop(drain=drain)
+        self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"Server(replicas={len(self.pool)}, "
+            f"policy={self.queue.policy!r}, "
+            f"capacity={self.queue.capacity}, closed={self._closed})"
+        )
+
+
+__all__ = ["Server"]

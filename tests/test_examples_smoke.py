@@ -44,6 +44,13 @@ class TestExamples:
         assert "Table VIII" in result.stdout
         assert "32(16)-24(8)" in result.stdout
 
+    def test_serve_demo_short(self):
+        result = _run("serve_demo.py", "--duration", "0.5")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "match direct session: True" in result.stdout
+        assert "hung futures: 0" in result.stdout
+        assert "=== serve metrics ===" in result.stdout
+
     def test_quickstart(self):
         result = _run("quickstart.py")
         assert result.returncode == 0, result.stderr[-2000:]

@@ -244,6 +244,57 @@ RULE_FIXTURES = [
         """,
         {},
     ),
+    (
+        "SRV001",
+        """\
+        import numpy as np
+        def jitter(x):
+            rng = np.random.default_rng()
+            return x + rng.standard_normal(x.shape)
+        """,
+        """\
+        import numpy as np
+        def jitter(x, seed):
+            rng = np.random.default_rng(seed)
+            return x + rng.standard_normal(x.shape)
+        """,
+        {"rel": "serve/pool.py"},
+    ),
+    (
+        "SRV001",
+        """\
+        import numpy as np
+        def schedule(rate):
+            rng = np.random.default_rng(0)
+            return rng.exponential(1.0 / rate, 8)
+        """,
+        """\
+        import numpy as np
+        def schedule(rate, seed):
+            rng = np.random.default_rng(seed)
+            return rng.exponential(1.0 / rate, 8)
+        """,
+        {"rel": "serve/loadgen.py"},
+    ),
+    (
+        "SRV002",
+        """\
+        def dispatch(run, futures):
+            try:
+                run()
+            except Exception:
+                return None
+        """,
+        """\
+        def dispatch(run, futures):
+            try:
+                run()
+            except Exception as exc:
+                for f in futures:
+                    f.set_exception(exc)
+        """,
+        {"rel": "serve/scheduler.py"},
+    ),
 ]
 
 

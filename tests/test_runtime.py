@@ -17,6 +17,7 @@ from repro.fixedpoint import QFormat, QuantizedODENetExecutor
 from repro.models import MODELS, build_model
 from repro.nn import functional
 from repro.runtime import (
+    BatcherStopped,
     InferenceSession,
     MicroBatcher,
     ModulePlan,
@@ -164,6 +165,31 @@ class TestStats:
         assert snap["p50_ms"] > 0
         assert snap["p95_ms"] >= snap["p50_ms"]
 
+    def test_snapshot_includes_p99(self):
+        stats = SessionStats()
+        for i in range(100):
+            stats.record(1, 0.001 * (i + 1))
+        snap = stats.snapshot()
+        assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
+        assert snap["p99_ms"] == pytest.approx(stats.latency_ms(99))
+
+    def test_merge_aggregates_without_touching_donor(self):
+        a, b = SessionStats(), SessionStats()
+        a.record(4, 0.002)
+        b.record(2, 0.004)
+        b.record(2, 0.006)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["requests"] == 8
+        assert snap["batches"] == 3
+        assert snap["batch_histogram"] == {2: 2, 4: 1}
+        assert a.latency_ms(100) == pytest.approx(6.0)
+        # the donor is read-only during a merge
+        assert b.snapshot()["requests"] == 4
+        # merging in the opposite direction must not deadlock either
+        b.merge(a)
+        assert b.snapshot()["requests"] == 12
+
     def test_reset_and_window(self):
         stats = SessionStats(latency_window=2)
         for i in range(5):
@@ -208,8 +234,53 @@ class TestMicroBatcher:
         row = mb.predict(x)
         assert np.array_equal(row, session.predict(x))
         mb.stop()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(BatcherStopped):
             mb.submit(x)
+
+    def test_submit_close_race_never_hangs_a_future(self):
+        # Hammer submit() from several threads while close() runs: every
+        # submit must either return a future that resolves, or raise the
+        # typed BatcherStopped — a hung future fails the result(timeout).
+        import threading
+
+        session = InferenceSession(
+            build_model("odenet", profile="tiny", inference=True)
+        )
+        x = _input_for(session.model, batch=1, seed=4)[0]
+        expected = session.predict(x)
+        for _ in range(5):  # repeat: the race window is narrow
+            mb = MicroBatcher(session, max_batch_size=4, max_wait_ms=1.0)
+            mb.submit(x)
+            outcomes = []
+            lock = threading.Lock()
+
+            def hammer():
+                for _ in range(10):
+                    try:
+                        fut = mb.submit(x)
+                    except BatcherStopped:
+                        with lock:
+                            outcomes.append("stopped")
+                        continue
+                    row = fut.result(timeout=60)  # hangs -> test fails
+                    with lock:
+                        # batch-size-dependent BLAS rounding, as in
+                        # test_batched_results_match_direct_predict
+                        outcomes.append(
+                            bool(np.allclose(row, expected,
+                                             rtol=1e-12, atol=1e-9))
+                        )
+
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for t in threads:
+                t.start()
+            mb.close()
+            for t in threads:
+                t.join()
+            assert all(o is True or o == "stopped" for o in outcomes)
+            # after close the typed error is immediate and consistent
+            with pytest.raises(BatcherStopped):
+                mb.submit(x)
 
     def test_worker_pool_mode(self):
         session = InferenceSession(

@@ -1,0 +1,463 @@
+"""repro.serve: admission control, scheduling, replicas, loadgen.
+
+The serving layer's contract, pinned:
+
+* responses are bit-exact with a direct ``InferenceSession.predict``
+  (the layer reschedules computation, never changes it);
+* every submitted future resolves — to a row or to a *typed* error —
+  under overload, deadlines, replica failure and shutdown alike;
+* the admission queue is strictly bounded under every shedding policy;
+* priority classes drain high-first; deadlines fail fast;
+* the load harness is deterministic given a seed.
+
+Fast paths use stub sessions (instant callables wrapped in
+``InferenceSession``); bit-exactness uses the real tiny proposed model.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, reduced_profile
+from repro.models.registry import PROFILES
+from repro.runtime import InferenceSession, SessionStats
+from repro.serve import (
+    AdmissionQueue,
+    DeadlineExceeded,
+    Priority,
+    QueueFull,
+    Replica,
+    ReplicaPool,
+    ReplicaUnavailable,
+    Request,
+    Server,
+    ServerStopped,
+    arrival_offsets,
+    pick_priorities,
+    render_report,
+    run_load,
+)
+
+
+def _echo_session(scale=1.0, delay_s=0.0):
+    """A stub InferenceSession: returns scale * row-sum, optional delay."""
+
+    def fn(batch):
+        if delay_s:
+            time.sleep(delay_s)
+        batch = np.asarray(batch)
+        return scale * batch.reshape(batch.shape[0], -1).sum(axis=1)[:, None]
+
+    return InferenceSession(fn)
+
+
+def _failing_session(exc=None):
+    def fn(batch):
+        raise exc or RuntimeError("replica exploded")
+
+    return InferenceSession(fn)
+
+
+def _samples(n=8, seed=0, shape=(4,)):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, *shape)).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+class TestAdmissionQueue:
+    def _request(self, q, priority=Priority.NORMAL, deadline_ms=None):
+        return Request(np.zeros(2, np.float32), priority=priority,
+                       deadline_ms=deadline_ms, seq=q.next_seq())
+
+    def test_reject_newest_bounds_queue(self):
+        q = AdmissionQueue(2, "reject")
+        first = [self._request(q) for _ in range(2)]
+        for req in first:
+            assert q.offer(req)
+        extra = self._request(q)
+        assert not q.offer(extra)
+        with pytest.raises(QueueFull):
+            extra.future.result(timeout=1)
+        assert q.depth == 2
+        snap = q.snapshot()
+        assert snap["shed_incoming"] == 1 and snap["high_water"] == 2
+
+    def test_reject_oldest_evicts_fifo_victim(self):
+        q = AdmissionQueue(2, "reject-oldest")
+        oldest = self._request(q)
+        second = self._request(q)
+        q.offer(oldest)
+        q.offer(second)
+        newest = self._request(q)
+        assert q.offer(newest)
+        with pytest.raises(QueueFull):
+            oldest.future.result(timeout=1)
+        assert q.depth == 2
+        assert q.snapshot()["shed_evicted"] == 1
+
+    def test_reject_oldest_never_evicts_higher_priority(self):
+        q = AdmissionQueue(1, "reject-oldest")
+        vip = self._request(q, priority=Priority.HIGH)
+        q.offer(vip)
+        low = self._request(q, priority=Priority.LOW)
+        assert not q.offer(low)
+        with pytest.raises(QueueFull):
+            low.future.result(timeout=1)
+        assert not vip.future.done()
+
+    def test_degrade_flags_overflow_then_hard_caps(self):
+        q = AdmissionQueue(2, "degrade", degrade_headroom=2)
+        reqs = [self._request(q) for _ in range(5)]
+        admitted = [q.offer(r) for r in reqs]
+        assert admitted == [True, True, True, True, False]
+        assert [r.degraded for r in reqs[:4]] == [False, False, True, True]
+        with pytest.raises(QueueFull):
+            reqs[4].future.result(timeout=1)
+        snap = q.snapshot()
+        assert snap["degraded_admissions"] == 2
+        assert snap["depth"] == 4  # bounded at capacity + headroom
+
+    def test_next_batch_drains_high_priority_first(self):
+        q = AdmissionQueue(8)
+        low = self._request(q, priority=Priority.LOW)
+        normal = self._request(q, priority=Priority.NORMAL)
+        high = self._request(q, priority=Priority.HIGH)
+        for req in (low, normal, high):
+            q.offer(req)
+        batch = q.next_batch(3, max_wait_s=0.01)
+        assert [r.priority for r in batch] == [
+            Priority.HIGH, Priority.NORMAL, Priority.LOW,
+        ]
+
+    def test_offer_after_close_fails_typed(self):
+        q = AdmissionQueue(2)
+        q.close()
+        req = self._request(q)
+        assert not q.offer(req)
+        with pytest.raises(ServerStopped):
+            req.future.result(timeout=1)
+        assert q.next_batch(4, max_wait_s=0.01) == []
+
+
+# ----------------------------------------------------------------------
+class TestReplicaPool:
+    def test_least_outstanding_routing(self):
+        pool = ReplicaPool([
+            Replica("a", _echo_session()),
+            Replica("b", _echo_session()),
+        ])
+        a = pool.acquire()
+        b = pool.acquire()
+        assert {a.name, b.name} == {"a", "b"}  # spread, not pile-up
+        pool.release(a)
+        assert pool.acquire().name == a.name  # the idle one again
+
+    def test_unhealthy_replica_leaves_routing(self):
+        bad = Replica("bad", _failing_session(), unhealthy_after=2)
+        good = Replica("good", _echo_session())
+        pool = ReplicaPool([bad, good])
+        x = _samples(2)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                bad.run(x)
+        assert not bad.healthy
+        assert pool.acquire().name == "good"
+        health = pool.health()
+        assert health["bad"]["consecutive_failures"] == 2
+        pool.revive("bad")
+        assert pool.health()["bad"]["healthy"]
+
+    def test_all_unhealthy_raises_typed(self):
+        replica = Replica("r0", _failing_session(), unhealthy_after=1)
+        pool = ReplicaPool([replica])
+        with pytest.raises(RuntimeError):
+            replica.run(_samples(1))
+        with pytest.raises(ReplicaUnavailable):
+            pool.acquire()
+
+    def test_build_shares_weights_and_is_bit_exact(self):
+        pool = ReplicaPool.build("ode_botnet", "tiny", 2, seed=0)
+        x = _samples(3, shape=(3, 32, 32))
+        direct = InferenceSession(
+            build_model("ode_botnet", profile="tiny", seed=0,
+                        inference=True)
+        ).predict_batch(x)
+        for replica in pool:
+            assert np.array_equal(replica.run(x), direct)
+
+    def test_degraded_session_reuses_weights(self):
+        pool = ReplicaPool.build("ode_botnet", "tiny", 1, seed=0,
+                                 degraded=True)
+        replica = pool.replicas[0]
+        x = _samples(2, shape=(3, 32, 32))
+        full = replica.run(x)
+        degraded = replica.run(x, degraded=True)
+        reference = InferenceSession(
+            build_model("ode_botnet", profile=reduced_profile("tiny"),
+                        seed=0, inference=True)
+        ).predict_batch(x)
+        assert np.array_equal(degraded, reference)
+        assert full.shape == degraded.shape
+        assert replica.degraded_dispatches == 1
+
+    def test_merged_stats_uses_merge(self):
+        pool = ReplicaPool([
+            Replica("a", _echo_session()),
+            Replica("b", _echo_session()),
+        ])
+        pool.replicas[0].run(_samples(4))
+        pool.replicas[1].run(_samples(2))
+        merged = pool.merged_stats()
+        assert isinstance(merged, SessionStats)
+        assert merged.snapshot()["requests"] == 6
+
+    def test_process_mode_bit_exact_and_joins(self):
+        pool = ReplicaPool.build("ode_botnet", "tiny", 1, seed=0,
+                                 mode="process")
+        x = _samples(2, shape=(3, 32, 32))
+        direct = InferenceSession(
+            build_model("ode_botnet", profile="tiny", seed=0,
+                        inference=True)
+        ).predict_batch(x)
+        try:
+            assert np.array_equal(pool.replicas[0].run(x), direct)
+            assert pool.merged_stats().snapshot()["requests"] == 2
+        finally:
+            pool.close()
+        assert not pool.replicas[0]._proc.is_alive()
+
+
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_bit_exact_with_direct_session(self):
+        x = _samples(6, shape=(3, 32, 32))
+        direct = InferenceSession(
+            build_model("ode_botnet", profile="tiny", seed=0,
+                        inference=True)
+        ).predict_batch(x)
+        with Server.build("ode_botnet", "tiny", 2, seed=0,
+                          max_batch_size=6, max_wait_ms=50.0) as server:
+            futures = [server.submit(xi) for xi in x]
+            rows = np.stack([f.result(timeout=60) for f in futures])
+        for row, ref in zip(rows, direct):
+            np.testing.assert_allclose(row, ref, rtol=1e-12, atol=1e-9)
+
+    def test_deadline_fails_fast_without_running_model(self):
+        ran = []
+
+        def slow(batch):
+            ran.append(len(batch))
+            time.sleep(0.2)
+            return np.zeros((len(batch), 1), np.float32)
+
+        pool = ReplicaPool([Replica("r0", InferenceSession(slow))])
+        with Server(pool, max_batch_size=1, max_wait_ms=0.5) as server:
+            blocker = server.submit(np.zeros(2, np.float32))
+            fut = server.submit(np.zeros(2, np.float32), deadline_ms=20.0)
+            with pytest.raises(DeadlineExceeded) as err:
+                fut.result(timeout=30)
+            assert err.value.waited_ms >= 20.0
+            blocker.result(timeout=30)
+        assert len(ran) == 1  # the expired request never reached a replica
+
+    def test_expired_on_submit_fails_immediately(self):
+        with Server(ReplicaPool([Replica("r0", _echo_session())])) as server:
+            fut = server.submit(np.zeros(2, np.float32), deadline_ms=0.0)
+            with pytest.raises(DeadlineExceeded):
+                fut.result(timeout=1)
+
+    def test_priority_drains_high_first(self):
+        release = threading.Event()
+        order = []
+
+        def gated(batch):
+            release.wait(timeout=30)
+            return np.asarray(batch)[:, :1]
+
+        pool = ReplicaPool([Replica("r0", InferenceSession(gated))])
+        with Server(pool, max_batch_size=1, max_wait_ms=0.1) as server:
+            blocker = server.submit(np.zeros(2, np.float32))
+            time.sleep(0.05)  # let the blocker occupy the only replica
+            low = server.submit(np.zeros(2, np.float32),
+                                priority=Priority.LOW)
+            high = server.submit(np.zeros(2, np.float32),
+                                 priority=Priority.HIGH)
+            low.add_done_callback(lambda f: order.append("low"))
+            high.add_done_callback(lambda f: order.append("high"))
+            release.set()
+            low.result(timeout=30)
+            high.result(timeout=30)
+        assert order[0] == "high"
+
+    def test_replica_failure_propagates_then_health_reports(self):
+        pool = ReplicaPool(
+            [Replica("r0", _failing_session(), unhealthy_after=1)]
+        )
+        with Server(pool, max_batch_size=2, max_wait_ms=0.5) as server:
+            fut = server.submit(np.zeros(2, np.float32))
+            with pytest.raises(RuntimeError, match="replica exploded"):
+                fut.result(timeout=30)
+            deadline = time.time() + 5
+            while server.health()["ok"] and time.time() < deadline:
+                time.sleep(0.01)
+            health = server.health()
+            assert not health["ok"]
+            # subsequent submits fail typed, not hang
+            fut = server.submit(np.zeros(2, np.float32))
+            with pytest.raises(ReplicaUnavailable):
+                fut.result(timeout=30)
+
+    def test_degrade_policy_serves_overflow_degraded(self):
+        full = Replica("r0", _echo_session(scale=1.0, delay_s=0.05),
+                       degraded_session=_echo_session(scale=-1.0))
+        pool = ReplicaPool([full])
+        with Server(pool, max_batch_size=1, max_wait_ms=0.1,
+                    queue_capacity=1, shed_policy="degrade",
+                    degrade_headroom=4) as server:
+            x = np.ones(2, np.float32)
+            futures = [server.submit(x) for _ in range(5)]
+            rows = [f.result(timeout=30) for f in futures]
+        signs = sorted(np.sign(row.sum()) for row in rows)
+        assert signs[0] == -1.0  # at least one ran on the degraded session
+        assert signs[-1] == 1.0  # and at least one at full quality
+        assert server.scheduler.snapshot()["degraded_dispatched"] >= 1
+
+    def test_close_drain_serves_queued_requests(self):
+        pool = ReplicaPool([Replica("r0", _echo_session(delay_s=0.02))])
+        server = Server(pool, max_batch_size=4, max_wait_ms=0.5)
+        futures = [server.submit(np.full(2, i, np.float32))
+                   for i in range(8)]
+        server.close(drain=True)
+        rows = [f.result(timeout=1) for f in futures]  # already resolved
+        assert len(rows) == 8
+        fut = server.submit(np.zeros(2, np.float32))
+        with pytest.raises(ServerStopped):
+            fut.result(timeout=1)
+
+    def test_close_no_drain_fails_queued_typed(self):
+        release = threading.Event()
+
+        def gated(batch):
+            release.wait(timeout=30)
+            return np.asarray(batch)[:, :1]
+
+        pool = ReplicaPool([Replica("r0", InferenceSession(gated))])
+        server = Server(pool, max_batch_size=1, max_wait_ms=0.1)
+        blocker = server.submit(np.zeros(2, np.float32))
+        time.sleep(0.05)
+        queued = [server.submit(np.zeros(2, np.float32)) for _ in range(4)]
+        closer = threading.Thread(target=server.close,
+                                  kwargs={"drain": False})
+        closer.start()
+        time.sleep(0.05)
+        release.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        blocker.result(timeout=1)  # in-flight work still completes
+        outcomes = []
+        for fut in queued:
+            try:
+                fut.result(timeout=1)
+                outcomes.append("ok")
+            except ServerStopped:
+                outcomes.append("stopped")
+        # everything resolved; at least the tail was failed typed
+        assert len(outcomes) == 4
+        assert "stopped" in outcomes
+
+    def test_metrics_snapshot_and_report(self):
+        with Server.build("ode_botnet", "tiny", 2, seed=0,
+                          instrument=True) as server:
+            x = _samples(4, shape=(3, 32, 32))
+            for xi in x:
+                server.predict(xi, timeout=60)
+            snap = server.metrics()
+            report = server.metrics_report()
+        assert snap["aggregate"]["requests"] >= 4
+        assert set(snap["replicas"]) == {"replica-0", "replica-1"}
+        assert "kernels" in next(iter(snap["replicas"].values()))["stats"]
+        assert snap["queue"]["admitted"] >= 4
+        assert snap["scheduler"]["completed"] >= 4
+        assert "=== serve metrics ===" in report
+        assert "replica-0" in report
+        assert render_report(snap) == report
+
+
+# ----------------------------------------------------------------------
+class TestLoadgen:
+    def test_arrival_offsets_deterministic_and_poisson_like(self):
+        a = arrival_offsets(100.0, 2.0, seed=7)
+        b = arrival_offsets(100.0, 2.0, seed=7)
+        c = arrival_offsets(100.0, 2.0, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.all(np.diff(a) > 0) and a[-1] < 2.0
+        # ~100 Hz * 2 s = ~200 arrivals; loose 5-sigma style bound
+        assert 120 < len(a) < 290
+
+    def test_pick_priorities_deterministic(self):
+        a = pick_priorities(50, seed=3)
+        assert a == pick_priorities(50, seed=3)
+        assert set(a) <= {Priority.LOW, Priority.NORMAL, Priority.HIGH}
+
+    def test_run_load_classifies_everything(self):
+        pool = ReplicaPool([Replica("r0", _echo_session(delay_s=0.005))])
+        with Server(pool, max_batch_size=4, max_wait_ms=1.0,
+                    queue_capacity=4, shed_policy="reject") as server:
+            offsets = arrival_offsets(2000.0, 0.25, seed=5)
+            report = run_load(server, _samples(8), offsets, seed=5,
+                              deadline_ms=100.0)
+        total = (report.completed + report.deadline_exceeded + report.shed
+                 + report.stopped + report.unavailable + report.errors)
+        assert total == report.offered == len(offsets)
+        assert report.hung == 0
+        assert report.errors == 0
+        assert report.shed > 0  # 2000/s into a capacity-4 queue must shed
+        assert "hung futures: 0" in report.summary()
+
+    def test_overload_bounded_queue_zero_hangs(self):
+        # the acceptance scenario: ~2x sustainable load, typed sheds,
+        # queue never grows past its bound, every future resolves
+        pool = ReplicaPool([Replica("r0", _echo_session(delay_s=0.002))])
+        with Server(pool, max_batch_size=1, max_wait_ms=0.1,
+                    queue_capacity=8, shed_policy="reject-oldest") as server:
+            # capacity ~= 500/s; offer ~1000/s
+            offsets = arrival_offsets(1000.0, 0.5, seed=11)
+            report = run_load(server, _samples(8), offsets, seed=11)
+            snap = server.metrics()
+        assert report.hung == 0 and report.errors == 0
+        assert snap["queue"]["high_water"] <= 8
+        assert report.shed > 0
+        assert report.completed > 0
+
+
+# ----------------------------------------------------------------------
+class TestRegistryReducedProfiles:
+    def test_every_profile_has_reduced_variant(self):
+        bases = [p for p in PROFILES if not p.endswith("-reduced")]
+        for base in bases:
+            red = reduced_profile(base)
+            assert red in PROFILES
+            full_steps = PROFILES[base]["odenet"]["steps"]
+            assert PROFILES[red]["odenet"]["steps"] == max(1, full_steps // 2)
+            assert PROFILES[red]["input_size"] == PROFILES[base]["input_size"]
+
+    def test_reduced_profile_idempotent_and_validates(self):
+        assert reduced_profile("tiny-reduced") == "tiny-reduced"
+        with pytest.raises(ValueError):
+            reduced_profile("nope")
+
+    def test_reduced_model_accepts_full_state_dict(self):
+        full = build_model("ode_botnet", profile="tiny", seed=0,
+                           inference=True)
+        red = build_model("ode_botnet", profile=reduced_profile("tiny"),
+                          seed=1, pretrained_state=full.state_dict(),
+                          inference=True)
+        for (ka, va), (kb, vb) in zip(
+            sorted(full.state_dict().items()),
+            sorted(red.state_dict().items()),
+        ):
+            assert ka == kb
+            assert np.array_equal(va, vb)

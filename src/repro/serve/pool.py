@@ -115,12 +115,18 @@ class Replica:
 class ProcessReplica(Replica):
     """A replica whose sessions live in a forked worker process.
 
-    The parent sends ``(degraded, samples)`` over a pipe and receives
-    either the output batch or the worker-side exception.  Statistics
+    The parent sends ``(seq, degraded, samples)`` over a pipe and
+    receives either the output batch or the worker-side exception, with
+    the request's ``seq`` echoed back.  The echo is what keeps the pipe
+    usable after a timeout: when ``timeout_s`` expires the worker's
+    late reply stays buffered in the pipe, and the *next* ``run`` must
+    discard it by sequence id — not mistake it for its own answer and
+    hand the previous batch's outputs to the wrong callers.  Statistics
     are recorded parent-side (batch size + round-trip latency, i.e. the
     latency the serving layer actually delivers).  A dead or wedged
-    worker surfaces as an ``EOFError``/``OSError`` dispatch failure and
-    health tracking takes the replica out of routing.
+    worker surfaces as an ``EOFError``/``OSError``/``TimeoutError``
+    dispatch failure and health tracking takes the replica out of
+    routing.
     """
 
     def __init__(self, name, session, degraded_session=None,
@@ -136,6 +142,7 @@ class ProcessReplica(Replica):
                          unhealthy_after=unhealthy_after)
         self._stats = SessionStats()
         self._pipe_lock = threading.Lock()
+        self._seq = 0  # protected by _pipe_lock
         self.timeout_s = timeout_s
         ctx = mp.get_context("fork")
         self._parent_conn, child_conn = ctx.Pipe()
@@ -150,7 +157,8 @@ class ProcessReplica(Replica):
 
     @staticmethod
     def _worker_loop(conn, session, degraded_session):
-        """Child: answer ``(degraded, samples)`` until the pipe closes."""
+        """Child: answer ``(seq, degraded, samples)`` until the pipe
+        closes, echoing each request's ``seq`` in its reply."""
         while True:
             try:
                 msg = conn.recv()
@@ -158,16 +166,16 @@ class ProcessReplica(Replica):
                 return
             if msg is None:
                 return
-            degraded, samples = msg
+            seq, degraded, samples = msg
             use = (
                 degraded_session
                 if degraded and degraded_session is not None
                 else session
             )
             try:
-                conn.send(("ok", use.predict_batch(samples)))
+                conn.send((seq, "ok", use.predict_batch(samples)))
             except Exception as exc:  # ship the failure to the parent
-                conn.send(("err", exc))
+                conn.send((seq, "err", exc))
 
     @property
     def stats(self) -> SessionStats:
@@ -175,20 +183,37 @@ class ProcessReplica(Replica):
         return self._stats
 
     def run(self, samples, degraded=False) -> np.ndarray:
-        """Round-trip one batch through the worker process."""
+        """Round-trip one batch through the worker process.
+
+        Replies are matched to this request by sequence id; buffered
+        replies to earlier timed-out requests are discarded, never
+        returned as this batch's answer.
+        """
         samples = np.asarray(samples)
         start = time.perf_counter()
         try:
             with self._pipe_lock:
-                self._parent_conn.send((bool(degraded), samples))
-                if self.timeout_s is not None and not self._parent_conn.poll(
-                    self.timeout_s
-                ):
-                    raise TimeoutError(
-                        f"replica {self.name} did not answer within "
-                        f"{self.timeout_s}s"
-                    )
-                kind, payload = self._parent_conn.recv()
+                self._seq += 1
+                seq = self._seq
+                self._parent_conn.send((seq, bool(degraded), samples))
+                deadline = (
+                    None if self.timeout_s is None
+                    else time.perf_counter() + self.timeout_s
+                )
+                while True:
+                    if deadline is not None:
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0 or not self._parent_conn.poll(
+                            remaining
+                        ):
+                            raise TimeoutError(
+                                f"replica {self.name} did not answer "
+                                f"within {self.timeout_s}s"
+                            )
+                    reply_seq, kind, payload = self._parent_conn.recv()
+                    if reply_seq == seq:
+                        break
+                    # stale reply to a request that already timed out
             if kind == "err":
                 raise payload
         except Exception:

@@ -6,13 +6,16 @@ caller holds.  Ownership is strictly linear: the admission queue owns a
 request until it is popped or shed; whoever removes it from the queue
 resolves its future exactly once.  That discipline (not future-side
 locking) is what guarantees "zero hung futures" under shutdown, load
-shedding and deadline expiry all racing each other.
+shedding and deadline expiry all racing each other.  The one actor
+outside that ownership chain is the caller, who may *cancel* the
+future it holds — so :meth:`Request.resolve` and :meth:`Request.fail`
+treat an already-done future as a no-op rather than an error.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from enum import IntEnum
 
 import numpy as np
@@ -83,13 +86,27 @@ class Request:
         return now >= self.t_expiry
 
     # ------------------------------------------------------------------
-    def resolve(self, row) -> None:
-        """Deliver the output row to the caller."""
-        self.future.set_result(row)
+    def resolve(self, row) -> bool:
+        """Deliver the output row to the caller.
 
-    def fail(self, exc) -> None:
-        """Deliver a (typed) failure to the caller."""
-        self.future.set_exception(exc)
+        Returns ``False`` instead of raising when the future no longer
+        accepts a result — the caller cancelled it while it was queued,
+        or it was already resolved — so one dead future cannot abort
+        the resolve loop and strand its batchmates.
+        """
+        try:
+            self.future.set_result(row)
+        except InvalidStateError:
+            return False
+        return True
+
+    def fail(self, exc) -> bool:
+        """Deliver a (typed) failure; ``False`` if the future is done."""
+        try:
+            self.future.set_exception(exc)
+        except InvalidStateError:
+            return False
+        return True
 
     def sort_key(self):
         """Heap key: higher priority first, FIFO within a class."""

@@ -150,7 +150,8 @@ class Scheduler:
             self._slots.release()
 
     def _fail_deadline(self, req, now):
-        req.fail(DeadlineExceeded(req.waited_ms(now), req.deadline_ms))
+        if not req.fail(DeadlineExceeded(req.waited_ms(now), req.deadline_ms)):
+            return  # caller already cancelled the future
         with self._lock:
             self.deadline_exceeded += 1
             self.failed += 1
@@ -160,14 +161,19 @@ class Scheduler:
         try:
             replica = self.pool.acquire()
         except ReplicaUnavailable as exc:
-            for req in group:
-                req.fail(exc)
+            failed = sum(1 for req in group if req.fail(exc))
             with self._lock:
-                self.failed += len(group)
+                self.failed += failed
             self._slots.release()
             return
 
         def run():
+            # Everything here runs on a ThreadPoolExecutor worker, where
+            # an escaped exception is silently swallowed — so the entire
+            # body is fenced and any failure (np.stack on a wrong-shaped
+            # payload, replica errors, a short row count) fails every
+            # still-unresolved request in the group rather than leaving
+            # futures pending forever.
             try:
                 # re-check deadlines: time may have passed in the
                 # replica's executor queue, and fail-fast must hold there
@@ -181,23 +187,26 @@ class Scheduler:
                 if not live:
                     return
                 samples = np.stack([req.payload for req in live])
-                try:
-                    rows = replica.run(samples, degraded=degraded)
-                except BaseException as exc:  # typed failure to every waiter
-                    for req in live:
-                        req.fail(exc)
-                    with self._lock:
-                        self.failed += len(live)
-                    return
-                for req, row in zip(live, rows):
-                    req.resolve(row)
+                rows = replica.run(samples, degraded=degraded)
+                if len(rows) != len(live):
+                    raise RuntimeError(
+                        f"replica {replica.name} returned {len(rows)} rows "
+                        f"for a {len(live)}-sample batch"
+                    )
+                delivered = [
+                    req for req, row in zip(live, rows) if req.resolve(row)
+                ]
                 with self._lock:
                     self.dispatched_batches += 1
-                    self.completed += len(live)
+                    self.completed += len(delivered)
                     if degraded:
-                        self.degraded_dispatched += len(live)
-                    for req in live:
+                        self.degraded_dispatched += len(delivered)
+                    for req in delivered:
                         self.by_priority[req.priority.name] += 1
+            except BaseException as exc:  # typed failure to every waiter
+                failed = sum(1 for req in group if req.fail(exc))
+                with self._lock:
+                    self.failed += failed
             finally:
                 self.pool.release(replica)
                 self._slots.release()
@@ -215,11 +224,12 @@ class Scheduler:
             collector = self._collector
         self.queue.close()
         if not drain:
-            remaining = self.queue.drain_remaining()
-            for req in remaining:
-                req.fail(ServerStopped("server closed before dispatch"))
+            failed = sum(
+                1 for req in self.queue.drain_remaining()
+                if req.fail(ServerStopped("server closed before dispatch"))
+            )
             with self._lock:
-                self.failed += len(remaining)
+                self.failed += failed
         if collector is not None:
             collector.join()
             for executor in self._executors.values():

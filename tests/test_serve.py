@@ -27,6 +27,7 @@ from repro.serve import (
     AdmissionQueue,
     DeadlineExceeded,
     Priority,
+    ProcessReplica,
     QueueFull,
     Replica,
     ReplicaPool,
@@ -63,6 +64,23 @@ def _failing_session(exc=None):
 def _samples(n=8, seed=0, shape=(4,)):
     rng = np.random.default_rng(seed)
     return rng.standard_normal((n, *shape)).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+class TestRequest:
+    def test_resolve_and_fail_report_delivery(self):
+        req = Request(np.zeros(2, np.float32))
+        assert req.resolve(1.0) is True
+        assert req.resolve(2.0) is False  # already resolved: no-op
+        assert req.fail(RuntimeError("late")) is False
+        assert req.future.result(timeout=1) == 1.0
+
+    def test_cancelled_future_is_a_noop_not_an_error(self):
+        req = Request(np.zeros(2, np.float32))
+        assert req.future.cancel()
+        assert req.resolve(1.0) is False
+        assert req.fail(RuntimeError("late")) is False
+        assert req.future.cancelled()
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +230,35 @@ class TestReplicaPool:
         merged = pool.merged_stats()
         assert isinstance(merged, SessionStats)
         assert merged.snapshot()["requests"] == 6
+
+    def test_process_timeout_never_returns_stale_batch(self):
+        # regression: a timed-out request leaves the worker's eventual
+        # reply buffered in the pipe.  The next run() must discard that
+        # stale reply (matched by sequence id), not hand the previous
+        # batch's outputs to the new batch's callers.
+        def marker_sleep(batch):
+            batch = np.asarray(batch)
+            delay = float(batch.flat[0])
+            if delay > 0:
+                time.sleep(delay)
+            return batch * 2.0
+
+        replica = ProcessReplica(
+            "p0", InferenceSession(marker_sleep), timeout_s=0.1,
+        )
+        try:
+            slow = np.full((3, 2), 0.4, np.float32)  # sleeps 0.4 s
+            with pytest.raises(TimeoutError):
+                replica.run(slow)
+            assert replica.consecutive_failures == 1
+            replica.timeout_s = 30.0  # plenty for the retry leg
+            fast = np.zeros((2, 2), np.float32)
+            out = replica.run(fast)
+            # the buggy path returned slow * 2 (3 rows of 0.8) here
+            np.testing.assert_array_equal(out, fast * 2.0)
+            assert replica.consecutive_failures == 0
+        finally:
+            replica.close()
 
     def test_process_mode_bit_exact_and_joins(self):
         pool = ReplicaPool.build("ode_botnet", "tiny", 1, seed=0,
@@ -366,6 +413,56 @@ class TestServer:
         # everything resolved; at least the tail was failed typed
         assert len(outcomes) == 4
         assert "stopped" in outcomes
+
+    def test_bad_shape_batchmate_fails_whole_group_typed(self):
+        # regression: np.stack over a mixed-shape micro-batch raised in
+        # the executor thread where ThreadPoolExecutor swallowed it,
+        # leaving every batchmate's future pending forever.  The whole
+        # dispatch body is fenced now: everyone fails typed, nobody hangs.
+        release = threading.Event()
+
+        def gated(batch):
+            release.wait(timeout=30)
+            batch = np.asarray(batch)
+            return batch.reshape(len(batch), -1).sum(axis=1)[:, None]
+
+        pool = ReplicaPool([Replica("r0", InferenceSession(gated))])
+        with Server(pool, max_batch_size=8, max_wait_ms=10.0) as server:
+            blocker = server.submit(np.zeros(4, np.float32))
+            time.sleep(0.05)  # blocker's batch closes, occupies the replica
+            good = [server.submit(np.zeros(4, np.float32)) for _ in range(2)]
+            bad = server.submit(np.zeros(3, np.float32))  # wrong shape
+            release.set()
+            blocker.result(timeout=30)
+            for fut in (*good, bad):
+                with pytest.raises(ValueError):
+                    fut.result(timeout=30)
+        assert server.scheduler.snapshot()["failed"] == 3
+
+    def test_cancelled_future_does_not_strand_batchmates(self):
+        # regression: Future.set_result on a caller-cancelled future
+        # raised InvalidStateError mid-resolve-loop, leaving the rest of
+        # the batch unresolved
+        release = threading.Event()
+
+        def gated(batch):
+            release.wait(timeout=30)
+            batch = np.asarray(batch)
+            return batch.reshape(len(batch), -1).sum(axis=1)[:, None]
+
+        pool = ReplicaPool([Replica("r0", InferenceSession(gated))])
+        with Server(pool, max_batch_size=8, max_wait_ms=10.0) as server:
+            blocker = server.submit(np.zeros(2, np.float32))
+            time.sleep(0.05)  # blocker's batch closes, occupies the replica
+            first = server.submit(np.ones(2, np.float32))
+            victim = server.submit(np.ones(2, np.float32))
+            last = server.submit(np.ones(2, np.float32))
+            assert victim.cancel()  # still queued, so cancellable
+            release.set()
+            blocker.result(timeout=30)
+            assert first.result(timeout=30) == pytest.approx(2.0)
+            assert last.result(timeout=30) == pytest.approx(2.0)
+            assert victim.cancelled()
 
     def test_metrics_snapshot_and_report(self):
         with Server.build("ode_botnet", "tiny", 2, seed=0,

@@ -33,6 +33,10 @@ Subpackages
     production serving layer: replica pool, admission control,
     deadlines/priorities and a deterministic load harness
     (``python -m repro.serve``).
+``repro.trace``
+    zero-dependency structured tracing: per-request spans across
+    serve → session → ODE solver → kernels, Chrome/Perfetto export
+    (``python -m repro.serve --trace out.json``).
 ``repro.experiments``
     one entry point per paper table/figure.
 
@@ -60,4 +64,5 @@ __all__ = [
     "kernels",
     "lint",
     "serve",
+    "trace",
 ]

@@ -1,0 +1,92 @@
+"""Tracing-layer rule: traced paths keep a single clock discipline.
+
+``TRC001`` — the tracing subsystem (:mod:`repro.trace`) records every
+span on the ``time.perf_counter()`` monotonic clock, which is what
+makes spans comparable across threads and forked replica workers and
+keeps timelines immune to wall-clock adjustments.  An ad-hoc
+``time.time()`` measurement inside a traced path breaks both
+properties *and* dodges the tracer (its numbers can never appear in a
+trace, a flame view or the tail-attribution report).  Inside the
+traced subsystems, durations must come from a tracer span or from
+``perf_counter`` — never from the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .diagnostics import Severity
+from .rules import Rule, register
+
+#: package-relative prefixes whose execution is part of a traced path
+TRACED_PREFIXES = (
+    "serve/",
+    "runtime/",
+    "ode/",
+    "kernels/",
+    "trace/",
+    "profiling/",
+)
+
+
+def _in_traced_path(src) -> bool:
+    return any(src.rel.startswith(p) for p in TRACED_PREFIXES)
+
+
+@register
+class TraceWallClockRule(Rule):
+    """No ``time.time()`` in traced paths: spans and measurements there
+    must use the tracer (or ``time.perf_counter`` directly), whose
+    monotonic timestamps line up across threads and forked workers."""
+
+    id = "TRC001"
+    name = "trace-wall-clock"
+    severity = Severity.ERROR
+    domains = ("library",)
+    description = "traced paths must not measure with time.time()"
+
+    def check(self, src):
+        aliases = self._time_aliases(src.tree)
+        if not _in_traced_path(src):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_wall_clock(node.func, aliases):
+                yield self.diag(
+                    src, node,
+                    "time.time() on a traced path (wall clock; invisible "
+                    "to the tracer)",
+                    suggestion="use tracer.span(...) for durations, or "
+                    "time.perf_counter() for raw monotonic timestamps",
+                )
+
+    @staticmethod
+    def _time_aliases(tree):
+        """Names that ``time.time`` is reachable through in this module:
+        module aliases (``import time as t``) and direct function
+        imports (``from time import time [as now]``)."""
+        modules = set()
+        functions = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        modules.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        functions.add(alias.asname or "time")
+        return modules, functions
+
+    @staticmethod
+    def _is_wall_clock(func, aliases) -> bool:
+        modules, functions = aliases
+        if isinstance(func, ast.Attribute) and func.attr == "time":
+            return isinstance(func.value, ast.Name) and func.value.id in modules
+        if isinstance(func, ast.Name):
+            return func.id in functions
+        return False
+
+
+__all__ = ["TraceWallClockRule", "TRACED_PREFIXES"]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from ..trace import current_tracer
 
 
 class FixedGridSolver:
@@ -33,8 +34,15 @@ class FixedGridSolver:
         h = (t1 - t0) / steps
         z = z0
         t = t0
-        for _ in range(steps):
-            z = self.step(f, t, z, h)
+        tracer = current_tracer()
+        if tracer is None:
+            for _ in range(steps):
+                z = self.step(f, t, z, h)
+                t += h
+            return z
+        for i in range(steps):
+            with tracer.span("solver.step", step=i, solver=self.name):
+                z = self.step(f, t, z, h)
             t += h
         return z
 
@@ -123,11 +131,11 @@ class EmbeddedRKSolver:
     def integrate(self, f, z0, t0=0.0, t1=1.0, steps=None):
         """Integrate adaptively; *steps* sets the initial step count hint."""
         self.stats = {"accepted": 0, "rejected": 0, "nfe": 0}
-        n_stages = len(self.C)
         h = (t1 - t0) / (steps or 10)
         t = t0
         z = z0
         iterations = 0
+        tracer = current_tracer()
         while t < t1 - 1e-12:
             if iterations >= self.max_steps:
                 raise RuntimeError(
@@ -135,36 +143,52 @@ class EmbeddedRKSolver:
                     f"(t={t:.4f}, target {t1})"
                 )
             iterations += 1
-            h = min(h, t1 - t)
-            ks = []
-            for i in range(n_stages):
-                ti = t + self.C[i] * h
-                zi = z
-                for j, aij in enumerate(self.A[i]):
-                    if aij != 0.0:
-                        zi = zi + ks[j] * (aij * h)
-                ks.append(f(ti, zi))
-                self.stats["nfe"] += 1
-            z_high = z
-            for bi, ki in zip(self.B_HIGH, ks):
-                if bi != 0.0:
-                    z_high = z_high + ki * (bi * h)
-            err = np.zeros_like(z.data)
-            for bh, bl, ki in zip(self.B_HIGH, self.B_LOW, ks):
-                diff = bh - bl
-                if diff != 0.0:
-                    err = err + diff * h * ki.data
-            norm = self._error_norm(err, z_high.data, z.data)
-            if norm <= 1.0:
-                t += h
-                z = z_high
-                self.stats["accepted"] += 1
+            if tracer is None:
+                t, z, h = self._attempt_step(f, t, z, h, t1)
             else:
-                self.stats["rejected"] += 1
-            # PI-style step update with clamped growth.
-            factor = self.safety * (1.0 / max(norm, 1e-10)) ** (1.0 / self.order)
-            h = h * float(np.clip(factor, 0.2, 5.0))
+                with tracer.span(
+                    "solver.step", step=iterations - 1, solver=self.name,
+                ) as span:
+                    accepted_before = self.stats["accepted"]
+                    t, z, h = self._attempt_step(f, t, z, h, t1)
+                    span.set(
+                        accepted=self.stats["accepted"] > accepted_before
+                    )
         return z
+
+    def _attempt_step(self, f, t, z, h, t1):
+        """One attempted (accepted or rejected) step; returns the new
+        ``(t, z, h)`` and updates ``self.stats`` in place."""
+        h = min(h, t1 - t)
+        ks = []
+        for i in range(len(self.C)):
+            ti = t + self.C[i] * h
+            zi = z
+            for j, aij in enumerate(self.A[i]):
+                if aij != 0.0:
+                    zi = zi + ks[j] * (aij * h)
+            ks.append(f(ti, zi))
+            self.stats["nfe"] += 1
+        z_high = z
+        for bi, ki in zip(self.B_HIGH, ks):
+            if bi != 0.0:
+                z_high = z_high + ki * (bi * h)
+        err = np.zeros_like(z.data)
+        for bh, bl, ki in zip(self.B_HIGH, self.B_LOW, ks):
+            diff = bh - bl
+            if diff != 0.0:
+                err = err + diff * h * ki.data
+        norm = self._error_norm(err, z_high.data, z.data)
+        if norm <= 1.0:
+            t += h
+            z = z_high
+            self.stats["accepted"] += 1
+        else:
+            self.stats["rejected"] += 1
+        # PI-style step update with clamped growth.
+        factor = self.safety * (1.0 / max(norm, 1e-10)) ** (1.0 / self.order)
+        h = h * float(np.clip(factor, 0.2, 5.0))
+        return t, z, h
 
 
 class Dopri5(EmbeddedRKSolver):

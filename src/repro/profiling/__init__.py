@@ -13,6 +13,7 @@ from .attention_stats import (
     summarize_attention,
 )
 from ..kernels import KernelCounters, collect as collect_kernels
+from ..trace import Tracer, current_tracer
 from .breakdown import mhsa_time_ratio, time_module_forward
 from .flops import count_macs, model_macs
 from .head_importance import head_importance
@@ -30,6 +31,8 @@ __all__ = [
     "WallClock",
     "KernelCounters",
     "collect_kernels",
+    "Tracer",
+    "current_tracer",
     "count_macs",
     "model_macs",
     "time_module_forward",

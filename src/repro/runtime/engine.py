@@ -32,6 +32,7 @@ import numpy as np
 from .. import kernels
 from ..nn import DepthwiseSeparableConv2d, MHSA2d, functional as F
 from ..tensor import Tensor, inference_mode
+from ..trace import current_tracer
 
 
 def _relu_(a):
@@ -186,12 +187,26 @@ class _PackedODEBlock:
         self.t1 = block.t1
 
     def __call__(self, z):
+        tracer = current_tracer()
+        if tracer is None:
+            h = (self.t1 - self.t0) / self.steps
+            t = self.t0
+            for _ in range(self.steps):
+                f = self.func(t, z)
+                kernels.mul(f, np.asarray(h, dtype=f.dtype), out=f)
+                kernels.add(z, f, out=f)
+                z = f
+                t += h
+            return z
+        # same arithmetic, one span per Euler step (the trace's answer
+        # to the paper's per-block timing tables)
         h = (self.t1 - self.t0) / self.steps
         t = self.t0
-        for _ in range(self.steps):
-            f = self.func(t, z)
-            kernels.mul(f, np.asarray(h, dtype=f.dtype), out=f)
-            kernels.add(z, f, out=f)
+        for i in range(self.steps):
+            with tracer.span("solver.step", step=i, solver="euler"):
+                f = self.func(t, z)
+                kernels.mul(f, np.asarray(h, dtype=f.dtype), out=f)
+                kernels.add(z, f, out=f)
             z = f
             t += h
         return z

@@ -22,11 +22,13 @@ latency), which the :class:`~repro.runtime.MicroBatcher` shares.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 
 import numpy as np
 
 from .. import kernels
 from ..nn import Module
+from ..trace import KernelSpanCollector, current_tracer
 from .engine import ModulePlan, PackedODENet
 from .stats import SessionStats
 
@@ -58,6 +60,15 @@ class InferenceSession:
         when ``True``, per-kernel call counts / wall time / bytes are
         collected for every dispatch and aggregated into
         ``stats.snapshot()["kernels"]``.
+    trace:
+        optional :class:`repro.trace.Tracer`.  When set, every
+        ``predict_batch`` records a ``session`` span with nested
+        ``solver.step`` and (if the tracer's ``kernel_spans`` is on)
+        ``kernel.<name>`` spans.  When ``None`` the session still
+        joins an *ambient* trace — a tracer made current by an
+        enclosing span, e.g. the serving layer's dispatch span — and
+        otherwise takes the untraced fast path at the cost of a single
+        thread-local read.
 
     Notes
     -----
@@ -68,7 +79,7 @@ class InferenceSession:
     """
 
     def __init__(self, model, *, packed=None, stats=None, backend=None,
-                 instrument=False):
+                 instrument=False, trace=None):
         from ..fixedpoint.quantized_model import QuantizedODENetExecutor
 
         self._stats = stats if stats is not None else SessionStats()
@@ -76,6 +87,7 @@ class InferenceSession:
             kernels.get_backend(backend)  # validate eagerly
         self.kernel_backend = backend
         self.instrument = bool(instrument)
+        self.trace = trace
         self.model = model
         if isinstance(model, Module):
             model.eval()
@@ -117,13 +129,39 @@ class InferenceSession:
     def predict_batch(self, x) -> np.ndarray:
         """Run a batch (leading axis = samples) and return raw outputs."""
         x = np.asarray(x)
+        tracer = self.trace if self.trace is not None else current_tracer()
         start = time.perf_counter()
-        if self.kernel_backend is None and not self.instrument:
+        if tracer is not None and tracer.enabled:
+            out = self._dispatch_traced(x, tracer)
+        elif self.kernel_backend is None and not self.instrument:
             out = self._plan(x)
         else:
             out = self._dispatch_instrumented(x)
         self._stats.record(x.shape[0], time.perf_counter() - start)
         return np.asarray(out)
+
+    def _dispatch_traced(self, x, tracer):
+        """Plan call under a ``session`` span (which also makes *tracer*
+        ambient, so the engine's solver loop and the kernel dispatcher
+        nest their spans beneath it) plus whatever backend/counter
+        contexts the session is configured with."""
+        counters = kernels.KernelCounters() if self.instrument else None
+        with ExitStack() as stack:
+            stack.enter_context(tracer.span(
+                "session", batch=int(x.shape[0]), plan=self.backend,
+            ))
+            if self.kernel_backend is not None:
+                stack.enter_context(kernels.use_backend(self.kernel_backend))
+            if tracer.kernel_spans:
+                stack.enter_context(
+                    kernels.collect(KernelSpanCollector(tracer))
+                )
+            if counters is not None:
+                stack.enter_context(kernels.collect(counters))
+            out = self._plan(x)
+        if counters is not None:
+            self._stats.record_kernels(counters)
+        return out
 
     def _dispatch_instrumented(self, x):
         """Plan call with the session's kernel backend and/or collectors

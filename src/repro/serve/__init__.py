@@ -27,11 +27,13 @@ this package turns that into a servable system:
   replica's :class:`~repro.runtime.SessionStats` (per-kernel counters
   included) into one snapshot;
 * :mod:`~repro.serve.loadgen` — a seeded open-loop Poisson load
-  harness (``python -m repro.serve.loadgen``) so soak runs and
-  benchmarks are reproducible.
+  harness (``python -m repro.serve``) so soak runs and benchmarks
+  are reproducible; ``--trace out.json`` records per-request
+  :mod:`repro.trace` spans and writes a Chrome/Perfetto trace.
 
-See ``docs/SERVING.md`` for semantics and tuning, and
-``docs/ARCHITECTURE.md`` §12 for how the pieces fit.
+See ``docs/SERVING.md`` for semantics and tuning,
+``docs/OBSERVABILITY.md`` for tracing, and ``docs/ARCHITECTURE.md``
+§12–§13 for how the pieces fit.
 """
 
 from .admission import POLICIES, AdmissionQueue

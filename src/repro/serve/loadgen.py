@@ -248,17 +248,28 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
                         "--load-factor")
     parser.add_argument("--deadline-ms", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="record request traces and write a Chrome/"
+                        "Perfetto trace JSON here")
+    parser.add_argument("--trace-sample", type=int, default=1,
+                        help="trace every Nth request (default: every "
+                        "request)")
     args = parser.parse_args(argv)
 
     size = PROFILES[args.profile]["input_size"]
     rng = np.random.default_rng(args.seed)
     samples = rng.standard_normal((32, 3, size, size)).astype(np.float32)
 
+    tracer = None
+    if args.trace is not None:
+        from ..trace import Tracer
+
+        tracer = Tracer(sample_every=args.trace_sample)
     server = Server.build(
         args.model, args.profile, args.replicas, backends=args.backend,
         mode=args.mode, shed_policy=args.policy,
         queue_capacity=args.capacity, max_batch_size=args.batch,
-        max_wait_ms=args.wait_ms,
+        max_wait_ms=args.wait_ms, tracer=tracer,
     )
     try:
         rate = args.rate
@@ -276,6 +287,18 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
                           priority_weights=(0.1, 0.8, 0.1))
         print(report.summary())
         print(server.metrics_report())
+        if tracer is not None:
+            from ..trace import (
+                render_tail_attribution,
+                tail_attribution,
+                write_chrome_trace,
+            )
+
+            spans = tracer.spans()
+            n_events = write_chrome_trace(spans, args.trace)
+            print(render_tail_attribution(tail_attribution(spans)))
+            print(f"trace: {n_events} events -> {args.trace} "
+                  f"(load at https://ui.perfetto.dev)")
         queue_snap = server.metrics()["queue"]
         bounded = queue_snap["high_water"] <= (
             server.queue.capacity + server.queue.degrade_headroom

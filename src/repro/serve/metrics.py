@@ -11,12 +11,17 @@ harness print.
 
 from __future__ import annotations
 
+from ..trace import STAGES
 
-def snapshot(pool, queue=None, scheduler=None) -> dict:
+
+def snapshot(pool, queue=None, scheduler=None, tracer=None) -> dict:
     """Aggregate a serving stack into one plain-dict metrics snapshot.
 
-    ``pool`` is required; ``queue`` and ``scheduler`` are optional so
-    partial stacks (e.g. a bare pool in a test) can still report.
+    ``pool`` is required; ``queue``, ``scheduler`` and ``tracer`` are
+    optional so partial stacks (e.g. a bare pool in a test) can still
+    report.  With a :class:`repro.trace.Tracer` the snapshot gains a
+    ``"trace"`` section: span counters plus per-stage latency
+    percentiles over the retained spans.
     """
     merged = pool.merged_stats()
     out = {
@@ -33,6 +38,8 @@ def snapshot(pool, queue=None, scheduler=None) -> dict:
         out["queue"] = queue.snapshot()
     if scheduler is not None:
         out["scheduler"] = scheduler.snapshot()
+    if tracer is not None:
+        out["trace"] = tracer.snapshot()
     return out
 
 
@@ -73,6 +80,25 @@ def render_report(snap) -> str:
             f" {sched['degraded_dispatched']} degraded)"
             f"  priorities {sched['by_priority'] or '{}'}"
         )
+    trace = snap.get("trace")
+    if trace is not None:
+        lines.append(
+            f"trace: {trace['requests']} requests traced"
+            f" (sample 1/{trace['sample_every']}),"
+            f" {trace['completed']} spans"
+            f" ({trace['retained']} retained, {trace['dropped']} dropped)"
+        )
+        stages = trace.get("stages", {})
+        for stage in (*STAGES, "kernel.*"):
+            st = stages.get(stage)
+            if st is None:
+                continue
+            lines.append(
+                f"  stage {stage:<12} x{st['count']:<6}"
+                f" p50 {st['p50_ms']:7.3f} ms"
+                f"  p95 {st['p95_ms']:7.3f} ms"
+                f"  p99 {st['p99_ms']:7.3f} ms"
+            )
     for name, rep in snap["replicas"].items():
         stats = rep["stats"]
         flag = "up  " if rep["healthy"] else "DOWN"

@@ -115,9 +115,16 @@ class Replica:
 class ProcessReplica(Replica):
     """A replica whose sessions live in a forked worker process.
 
-    The parent sends ``(seq, degraded, samples)`` over a pipe and
-    receives either the output batch or the worker-side exception, with
-    the request's ``seq`` echoed back.  The echo is what keeps the pipe
+    The parent sends ``(seq, degraded, samples, want_trace)`` over a
+    pipe and receives ``(seq, kind, payload, spans)`` — the output
+    batch or the worker-side exception, with the request's ``seq``
+    echoed back.  When the parent's dispatch is being traced
+    (``want_trace``), the worker runs the batch under a private
+    :class:`repro.trace.Tracer` and ships the collected spans back as
+    the fourth element; the parent re-parents them under its ambient
+    ``dispatch`` span with :meth:`Tracer.ingest` (``perf_counter`` is
+    ``CLOCK_MONOTONIC`` on Linux, so timestamps line up across the
+    fork).  The echo is what keeps the pipe
     usable after a timeout: when ``timeout_s`` expires the worker's
     late reply stays buffered in the pipe, and the *next* ``run`` must
     discard it by sequence id — not mistake it for its own answer and
@@ -157,8 +164,10 @@ class ProcessReplica(Replica):
 
     @staticmethod
     def _worker_loop(conn, session, degraded_session):
-        """Child: answer ``(seq, degraded, samples)`` until the pipe
-        closes, echoing each request's ``seq`` in its reply."""
+        """Child: answer ``(seq, degraded, samples, want_trace)`` until
+        the pipe closes, echoing each request's ``seq`` in its reply."""
+        from ..trace import Tracer
+
         while True:
             try:
                 msg = conn.recv()
@@ -166,16 +175,22 @@ class ProcessReplica(Replica):
                 return
             if msg is None:
                 return
-            seq, degraded, samples = msg
+            seq, degraded, samples, want_trace = msg
             use = (
                 degraded_session
                 if degraded and degraded_session is not None
                 else session
             )
             try:
-                conn.send((seq, "ok", use.predict_batch(samples)))
+                if want_trace:
+                    tracer = Tracer(capacity=8192)
+                    with tracer.activate():
+                        out = use.predict_batch(samples)
+                    conn.send((seq, "ok", out, tracer.spans()))
+                else:
+                    conn.send((seq, "ok", use.predict_batch(samples), None))
             except Exception as exc:  # ship the failure to the parent
-                conn.send((seq, "err", exc))
+                conn.send((seq, "err", exc, None))
 
     @property
     def stats(self) -> SessionStats:
@@ -189,13 +204,18 @@ class ProcessReplica(Replica):
         replies to earlier timed-out requests are discarded, never
         returned as this batch's answer.
         """
+        from ..trace import current_tracer
+
         samples = np.asarray(samples)
+        tracer = current_tracer()
         start = time.perf_counter()
         try:
             with self._pipe_lock:
                 self._seq += 1
                 seq = self._seq
-                self._parent_conn.send((seq, bool(degraded), samples))
+                self._parent_conn.send(
+                    (seq, bool(degraded), samples, tracer is not None)
+                )
                 deadline = (
                     None if self.timeout_s is None
                     else time.perf_counter() + self.timeout_s
@@ -210,12 +230,15 @@ class ProcessReplica(Replica):
                                 f"replica {self.name} did not answer "
                                 f"within {self.timeout_s}s"
                             )
-                    reply_seq, kind, payload = self._parent_conn.recv()
+                    reply_seq, kind, payload, spans = self._parent_conn.recv()
                     if reply_seq == seq:
                         break
                     # stale reply to a request that already timed out
             if kind == "err":
                 raise payload
+            if tracer is not None and spans:
+                # worker spans attach under the ambient dispatch span
+                tracer.ingest(spans)
         except Exception:
             self.consecutive_failures += 1
             if self.consecutive_failures >= self.unhealthy_after:

@@ -54,7 +54,7 @@ class Request:
 
     __slots__ = (
         "payload", "priority", "seq", "future",
-        "t_submit", "t_expiry", "deadline_ms", "degraded",
+        "t_submit", "t_expiry", "deadline_ms", "degraded", "trace_id",
     )
 
     def __init__(self, payload, *, priority=Priority.NORMAL, deadline_ms=None,
@@ -71,6 +71,9 @@ class Request:
         )
         #: set by admission control: execute on the reduced-step session
         self.degraded = False
+        #: set by Server.submit when the request is sampled for tracing
+        #: (a repro.trace trace id); None = untraced
+        self.trace_id = None
 
     # ------------------------------------------------------------------
     def waited_ms(self, now=None) -> float:

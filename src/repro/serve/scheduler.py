@@ -53,10 +53,18 @@ class Scheduler:
     max_batch_size, max_wait_ms:
         micro-batching knobs, same semantics as
         :class:`~repro.runtime.MicroBatcher`.
+    tracer:
+        optional :class:`repro.trace.Tracer`.  When set, batches that
+        contain sampled requests (``Request.trace_id`` is not ``None``)
+        record ``admission`` / ``batch`` / ``dispatch`` spans; the
+        dispatch span is ambient on the executor thread, so the
+        session, solver and kernel seams nest under it without any
+        further plumbing.  Batches with no sampled request run the
+        exact untraced path.
     """
 
     def __init__(self, pool, queue, *, max_batch_size=8, max_wait_ms=2.0,
-                 inflight_per_replica=2):
+                 inflight_per_replica=2, tracer=None):
         if max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be >= 1, got {max_batch_size}"
@@ -79,6 +87,7 @@ class Scheduler:
         self._slots = threading.BoundedSemaphore(
             len(pool) * int(inflight_per_replica)
         )
+        self.tracer = tracer
         self._lock = threading.Lock()
         self._collector = None
         self._executors = {}
@@ -186,23 +195,30 @@ class Scheduler:
                         live.append(req)
                 if not live:
                     return
-                samples = np.stack([req.payload for req in live])
-                rows = replica.run(samples, degraded=degraded)
-                if len(rows) != len(live):
-                    raise RuntimeError(
-                        f"replica {replica.name} returned {len(rows)} rows "
-                        f"for a {len(live)}-sample batch"
-                    )
-                delivered = [
-                    req for req, row in zip(live, rows) if req.resolve(row)
-                ]
-                with self._lock:
-                    self.dispatched_batches += 1
-                    self.completed += len(delivered)
-                    if degraded:
-                        self.degraded_dispatched += len(delivered)
-                    for req in delivered:
-                        self.by_priority[req.priority.name] += 1
+                tracer = self.tracer
+                traced = (
+                    [r for r in live if r.trace_id is not None]
+                    if tracer is not None else []
+                )
+                if not traced:
+                    self._execute(replica, live, degraded, None)
+                else:
+                    # retroactive queue-wait spans, one per sampled
+                    # request: submit time -> batch execution start
+                    for req in traced:
+                        tracer.add_span(
+                            "admission", req.t_submit, now,
+                            trace_ids=[req.trace_id],
+                            priority=req.priority.name,
+                            degraded=req.degraded,
+                        )
+                    with tracer.span(
+                        "batch",
+                        trace_ids=[r.trace_id for r in traced],
+                        size=len(live), degraded=degraded,
+                        replica=replica.name,
+                    ):
+                        self._execute(replica, live, degraded, tracer)
             except BaseException as exc:  # typed failure to every waiter
                 failed = sum(1 for req in group if req.fail(exc))
                 with self._lock:
@@ -212,6 +228,37 @@ class Scheduler:
                 self._slots.release()
 
         self._executors[replica.name].submit(run)
+
+    def _execute(self, replica, live, degraded, tracer):
+        """Stack, run and deliver one already-deadline-checked group.
+
+        Runs on the replica's executor thread inside ``run``'s fence;
+        when *tracer* is set the caller already opened the ``batch``
+        span, and the ``dispatch`` span opened here is the ambient
+        parent the replica's session / solver / kernel spans attach to.
+        """
+        samples = np.stack([req.payload for req in live])
+        if tracer is None:
+            rows = replica.run(samples, degraded=degraded)
+        else:
+            with tracer.span("dispatch", replica=replica.name,
+                             size=len(live)):
+                rows = replica.run(samples, degraded=degraded)
+        if len(rows) != len(live):
+            raise RuntimeError(
+                f"replica {replica.name} returned {len(rows)} rows "
+                f"for a {len(live)}-sample batch"
+            )
+        delivered = [
+            req for req, row in zip(live, rows) if req.resolve(row)
+        ]
+        with self._lock:
+            self.dispatched_batches += 1
+            self.completed += len(delivered)
+            if degraded:
+                self.degraded_dispatched += len(delivered)
+            for req in delivered:
+                self.by_priority[req.priority.name] += 1
 
     # ------------------------------------------------------------------
     def stop(self, drain=True) -> None:

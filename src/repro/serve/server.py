@@ -22,6 +22,8 @@ convenience wrapper, bit-exact with the wrapped sessions' own
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .admission import AdmissionQueue
@@ -48,17 +50,26 @@ class Server:
     default_deadline_ms:
         deadline applied to requests submitted without one (``None``
         disables).
+    tracer:
+        optional :class:`repro.trace.Tracer`; sampled requests (per
+        the tracer's ``sample_every``) get a trace id at submission and
+        record the full ``request`` → ``admission`` → ``batch`` →
+        ``dispatch`` → ``session`` → ``solver.step`` → ``kernel.*``
+        span chain.  ``None`` (default) disables tracing at zero cost.
     """
 
     def __init__(self, pool, *, max_batch_size=8, max_wait_ms=2.0,
                  queue_capacity=64, shed_policy="reject",
-                 degrade_headroom=None, default_deadline_ms=None):
+                 degrade_headroom=None, default_deadline_ms=None,
+                 tracer=None):
         self.pool = pool
+        self.tracer = tracer
         self.queue = AdmissionQueue(queue_capacity, shed_policy,
                                     degrade_headroom=degrade_headroom)
         self.scheduler = Scheduler(pool, self.queue,
                                    max_batch_size=max_batch_size,
-                                   max_wait_ms=max_wait_ms)
+                                   max_wait_ms=max_wait_ms,
+                                   tracer=tracer)
         self.default_deadline_ms = default_deadline_ms
         self._closed = False
         self.scheduler.start()
@@ -96,6 +107,10 @@ class Server:
             deadline_ms = self.default_deadline_ms
         request = Request(x, priority=priority, deadline_ms=deadline_ms,
                           seq=self.queue.next_seq())
+        if self.tracer is not None:
+            request.trace_id = self.tracer.new_trace()
+            if request.trace_id is not None:
+                self._arm_request_span(request)
         if self._closed:
             request.fail(ServerStopped("server is closed"))
             return request.future
@@ -104,6 +119,31 @@ class Server:
             return request.future
         self.queue.offer(request)
         return request.future
+
+    def _arm_request_span(self, request):
+        """Close the root ``request`` span when the future resolves.
+
+        Recorded retroactively (submit time → resolution time) so the
+        span exists for every outcome — completion, typed failure and
+        caller-side cancellation alike.
+        """
+        tracer = self.tracer
+        trace_id = request.trace_id
+        t_submit = request.t_submit
+
+        def _finish(fut):
+            if fut.cancelled():
+                outcome = "cancelled"
+            elif fut.exception() is not None:
+                outcome = type(fut.exception()).__name__
+            else:
+                outcome = "completed"
+            tracer.add_span(
+                "request", t_submit, time.perf_counter(),
+                trace_ids=[trace_id], outcome=outcome,
+            )
+
+        request.future.add_done_callback(_finish)
 
     def predict(self, x, *, priority=Priority.NORMAL, deadline_ms=None,
                 timeout=None) -> np.ndarray:
@@ -126,7 +166,8 @@ class Server:
 
     def metrics(self) -> dict:
         """One aggregated metrics snapshot (see :mod:`~repro.serve.metrics`)."""
-        return snapshot(self.pool, self.queue, self.scheduler)
+        return snapshot(self.pool, self.queue, self.scheduler,
+                        tracer=self.tracer)
 
     def metrics_report(self) -> str:
         """The text rendering of :meth:`metrics`."""

@@ -1,0 +1,196 @@
+"""Span analytics: per-stage latency histograms and tail attribution.
+
+The span *taxonomy* these functions understand (see
+``docs/OBSERVABILITY.md``) is the serving chain::
+
+    request                     submit -> future resolved   (root)
+      admission                 submit -> batch execution starts
+      batch                     one scheduler micro-batch
+        dispatch                replica round-trip for the batch
+          session               InferenceSession.predict_batch
+            solver.step         one ODE integration step
+              kernel.<name>     one repro.kernels dispatch
+
+:func:`stage_latency` folds retained spans into per-stage count /
+percentile tables (the block :func:`repro.serve.metrics.snapshot`
+merges in).  :func:`tail_attribution` answers the question the ISSUE
+leads with — *where did the slow requests' time go?* — by decomposing
+each traced request's end-to-end latency into queueing, compute,
+dispatch overhead and delivery, then averaging over the requests in
+the latency tail.
+"""
+
+from __future__ import annotations
+
+# Canonical stage ordering for reports (outermost first).
+STAGES = (
+    "request",
+    "admission",
+    "batch",
+    "dispatch",
+    "session",
+    "solver.step",
+)
+
+
+def percentile(values, q) -> float:
+    """Nearest-rank percentile of *values* (q in [0, 100])."""
+    values = sorted(values)
+    if not values:
+        return 0.0
+    idx = min(len(values) - 1, max(0, int(round(q / 100.0 * (len(values) - 1)))))
+    return float(values[idx])
+
+
+def stage_latency(spans) -> dict:
+    """Per-stage latency summary: ``{name: {count, p50/p95/p99_ms,
+    mean_ms, total_ms}}``.
+
+    Kernel spans are folded into one ``kernel.*`` bucket (per-kernel
+    detail belongs to ``SessionStats`` counters and the flame view, not
+    a latency table with one row per kernel name).
+    """
+    buckets = {}
+    for s in spans:
+        name = "kernel.*" if s.name.startswith("kernel.") else s.name
+        buckets.setdefault(name, []).append(s.dur)
+    out = {}
+    for name, durs in buckets.items():
+        ms = [d * 1e3 for d in durs]
+        out[name] = {
+            "count": len(ms),
+            "p50_ms": percentile(ms, 50),
+            "p95_ms": percentile(ms, 95),
+            "p99_ms": percentile(ms, 99),
+            "mean_ms": sum(ms) / len(ms),
+            "total_ms": sum(ms),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+def _per_request_breakdown(spans):
+    """Decompose each traced request into stage durations (seconds).
+
+    Returns ``[{trace_id, total, queue, compute, dispatch_overhead,
+    deliver}]`` — one entry per root ``request`` span whose admission
+    and batch spans were also retained.  The batch-level dispatch and
+    session times are shared by every request in the batch; they are
+    attributed whole to each member (a member's wall-clock really did
+    include them), so the stages sum to ≈ the request's own latency.
+    """
+    admission = {}
+    batches = []
+    children = {}
+    for s in spans:
+        children.setdefault(s.parent_id, []).append(s)
+        if s.name == "admission" and s.trace_ids:
+            admission[s.trace_ids[0]] = s
+        elif s.name == "batch":
+            batches.append(s)
+    batch_of = {}
+    for b in batches:
+        for tid in b.trace_ids:
+            batch_of[tid] = b
+
+    rows = []
+    for s in spans:
+        if s.name != "request" or not s.trace_ids:
+            continue
+        tid = s.trace_ids[0]
+        adm = admission.get(tid)
+        batch = batch_of.get(tid)
+        if adm is None or batch is None:
+            continue  # failed/shed before execution, or spans dropped
+        dispatch = next(
+            (c for c in children.get(batch.span_id, ())
+             if c.name == "dispatch"), None,
+        )
+        session = None
+        if dispatch is not None:
+            session = next(
+                (c for c in children.get(dispatch.span_id, ())
+                 if c.name == "session"), None,
+            )
+        compute = session.dur if session is not None else 0.0
+        overhead = (
+            max(0.0, dispatch.dur - compute) if dispatch is not None else 0.0
+        )
+        rows.append({
+            "trace_id": tid,
+            "total": s.dur,
+            "queue": adm.dur,
+            "compute": compute,
+            "dispatch_overhead": overhead,
+            "deliver": max(
+                0.0,
+                s.dur - adm.dur - (dispatch.dur if dispatch else 0.0),
+            ),
+        })
+    return rows
+
+
+def tail_attribution(spans, p=99.0) -> dict:
+    """Which stage dominates the latency tail?
+
+    Takes every traced request with a complete breakdown, selects those
+    at or above the *p*-th percentile of end-to-end latency, and
+    averages each stage's contribution over that tail.  Returns::
+
+        {"p": 99.0, "n_requests": ..., "n_tail": ...,
+         "threshold_ms": ...,
+         "stages_ms": {"queue": ..., "compute": ...,
+                       "dispatch_overhead": ..., "deliver": ...},
+         "dominant": "queue"}
+
+    or ``{"n_requests": 0}`` when no request completed with its spans
+    retained.
+    """
+    rows = _per_request_breakdown(spans)
+    if not rows:
+        return {"p": float(p), "n_requests": 0, "n_tail": 0}
+    threshold = percentile([r["total"] for r in rows], p)
+    tail = [r for r in rows if r["total"] >= threshold] or rows
+    stages = {}
+    for key in ("queue", "compute", "dispatch_overhead", "deliver"):
+        stages[key] = sum(r[key] for r in tail) / len(tail) * 1e3
+    dominant = max(stages, key=stages.get)
+    return {
+        "p": float(p),
+        "n_requests": len(rows),
+        "n_tail": len(tail),
+        "threshold_ms": threshold * 1e3,
+        "stages_ms": stages,
+        "dominant": dominant,
+    }
+
+
+def render_tail_attribution(report) -> str:
+    """One text block for the load harness: the tail decomposition."""
+    if not report.get("n_requests"):
+        return "tail attribution: no traced requests completed"
+    lines = [
+        (
+            f"tail attribution (p{report['p']:g}): "
+            f"{report['n_tail']} of {report['n_requests']} traced requests "
+            f">= {report['threshold_ms']:.2f} ms"
+        ),
+    ]
+    total = sum(report["stages_ms"].values()) or 1.0
+    for stage, ms in sorted(
+        report["stages_ms"].items(), key=lambda kv: -kv[1]
+    ):
+        marker = "  <-- dominant" if stage == report["dominant"] else ""
+        lines.append(
+            f"  {stage:<18} {ms:8.2f} ms  ({ms / total * 100:5.1f}%){marker}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "STAGES",
+    "percentile",
+    "stage_latency",
+    "tail_attribution",
+    "render_tail_attribution",
+]

@@ -1,0 +1,181 @@
+"""Render collected spans for humans and for trace viewers.
+
+Three output shapes, all pure stdlib:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome trace
+  event format (the JSON that ``chrome://tracing`` and
+  https://ui.perfetto.dev load directly).  Spans become complete
+  (``"ph": "X"``) events with microsecond timestamps; nesting is by
+  thread track, which matches how spans were actually recorded.
+* :func:`flame_summary` — a text flame view: the span tree indented by
+  depth with inclusive/self time per node, aggregated by name so a
+  thousand solver steps render as one line.
+* :func:`render_trace_report` — the compact text block the serve CLI
+  prints (span counts + per-stage latency), built on
+  :func:`repro.trace.analysis.stage_latency`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .analysis import STAGES, stage_latency
+
+
+def chrome_trace(spans) -> dict:
+    """Spans as a Chrome trace event dict (``{"traceEvents": [...]}``).
+
+    Each span becomes one complete event; timestamps are rebased to the
+    earliest span so the viewer opens at t=0.  ``trace_ids`` and attrs
+    ride along in ``args``, so clicking a slice in Perfetto shows which
+    request(s) it served.
+    """
+    spans = list(spans)
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    base = min(s.t0 for s in spans)
+    threads = sorted({s.thread for s in spans})
+    tids = {name: i + 1 for i, name in enumerate(threads)}
+    events = [
+        {
+            "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+            "args": {"name": name},
+        }
+        for name, tid in tids.items()
+    ]
+    for s in spans:
+        args = {"span_id": s.span_id, "parent_id": s.parent_id}
+        if s.trace_ids:
+            args["trace_ids"] = list(s.trace_ids)
+        args.update(s.attrs)
+        events.append({
+            "ph": "X",
+            "name": s.name,
+            "cat": s.name.split(".", 1)[0],
+            "pid": 1,
+            "tid": tids[s.thread],
+            "ts": (s.t0 - base) * 1e6,
+            "dur": s.dur * 1e6,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans, path) -> int:
+    """Write :func:`chrome_trace` JSON to *path*; returns the event
+    count (metadata events included)."""
+    doc = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+def _aggregate_tree(spans):
+    """Fold the span forest into per-(path) aggregates.
+
+    Returns ``{path_tuple: [count, inclusive_s, self_s]}`` where the
+    path is the chain of span *names* from a root down — a thousand
+    ``solver.step`` spans under ``session`` collapse into the single
+    path ``("request", ..., "session", "solver.step")``.
+    """
+    by_id = {s.span_id: s for s in spans}
+    children = {}
+    for s in spans:
+        children.setdefault(s.parent_id, []).append(s)
+
+    def path_of(span):
+        path = [span.name]
+        seen = {span.span_id}
+        parent = span.parent_id
+        while parent is not None:
+            node = by_id.get(parent)
+            if node is None or node.span_id in seen:  # orphan / cycle guard
+                break
+            seen.add(node.span_id)
+            path.append(node.name)
+            parent = node.parent_id
+        return tuple(reversed(path))
+
+    agg = {}
+    for s in spans:
+        child_time = sum(c.dur for c in children.get(s.span_id, ()))
+        count, incl, self_t = agg.setdefault(path_of(s), [0, 0.0, 0.0])
+        entry = agg[path_of(s)]
+        entry[0] = count + 1
+        entry[1] = incl + s.dur
+        entry[2] = self_t + max(0.0, s.dur - child_time)
+    return agg
+
+
+def flame_summary(spans, min_ms=0.0) -> str:
+    """Text flame view: one line per unique span path, indented by
+    depth, with call count, inclusive and self time.
+
+    Paths whose inclusive total is below *min_ms* are elided.  Sorted
+    so every parent precedes its children and siblings are ordered by
+    inclusive time, which reads top-down as "where the time went".
+    """
+    agg = _aggregate_tree(list(spans))
+    if not agg:
+        return "(no spans recorded)\n"
+
+    incl_of = {path: entry[1] for path, entry in agg.items()}
+
+    def sort_key(path):
+        # parent-before-children, heavy subtrees first
+        return tuple(
+            (-incl_of.get(path[: i + 1], 0.0), path[i])
+            for i in range(len(path))
+        )
+
+    lines = ["flame (inclusive ms / self ms / calls)"]
+    for path in sorted(agg, key=sort_key):
+        count, incl, self_t = agg[path]
+        if incl * 1e3 < min_ms:
+            continue
+        indent = "  " * (len(path) - 1)
+        lines.append(
+            f"{indent}{path[-1]:<{max(1, 28 - len(indent))}} "
+            f"{incl * 1e3:9.3f}  {self_t * 1e3:9.3f}  x{count}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+def render_trace_report(tracer) -> str:
+    """The serve CLI's trace summary block (counts + stage latency)."""
+    spans = tracer.spans()
+    stages = stage_latency(spans)
+    lines = [
+        "=== trace ===",
+        (
+            f"spans: {tracer.completed} completed, {len(spans)} retained, "
+            f"{tracer.dropped} dropped  (sample 1/{tracer.sample_every})"
+        ),
+    ]
+    for stage in STAGES:
+        if stage not in stages:
+            continue
+        st = stages[stage]
+        lines.append(
+            f"  {stage:<12} x{st['count']:<6} "
+            f"p50 {st['p50_ms']:7.3f} ms  p95 {st['p95_ms']:7.3f} ms  "
+            f"p99 {st['p99_ms']:7.3f} ms  total {st['total_ms']:9.1f} ms"
+        )
+    for stage in sorted(set(stages) - set(STAGES)):
+        st = stages[stage]
+        lines.append(
+            f"  {stage:<12} x{st['count']:<6} "
+            f"p50 {st['p50_ms']:7.3f} ms  p95 {st['p95_ms']:7.3f} ms  "
+            f"p99 {st['p99_ms']:7.3f} ms  total {st['total_ms']:9.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "flame_summary",
+    "render_trace_report",
+]

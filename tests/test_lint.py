@@ -295,6 +295,38 @@ RULE_FIXTURES = [
         """,
         {"rel": "serve/scheduler.py"},
     ),
+    (
+        "TRC001",
+        """\
+        import time
+        def measure(run):
+            t0 = time.time()
+            run()
+            return time.time() - t0
+        """,
+        """\
+        import time
+        def measure(run):
+            t0 = time.perf_counter()
+            run()
+            return time.perf_counter() - t0
+        """,
+        {"rel": "serve/scheduler.py"},
+    ),
+    (
+        "TRC001",
+        """\
+        from time import time as now
+        def stamp():
+            return now()
+        """,
+        """\
+        from time import perf_counter as now
+        def stamp():
+            return now()
+        """,
+        {"rel": "runtime/session.py"},
+    ),
 ]
 
 

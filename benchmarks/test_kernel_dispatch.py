@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 
+from _artifacts import record_bench
 from repro import kernels
 from repro.models import build_model
 from repro.runtime import InferenceSession
@@ -66,6 +67,14 @@ def test_fused_beats_reference_on_odenet_eval_forward():
     ref_s = run_with("reference")
     fused_s = run_with("fused")
     speedup = ref_s / fused_s
+    record_bench("kernel_dispatch", {
+        "model": "odenet",
+        "batch": int(x.shape[0]),
+        "reference_ms": ref_s * 1e3,
+        "fused_ms": fused_s * 1e3,
+        "speedup": speedup,
+        "required_speedup": 1.2,
+    })
     assert speedup >= 1.2, f"fused speedup {speedup:.2f}x (need >=1.2x)"
 
 

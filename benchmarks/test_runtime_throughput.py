@@ -20,6 +20,7 @@ from repro.models import build_model
 from repro.runtime import InferenceSession
 from repro.tensor import Tensor
 
+from _artifacts import record_bench
 from conftest import show
 
 N_SAMPLES = 32
@@ -68,6 +69,15 @@ def test_predict_batch_at_least_2x_over_per_sample():
         f"  ({t_batch * 1e3:7.1f} ms)\n"
         f"speedup                   : {speedup:.1f}x (gate: >= 2x)",
     )
+    record_bench("runtime_throughput", {
+        "model": "ode_botnet",
+        "n_samples": N_SAMPLES,
+        "per_sample_ms": t_loop * 1e3,
+        "batched_ms": t_batch * 1e3,
+        "batched_img_per_s": N_SAMPLES / t_batch,
+        "speedup": speedup,
+        "required_speedup": 2.0,
+    })
 
     assert speedup >= 2.0, (
         f"predict_batch only {speedup:.2f}x faster than per-sample "

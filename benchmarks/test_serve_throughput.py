@@ -31,6 +31,7 @@ from repro.models import build_model
 from repro.runtime import InferenceSession
 from repro.serve import Server, arrival_offsets, calibrate_rate, run_load
 
+from _artifacts import record_bench
 from conftest import show
 
 PROFILE = "tiny"
@@ -145,6 +146,18 @@ def test_n_replica_scaling():
         f"(gate: >= 1.6x, "
         f"{'ON' if GATE_SCALING else 'OFF — needs >= 3 cores'})",
     )
+    record_bench("serve_throughput", {
+        "model": "ode_botnet",
+        "mode": mode,
+        "backend": BACKEND,
+        "offered_rate_hz": rate,
+        "single_replica_rate_hz": single.achieved_rate,
+        "multi_replica_rate_hz": multi.achieved_rate,
+        "n_replicas": N_REPLICAS,
+        "scaling": scaling,
+        "gate_active": GATE_SCALING,
+        "required_scaling": 1.6,
+    })
 
     if not GATE_SCALING:
         pytest.skip(

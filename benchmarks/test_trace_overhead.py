@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 
+from _artifacts import record_bench
 from repro.models import build_model
 from repro.runtime import InferenceSession
 from repro.trace import Tracer
@@ -93,6 +94,18 @@ def test_enabled_tracing_cost_printed():
         f"  on, kernel spans       {full_s * 1e3 / 3:8.2f} ms/call"
         f"  ({full_s / off_s - 1.0:+.1%}, {full_n} spans retained)"
     )
+
+    record_bench("trace_overhead", {
+        "model": "ode_botnet",
+        "batch": 8,
+        "off_ms_per_call": off_s * 1e3 / 3,
+        "coarse_ms_per_call": coarse_s * 1e3 / 3,
+        "full_ms_per_call": full_s * 1e3 / 3,
+        "coarse_overhead": coarse_s / off_s - 1.0,
+        "full_overhead": full_s / off_s - 1.0,
+        "coarse_spans": coarse_n,
+        "full_spans": full_n,
+    })
 
     assert full_n > coarse_n > 0
     assert full_s < off_s * 2.0, "full tracing should stay well under 2x"

@@ -1,0 +1,44 @@
+"""The ``compiled`` backend: fused kernels + a packed-plan compiler.
+
+:class:`CompiledBackend` subclasses :class:`~repro.kernels.fused.FusedBackend`,
+so every per-op kernel dispatch (autograd ops, ``nn.functional`` eval
+paths, fixed-point wrappers) behaves exactly like ``fused``.  What it
+adds is a *plan-level* hook: :meth:`CompiledBackend.compile_plan` turns
+a :class:`~repro.runtime.PackedODENet` into a
+:class:`~repro.compile.CompiledPlan` — BN folding, fused
+scale-shift-ReLU passes, time-channel decomposition of the ODE step and
+a preallocated workspace arena — and ``PackedODENet.__call__`` reroutes
+through that plan whenever the active backend provides the hook.
+
+This keeps the PR 2 registry the only seam: selecting
+``backend="compiled"`` on a session (or ambiently, or via
+``$REPRO_BACKEND``) is all it takes for ``InferenceSession``,
+``repro.serve`` and ``repro.trace`` to pick up the compiled path with
+no call-site changes.  Numerics stay within 1e-6 relative of
+``reference`` (pinned by the parity suite in ``tests/test_compile.py``).
+"""
+
+from __future__ import annotations
+
+from .fused import FusedBackend
+
+
+class CompiledBackend(FusedBackend):
+    """Fused kernels plus plan compilation for packed ODE nets."""
+
+    #: plans are cached on the PackedODENet keyed by id(backend), so a
+    #: single registered instance compiles each packed net once.
+    supports_plan_compilation = True
+
+    def compile_plan(self, packed, *, schedule=None):
+        """Compile *packed* (a ``PackedODENet``) into a ``CompiledPlan``.
+
+        ``schedule`` overrides the autotuner/cache lookup (used by the
+        autotuner itself to time candidate schedules).
+        """
+        from ..compile import compile_packed  # lazy: avoid import cycle
+
+        return compile_packed(packed, schedule=schedule)
+
+
+__all__ = ["CompiledBackend"]

@@ -1,20 +1,32 @@
-"""Backend registry and per-thread backend selection.
+"""Backend registry and the single backend-resolution order.
 
 A *backend* is an object providing one method per kernel (see
 :class:`repro.kernels.reference.ReferenceBackend` for the canonical
-list).  Backends register under a short name; the active backend is a
-per-thread setting so micro-batcher workers and tests can pick
-different backends concurrently.
+list).  Backends register under a short name; which backend a kernel
+dispatch uses is decided by exactly one documented precedence,
+implemented by :func:`resolve_backend`:
 
-The process-wide default comes from the ``REPRO_BACKEND`` environment
-variable (used by the CI matrix to run the whole test suite under every
-backend) and falls back to ``"reference"``.
+1. **explicit argument** — ``InferenceSession(config=SessionConfig(
+   backend="compiled"))`` or any API that takes a backend name wins;
+2. **ambient context** — the innermost active ``with use_backend(name)``
+   on the calling thread;
+3. **environment** — ``$REPRO_BACKEND`` (the CI matrix runs the whole
+   test suite under every backend this way);
+4. **default** — ``"reference"``.
+
+Selection is per-thread, so micro-batcher workers and tests can pick
+different backends concurrently.  The pre-PR-6 direct-set idiom
+(constructing ``use_backend(...)`` without entering it) is retired;
+its replacement for imperative code, :func:`set_backend`, works but
+warns once per process — scoped contexts and explicit session config
+are the supported paths.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import warnings
 
 _BACKENDS: dict = {}
 _DEFAULT_ENV = "REPRO_BACKEND"
@@ -46,7 +58,7 @@ def default_backend_name() -> str:
 
 
 class _ThreadState(threading.local):
-    """Per-thread active backend; new threads start at the default."""
+    """Per-thread active backend; new threads start at the env default."""
 
     def __init__(self):
         self.backend = _resolve(default_backend_name())
@@ -67,11 +79,29 @@ def _init_state() -> None:
     _state = _ThreadState()
 
 
+def resolve_backend(name: str | None = None):
+    """Resolve the backend by the documented precedence, in one place.
+
+    ``resolve_backend("fused")`` is rule 1 (explicit argument, validated
+    loudly); ``resolve_backend()`` falls through rules 2-4 — the
+    innermost ambient :class:`use_backend` context on this thread, else
+    the ``$REPRO_BACKEND`` default the thread started from, else
+    ``reference``.  Every dispatch-time consumer (the module-level
+    kernel dispatchers, :class:`repro.runtime.InferenceSession`, the
+    packed plans) resolves through here, so adding a knob means adding
+    it to this function or not at all.
+    """
+    if name is not None:
+        return _resolve(name)
+    return _state.backend
+
+
 def get_backend(name: str | None = None):
-    """The backend registered under *name*, or this thread's active one."""
-    if name is None:
-        return _state.backend
-    return _resolve(name)
+    """The backend registered under *name*, or this thread's active one.
+
+    Alias of :func:`resolve_backend` kept for by-name registry lookups.
+    """
+    return resolve_backend(name)
 
 
 def backend_name() -> str:
@@ -84,23 +114,62 @@ def backend_name() -> str:
 
 
 class use_backend:
-    """Select this thread's kernel backend.
+    """Scoped ambient backend selection for the calling thread.
 
-    Applies immediately — ``use_backend("fused")`` switches the calling
-    thread for good — and doubles as a context manager that restores
-    the previous backend on exit::
+    ::
 
         with use_backend("fused"):
             session.predict_batch(x)
+
+    Applies at ``__enter__`` and restores the previous backend at
+    ``__exit__`` (construction only validates the name).  This is
+    precedence rule 2: it loses to an explicit ``backend=`` argument and
+    beats ``$REPRO_BACKEND``.  Before PR 6 construction alone switched
+    the thread; that direct-set path now lives in :func:`set_backend`
+    and warns.
     """
 
     def __init__(self, name: str):
-        self._prev = _state.backend
-        _state.backend = _resolve(name)
+        self._backend = _resolve(name)
+        self._prev = None
 
     def __enter__(self):
-        return _state.backend
+        self._prev = _state.backend
+        _state.backend = self._backend
+        return self._backend
 
     def __exit__(self, *exc):
         _state.backend = self._prev
         return False
+
+
+_warned_once: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _warned_once:
+        return
+    _warned_once.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def set_backend(name: str) -> str:
+    """Deprecated: switch the calling thread's backend for good.
+
+    Returns the previous backend name so callers can restore it.  The
+    supported selection paths are the scoped ``with use_backend(name)``
+    context and per-session config
+    (``InferenceSession(config=SessionConfig(backend=name))``) — an
+    unscoped process-wide flip belongs in ``$REPRO_BACKEND``.  Warns
+    once per process.
+    """
+    _warn_once(
+        "set_backend",
+        "kernels.set_backend() is deprecated: use the scoped "
+        "'with use_backend(name):' context, "
+        "SessionConfig(backend=name), or the REPRO_BACKEND "
+        "environment variable",
+    )
+    prev = backend_name()
+    _state.backend = _resolve(name)
+    return prev

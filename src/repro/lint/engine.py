@@ -26,7 +26,13 @@ from .diagnostics import Diagnostic, Severity
 from .rules import all_rules
 
 # import for the registration side effect: rule modules self-register
-from . import rules_numpy, rules_serve, rules_style, rules_trace  # noqa: F401
+from . import (  # noqa: F401
+    rules_compile,
+    rules_numpy,
+    rules_serve,
+    rules_style,
+    rules_trace,
+)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_*\-,\s]+)\]"

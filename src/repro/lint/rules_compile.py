@@ -1,0 +1,112 @@
+"""Compile-layer rule: step bodies must never allocate.
+
+``CMP001`` — the whole point of :mod:`repro.compile` is that the Euler
+step loop runs a pre-planned program over one preallocated arena: every
+array a step touches was sized and placed at bind time, so the steady
+state makes *zero* allocator calls (``tests/test_compile.py`` asserts
+this dynamically by monkeypatching numpy's constructors).  That
+property is easy to lose silently — one ``np.zeros`` scratch buffer or
+``x.copy()`` inside a step body reintroduces a per-step (and for big
+buffers, per-page-fault) cost that no test notices until the speedup
+gate flakes.  This rule makes the discipline static: inside the step
+library (:mod:`repro.compile.steps`), array *constructors* and copying
+*methods* are banned outright.  Views (``reshape`` / ``transpose`` /
+slicing) are fine — they are the mechanism the planner uses — and bind
+time code elsewhere in ``compile/`` may allocate freely.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .diagnostics import Severity
+from .rules import Rule, register
+
+#: package-relative modules holding compiled step bodies (the
+#: allocation-free zone; the rest of compile/ binds, and binding
+#: allocates by design)
+STEP_MODULES = ("compile/steps.py",)
+
+#: ``np.<name>(...)`` calls that construct or copy an array
+BANNED_NUMPY_CALLS = frozenset({
+    "empty", "zeros", "ones", "full", "array", "asarray",
+    "ascontiguousarray", "asfortranarray", "copy", "concatenate",
+    "stack", "hstack", "vstack", "dstack", "pad", "tile", "repeat",
+    "empty_like", "zeros_like", "ones_like", "full_like",
+})
+
+#: ``<arr>.<name>(...)`` method calls that materialise a new array
+BANNED_ARRAY_METHODS = frozenset({"copy", "astype", "flatten"})
+
+
+def _in_step_module(src) -> bool:
+    return src.rel in STEP_MODULES
+
+
+@register
+class CompiledStepAllocationRule(Rule):
+    """No array construction in compiled step bodies: every buffer a
+    step writes comes from the arena plan, so the steady-state Euler
+    loop stays allocation-free."""
+
+    id = "CMP001"
+    name = "compiled-step-allocation"
+    severity = Severity.ERROR
+    domains = ("library",)
+    description = "compiled step bodies must not allocate arrays"
+
+    def check(self, src):
+        if not _in_step_module(src):
+            return
+        numpy_aliases = self._numpy_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in numpy_aliases
+                and func.attr in BANNED_NUMPY_CALLS
+            ):
+                yield self.diag(
+                    src, node,
+                    f"np.{func.attr}() in a compiled step body "
+                    "(allocates per step)",
+                    suggestion="size the buffer in the arena plan at "
+                    "bind time and write into it with out=/np.copyto",
+                )
+            elif (
+                func.attr in BANNED_ARRAY_METHODS
+                and not (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in numpy_aliases
+                )
+            ):
+                yield self.diag(
+                    src, node,
+                    f".{func.attr}() in a compiled step body "
+                    "(materialises a new array per step)",
+                    suggestion="plan a destination buffer in the arena "
+                    "and np.copyto into it",
+                )
+
+    @staticmethod
+    def _numpy_aliases(tree):
+        """Module names numpy is imported under (``import numpy as np``)."""
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        aliases.add(alias.asname or "numpy")
+        return aliases
+
+
+__all__ = [
+    "CompiledStepAllocationRule",
+    "STEP_MODULES",
+    "BANNED_NUMPY_CALLS",
+    "BANNED_ARRAY_METHODS",
+]

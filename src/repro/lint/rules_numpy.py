@@ -47,7 +47,11 @@ SEAM_CONSUMERS = (
 
 
 def _in_kernels(src) -> bool:
-    return src.rel.startswith("kernels/")
+    # repro/compile is the kernel seam's compiled twin: its step bodies
+    # ARE the kernels (alias-planned ufunc/GEMM programs), and routing
+    # them back through the dispatchers would defeat the fusion.  Its
+    # own discipline is enforced by CMP001 instead.
+    return src.rel.startswith(("kernels/", "compile/"))
 
 
 @register

@@ -27,6 +27,7 @@ from .solvers import (
     Midpoint,
     RK4,
     available_solvers,
+    fixed_grid_loop,
     get_solver,
     odeint,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "EmbeddedRKSolver",
     "get_solver",
     "available_solvers",
+    "fixed_grid_loop",
     "odeint",
     "ODEBlock",
     "AdjointODEBlock",

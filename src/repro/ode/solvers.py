@@ -18,6 +18,38 @@ from ..tensor import Tensor
 from ..trace import current_tracer
 
 
+def fixed_grid_loop(body, t0=0.0, t1=1.0, steps=8, *, solver="euler"):
+    """Drive *body* over a fixed time grid — the one solver loop.
+
+    ``body(i, t, h)`` performs step *i* at time *t* with step size *h*
+    and owns the state (mutating it in place or in a closure); time is
+    advanced by repeated addition, exactly as the autograd solvers do,
+    so every consumer accumulates the same ``t`` sequence bit for bit.
+    Emits one ``solver.step`` tracer span per step when a tracer is
+    active, at zero cost otherwise.
+
+    Three consumers share this driver: the autograd
+    :class:`FixedGridSolver` family (Tensor state), the packed runtime
+    plan (raw-array Euler), and :mod:`repro.compile`'s compiled plans
+    (arena-buffer Euler) — so trace timelines and step arithmetic stay
+    identical whichever execution path runs.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    h = (t1 - t0) / steps
+    t = t0
+    tracer = current_tracer()
+    if tracer is None:
+        for i in range(steps):
+            body(i, t, h)
+            t += h
+        return
+    for i in range(steps):
+        with tracer.span("solver.step", step=i, solver=solver):
+            body(i, t, h)
+        t += h
+
+
 class FixedGridSolver:
     """Base class: subclasses provide one-step updates of a given order."""
 
@@ -29,22 +61,13 @@ class FixedGridSolver:
 
     def integrate(self, f, z0, t0=0.0, t1=1.0, steps=8):
         """Integrate from *t0* to *t1* in *steps* equal steps."""
-        if steps < 1:
-            raise ValueError(f"steps must be >= 1, got {steps}")
-        h = (t1 - t0) / steps
-        z = z0
-        t = t0
-        tracer = current_tracer()
-        if tracer is None:
-            for _ in range(steps):
-                z = self.step(f, t, z, h)
-                t += h
-            return z
-        for i in range(steps):
-            with tracer.span("solver.step", step=i, solver=self.name):
-                z = self.step(f, t, z, h)
-            t += h
-        return z
+        state = [z0]
+
+        def body(i, t, h):
+            state[0] = self.step(f, t, state[0], h)
+
+        fixed_grid_loop(body, t0, t1, steps, solver=self.name)
+        return state[0]
 
 
 class Euler(FixedGridSolver):

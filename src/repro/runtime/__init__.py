@@ -19,12 +19,14 @@ batched dispatches.  See ``docs/ARCHITECTURE.md`` §9.
 """
 
 from .batcher import BatcherStopped, MicroBatcher
+from .config import SessionConfig
 from .engine import ModulePlan, PackedODENet
 from .session import InferenceSession
 from .stats import SessionStats
 
 __all__ = [
     "InferenceSession",
+    "SessionConfig",
     "MicroBatcher",
     "BatcherStopped",
     "SessionStats",

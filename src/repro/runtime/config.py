@@ -1,0 +1,87 @@
+"""SessionConfig — one bundled value for session execution options.
+
+Backend selection, instrumentation and tracing used to travel as three
+loose keyword arguments through every layer that builds sessions
+(:class:`~repro.runtime.InferenceSession`,
+:class:`~repro.serve.ReplicaPool`, :class:`~repro.serve.Server`), so
+adding an option meant touching every signature on the path.
+:class:`SessionConfig` carries them as a single frozen dataclass:
+
+>>> from repro.runtime import InferenceSession, SessionConfig
+>>> cfg = SessionConfig(backend="compiled", instrument=True)
+>>> session = InferenceSession(model, config=cfg)          # doctest: +SKIP
+
+The legacy ``backend=`` / ``instrument=`` / ``trace=`` keywords remain
+as thin shims (they build a ``SessionConfig`` internally), but new
+options land here only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["SessionConfig"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Bundled execution options for inference sessions and servers.
+
+    Attributes
+    ----------
+    backend:
+        kernel backend name from :mod:`repro.kernels` (``"reference"``,
+        ``"fused"``, ``"compiled"``); ``None`` leaves the calling
+        thread's ambient/default backend in charge (see
+        :func:`repro.kernels.resolve_backend`).
+    instrument:
+        collect per-kernel call counts / wall time / bytes into the
+        session's :class:`~repro.runtime.SessionStats`.
+    trace:
+        a :class:`repro.trace.Tracer` to record spans into, or ``True``
+        to have the config build a fresh default tracer (exposed as
+        ``config.tracer``), or ``None`` for no tracing.
+    kernel_spans:
+        whether the config-built tracer records per-dispatch
+        ``kernel.*`` spans.  Only meaningful with ``trace=True`` — pass
+        a preconfigured tracer instead when you own the tracer.
+    """
+
+    backend: Optional[str] = None
+    instrument: bool = False
+    trace: Any = None
+    kernel_spans: Optional[bool] = None
+
+    def __post_init__(self):
+        if self.backend is not None:
+            from .. import kernels
+
+            kernels.get_backend(self.backend)  # validate eagerly
+        if self.kernel_spans is not None and self.trace is not True:
+            raise ValueError(
+                "kernel_spans only applies when SessionConfig builds the "
+                "tracer (trace=True); configure your own Tracer otherwise"
+            )
+        if self.trace is True:
+            from ..trace import Tracer
+
+            tracer = Tracer(
+                kernel_spans=True if self.kernel_spans is None
+                else self.kernel_spans
+            )
+            object.__setattr__(self, "trace", tracer)
+
+    @property
+    def tracer(self):
+        """The resolved tracer, or ``None`` (alias for ``trace`` once
+        ``trace=True`` has been materialised)."""
+        return self.trace
+
+    def with_backend(self, backend) -> "SessionConfig":
+        """A copy with *backend* swapped in — how the replica pool
+        derives per-replica configs from one shared config.  The
+        resolved tracer is carried over as-is (``kernel_spans`` has
+        already been folded into it)."""
+        return dataclasses.replace(self, backend=backend, kernel_spans=None)

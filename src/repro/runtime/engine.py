@@ -235,6 +235,7 @@ class PackedODENet:
         self.head_norm = F.batchnorm2d_params(model.head_norm)
         self.fc_w = model.fc.weight.data
         self.fc_b = None if model.fc.bias is None else model.fc.bias.data
+        self._compiled = {}  # id(backend) -> CompiledPlan
 
     def graph(self):
         """Execution-order introspection: ``(name, op, payload)`` triples.
@@ -304,7 +305,21 @@ class PackedODENet:
         return _relu_(F.batchnorm2d_eval(conv(x), norm))
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Forward an NCHW batch to logits, entirely on raw arrays."""
+        """Forward an NCHW batch to logits, entirely on raw arrays.
+
+        When the thread's active kernel backend advertises plan
+        compilation (the ``compiled`` backend), the packed plan is
+        handed to it once and subsequent calls run the compiled,
+        arena-backed plan instead — the reroute that gives
+        ``InferenceSession``, ``repro.serve`` and ``repro.trace`` the
+        compiled path with no call-site changes.
+        """
+        backend = kernels.resolve_backend()
+        if getattr(backend, "supports_plan_compilation", False):
+            plan = self._compiled.get(id(backend))
+            if plan is None:
+                plan = self._compiled[id(backend)] = backend.compile_plan(self)
+            return plan(np.asarray(x))
         x = self.stem_conv(np.asarray(x))
         x = _relu_(F.batchnorm2d_eval(x, self.stem_norm))
         x = F.max_pool2d(x, *self.stem_pool)

@@ -29,6 +29,7 @@ import numpy as np
 from .. import kernels
 from ..nn import Module
 from ..trace import KernelSpanCollector, current_tracer
+from .config import SessionConfig
 from .engine import ModulePlan, PackedODENet
 from .stats import SessionStats
 
@@ -50,10 +51,15 @@ class InferenceSession:
     stats:
         optionally share a :class:`SessionStats` instance; by default
         each session owns a fresh one.
+    config:
+        a :class:`~repro.runtime.SessionConfig` bundling the execution
+        options below.  Mutually exclusive with passing them as the
+        individual legacy keywords.
     backend:
-        kernel backend name from :mod:`repro.kernels`
-        (``"reference"`` or ``"fused"``); ``None`` (default) leaves the
-        calling thread's active backend in charge.  The choice is
+        kernel backend name from :mod:`repro.kernels` (``"reference"``,
+        ``"fused"`` or ``"compiled"``); ``None`` (default) leaves the
+        calling thread's active backend in charge (the full precedence
+        is :func:`repro.kernels.resolve_backend`).  The choice is
         applied around every dispatch, including ones running on
         :class:`~repro.runtime.MicroBatcher` worker threads.
     instrument:
@@ -78,16 +84,24 @@ class InferenceSession:
     changes how the computation is scheduled, never what it computes.
     """
 
-    def __init__(self, model, *, packed=None, stats=None, backend=None,
-                 instrument=False, trace=None):
+    def __init__(self, model, *, packed=None, stats=None, config=None,
+                 backend=None, instrument=False, trace=None):
         from ..fixedpoint.quantized_model import QuantizedODENetExecutor
 
+        if config is None:
+            config = SessionConfig(
+                backend=backend, instrument=bool(instrument), trace=trace
+            )
+        elif backend is not None or instrument or trace is not None:
+            raise TypeError(
+                "pass either config= or the legacy "
+                "backend=/instrument=/trace= keywords, not both"
+            )
         self._stats = stats if stats is not None else SessionStats()
-        if backend is not None:
-            kernels.get_backend(backend)  # validate eagerly
-        self.kernel_backend = backend
-        self.instrument = bool(instrument)
-        self.trace = trace
+        self.config = config
+        self.kernel_backend = config.backend
+        self.instrument = bool(config.instrument)
+        self.trace = config.tracer
         self.model = model
         if isinstance(model, Module):
             model.eval()

@@ -35,7 +35,7 @@ import time
 import numpy as np
 
 from ..models import build_model, reduced_profile
-from ..runtime import InferenceSession, SessionStats
+from ..runtime import InferenceSession, SessionConfig, SessionStats
 from .errors import ReplicaUnavailable
 
 
@@ -287,8 +287,9 @@ class ReplicaPool:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
-              backends=None, seed=0, pretrained_state=None, degraded=False,
-              mode="thread", unhealthy_after=3, instrument=False):
+              config=None, backends=None, seed=0, pretrained_state=None,
+              degraded=False, mode="thread", unhealthy_after=3,
+              instrument=False):
         """Build *n_replicas* identical-weight replicas from the registry.
 
         Parameters
@@ -297,9 +298,16 @@ class ReplicaPool:
             forwarded to :func:`repro.models.build_model`; every replica
             shares one weight set, so responses are bit-exact with a
             single direct session (answers must not depend on routing).
+        config:
+            a shared :class:`~repro.runtime.SessionConfig`; each replica
+            gets ``config.with_backend(...)`` for its cycled backend.
+            Mutually exclusive with the legacy ``backends=`` /
+            ``instrument=`` keywords — except that ``backends`` may
+            still be a list to give replicas different backends.
         backends:
             kernel backend per replica (name, list cycled across
-            replicas, or ``None`` for the thread-default backend).
+            replicas, or ``None`` for the thread-default backend /
+            ``config.backend``).
         degraded:
             also build the reduced-profile session (same state dict,
             halved ODE steps) each replica needs for the ``degrade``
@@ -311,20 +319,28 @@ class ReplicaPool:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown mode {mode!r}; choose thread|process")
+        if config is None:
+            config = SessionConfig(instrument=bool(instrument))
+        elif instrument:
+            raise TypeError(
+                "pass either config= or the legacy instrument= keyword, "
+                "not both"
+            )
         if backends is None or isinstance(backends, str):
-            backends = [backends] * n_replicas
+            backends = [backends if backends is not None
+                        else config.backend] * n_replicas
         reference = build_model(model, profile=profile, seed=seed,
                                 pretrained_state=pretrained_state,
                                 inference=True)
         state = reference.state_dict()
         replicas = []
         for i in range(int(n_replicas)):
-            backend = backends[i % len(backends)]
+            replica_config = config.with_backend(backends[i % len(backends)])
             stats = SessionStats()
             session = InferenceSession(
                 build_model(model, profile=profile, seed=seed,
                             pretrained_state=state, inference=True),
-                backend=backend, stats=stats, instrument=instrument,
+                stats=stats, config=replica_config,
             )
             degraded_session = None
             if degraded:
@@ -332,7 +348,7 @@ class ReplicaPool:
                     build_model(model, profile=reduced_profile(profile),
                                 seed=seed, pretrained_state=state,
                                 inference=True),
-                    backend=backend, stats=stats, instrument=instrument,
+                    stats=stats, config=replica_config,
                 )
             kind = Replica if mode == "thread" else ProcessReplica
             replicas.append(

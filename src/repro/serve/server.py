@@ -77,22 +77,27 @@ class Server:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
-              backends=None, seed=0, pretrained_state=None, mode="thread",
-              instrument=False, **config):
+              config=None, backends=None, seed=0, pretrained_state=None,
+              mode="thread", instrument=False, **server_kw):
         """Build pool and server from the model registry in one call.
 
-        Pool-construction keywords are explicit; everything in
-        ``config`` goes to the :class:`Server` constructor.  When
-        ``shed_policy="degrade"`` the reduced-profile degraded sessions
-        are built automatically.
+        ``config`` is a shared :class:`~repro.runtime.SessionConfig`
+        for the replica sessions (its resolved tracer, if any, also
+        becomes the server tracer unless ``tracer=`` is passed
+        explicitly); the legacy ``backends=`` / ``instrument=``
+        keywords remain as shims.  Remaining keywords go to the
+        :class:`Server` constructor.  When ``shed_policy="degrade"``
+        the reduced-profile degraded sessions are built automatically.
         """
         pool = ReplicaPool.build(
-            model, profile, n_replicas, backends=backends, seed=seed,
-            pretrained_state=pretrained_state, mode=mode,
-            degraded=config.get("shed_policy") == "degrade",
+            model, profile, n_replicas, config=config, backends=backends,
+            seed=seed, pretrained_state=pretrained_state, mode=mode,
+            degraded=server_kw.get("shed_policy") == "degrade",
             instrument=instrument,
         )
-        return cls(pool, **config)
+        if config is not None and config.tracer is not None:
+            server_kw.setdefault("tracer", config.tracer)
+        return cls(pool, **server_kw)
 
     # ------------------------------------------------------------------
     def submit(self, x, *, priority=Priority.NORMAL, deadline_ms=None):

@@ -39,6 +39,7 @@ SNIPPET_FILES = sorted(
 )
 MIN_BLOCKS = {
     "README.md": 2,
+    os.path.join("docs", "COMPILE.md"): 3,
     os.path.join("docs", "TUTORIAL.md"): 7,
     os.path.join("docs", "OBSERVABILITY.md"): 4,
     os.path.join("docs", "SERVING.md"): 1,

@@ -60,17 +60,48 @@ class TestRegistry:
             assert kernels.backend_name() == "fused"
         assert kernels.backend_name() == before
 
-    def test_use_backend_applies_immediately(self):
-        """`use_backend` switches at construction, not only at __enter__
-        (so `session = use_backend(...)`-style imperative use works)."""
+    def test_use_backend_is_scoped_to_enter(self):
+        """`use_backend` validates eagerly but applies only at
+        __enter__ — constructing one must not leak a backend switch
+        (imperative switching is `set_backend`, which warns)."""
         before = kernels.backend_name()
         switch = kernels.use_backend("fused")
+        assert kernels.backend_name() == before
+        with switch as backend:
+            assert backend is kernels.get_backend("fused")
+            assert kernels.backend_name() == "fused"
+        assert kernels.backend_name() == before
+
+    def test_set_backend_switches_and_warns_once(self):
+        """The deprecated imperative path still works, returns the
+        previous name, and warns exactly once per process."""
+        kernels.registry._warned_once.discard("set_backend")
+        before = kernels.backend_name()
+        with pytest.warns(DeprecationWarning, match="set_backend"):
+            prev = kernels.set_backend("fused")
         try:
+            assert prev == before
             assert kernels.backend_name() == "fused"
         finally:
-            with switch:
-                pass
-        assert kernels.backend_name() == before
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                kernels.set_backend(before)  # second call: no warning
+
+    def test_resolve_backend_precedence(self, monkeypatch):
+        """explicit arg > ambient context > $REPRO_BACKEND default."""
+        explicit = kernels.resolve_backend("fused")
+        assert explicit is kernels.get_backend("fused")
+        with kernels.use_backend("fused"):
+            assert kernels.resolve_backend() is kernels.get_backend("fused")
+            # explicit still wins inside an ambient scope
+            assert kernels.resolve_backend("reference") is kernels.get_backend(
+                "reference"
+            )
+        assert kernels.resolve_backend() is kernels.get_backend(
+            kernels.backend_name()
+        )
 
     def test_thread_locality(self):
         import threading

@@ -99,6 +99,38 @@ RULE_FIXTURES = [
         {"rel": "nn/functional.py"},
     ),
     (
+        "CMP001",
+        """\
+        import numpy as np
+        def scale_shift(x, scale, shift):
+            out = np.empty(x.shape, x.dtype)
+            np.multiply(x, scale, out=out)
+            np.add(out, shift, out=out)
+            return out
+        """,
+        """\
+        import numpy as np
+        def scale_shift(x, scale, shift, out):
+            np.multiply(x, scale, out=out)
+            np.add(out, shift, out=out)
+        """,
+        {"rel": "compile/steps.py"},
+    ),
+    (
+        "CMP001",
+        """\
+        def merge(b, out):
+            tmp = b.cat.copy()
+            out[:] = tmp
+        """,
+        """\
+        import numpy as np
+        def merge(b, out):
+            np.copyto(out, b.cat)
+        """,
+        {"rel": "compile/steps.py"},
+    ),
+    (
         "SEAM002",
         """\
         def out(h, kh, sh, ph):

@@ -13,6 +13,7 @@ import warnings
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.fixedpoint import QFormat, QuantizedODENetExecutor
 from repro.models import MODELS, build_model
 from repro.nn import functional
@@ -52,7 +53,13 @@ class TestSessionParity:
         ref = model(Tensor(x, _copy=False)).data
         session = InferenceSession(model)
         assert session.backend == "packed"
-        assert np.array_equal(session.predict_batch(x), ref)
+        out = session.predict_batch(x)
+        if kernels.resolve_backend() is kernels.get_backend("compiled"):
+            # The compiled plan folds BN into conv weights, so it is
+            # float-reassociated rather than bit-identical.
+            np.testing.assert_allclose(out, ref, rtol=0, atol=1e-6)
+        else:
+            assert np.array_equal(out, ref)
 
     def test_dopri5_falls_back_to_module_plan(self):
         model = build_model(

@@ -15,6 +15,8 @@ Notation helper: :func:`parse_format_pair` understands the paper's
 
 from .analysis import error_statistics, sweep_formats
 from .ops import (
+    accumulator_bits,
+    div_round_half_even,
     fixed_add,
     fixed_matmul,
     fixed_mul,
@@ -22,6 +24,7 @@ from .ops import (
     fixed_scale,
     requantize,
 )
+from .plan import QuantizedPlan
 from .qat import QATMHSA2d, fake_quantize, prepare_qat
 from .qformat import PAPER_FORMATS, QFormat, parse_format_pair
 from .quantized_layers import (
@@ -46,7 +49,10 @@ __all__ = [
     "fixed_relu",
     "fixed_scale",
     "requantize",
+    "accumulator_bits",
+    "div_round_half_even",
     "QuantizedMHSA2d",
+    "QuantizedPlan",
     "fake_quantize",
     "prepare_qat",
     "QATMHSA2d",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import kernels
-from .ops import _rescale, fixed_add, requantize
+from .ops import _rescale, div_round_half_even, fixed_add, requantize
 from .qformat import QFormat
 
 
@@ -94,10 +94,13 @@ def fixed_maxpool2d(x_raw, kernel_size, stride=None, padding=(0, 0)) -> np.ndarr
 
 
 def fixed_global_avgpool(x_raw, fmt: QFormat) -> np.ndarray:
-    """Global average pool: exact integer sum, one rounding division."""
+    """Global average pool: exact integer sum, one round-half-even
+    division — the whole reduction stays in the integer domain (QNT001
+    bans float intermediates in fixed-point kernel bodies)."""
     x = np.asarray(x_raw, dtype=np.int64)
     n = x.shape[2] * x.shape[3]
-    return fmt.saturate(np.rint(x.sum(axis=(2, 3)) / n).astype(np.int64))
+    acc = kernels.reduce_sum(x, axis=(2, 3))
+    return fmt.saturate(div_round_half_even(acc, n))
 
 
 def fixed_euler_update(z_raw, f_raw, fmt: QFormat, h: float,

@@ -22,7 +22,14 @@ import numpy as np
 
 from ..nn.attention import MHSA2d
 from ..tensor import Tensor
-from .ops import fixed_add, fixed_matmul, fixed_mul, fixed_relu, fixed_scale
+from .ops import (
+    div_round_half_even,
+    fixed_add,
+    fixed_matmul,
+    fixed_mul,
+    fixed_relu,
+    fixed_scale,
+)
 from .qformat import QFormat
 
 
@@ -124,7 +131,7 @@ class QuantizedMHSA2d:
         d = raw.shape[-1]
         # Exact integer mean, requantised into the feature format.
         mean = ffmt.saturate(
-            np.rint(raw.sum(axis=-1, keepdims=True) / d).astype(np.int64)
+            div_round_half_even(raw.sum(axis=-1, keepdims=True), d)
         )
         centered = ffmt.saturate(raw - mean)
         # Variance and rsqrt in float; the *result* lives in the feature

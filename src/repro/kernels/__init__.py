@@ -26,6 +26,12 @@ kernels you can beat, and calling :func:`register_backend`; see
   scale-shift-ReLU, time-channel decomposition and a preallocated
   workspace arena so the Euler loop runs with zero per-step allocation;
   agrees with ``reference`` to ≤1e-6 relative.
+* ``quantized`` — everything ``fused`` does, plus exact rerouting of
+  integer (fixed-point raw) GEMMs onto the float BLAS path whenever the
+  worst-case accumulator fits the float mantissa, and a plan hook that
+  packs a ``QuantizedODENetExecutor`` into a scale-folded
+  ``QuantizedPlan``; **bit-identical** to ``reference`` on integer
+  arrays (pinned per registry model and Q-format by the parity suite).
 
 Selection follows one documented precedence, resolved by
 :func:`resolve_backend`: explicit argument > ambient
@@ -41,6 +47,7 @@ from . import shapes
 from .compiled import CompiledBackend
 from .fused import FusedBackend
 from .instrument import KernelCounters, active_collectors, collect, record_dispatch
+from .quantized import QuantizedBackend
 from .reference import ReferenceBackend
 from .registry import (
     _init_state,
@@ -57,6 +64,7 @@ from .registry import (
 register_backend("reference", ReferenceBackend())
 register_backend("fused", FusedBackend())
 register_backend("compiled", CompiledBackend())
+register_backend("quantized", QuantizedBackend())
 _init_state()
 
 # _init_state() created the thread-state object; import the rebound name
@@ -112,6 +120,7 @@ __all__ = [
     "ReferenceBackend",
     "FusedBackend",
     "CompiledBackend",
+    "QuantizedBackend",
     "KernelCounters",
     "collect",
     "active_collectors",

@@ -29,6 +29,7 @@ from .rules import all_rules
 from . import (  # noqa: F401
     rules_compile,
     rules_numpy,
+    rules_quant,
     rules_serve,
     rules_style,
     rules_trace,

@@ -86,6 +86,7 @@ class InferenceSession:
 
     def __init__(self, model, *, packed=None, stats=None, config=None,
                  backend=None, instrument=False, trace=None):
+        from ..fixedpoint.plan import QuantizedPlan
         from ..fixedpoint.quantized_model import QuantizedODENetExecutor
 
         if config is None:
@@ -111,7 +112,23 @@ class InferenceSession:
             self._plan = PackedODENet(model) if use_packed else ModulePlan(model)
             self.backend = "packed" if use_packed else "module"
         elif isinstance(model, QuantizedODENetExecutor):
+            # When the session's backend provides the quantized-plan
+            # hook (the `quantized` backend does), the executor is
+            # packed into a bit-identical scale-folded QuantizedPlan —
+            # the fixed-point analogue of the compiled backend's
+            # packed-plan reroute.  Otherwise the executor's reference
+            # path runs (still seam-accelerated under an ambient
+            # quantized backend).
             self._plan = model.run
+            if config.backend is not None:
+                hook = getattr(
+                    kernels.get_backend(config.backend), "quantize_plan", None
+                )
+                if hook is not None and QuantizedPlan.supported(model):
+                    self._plan = hook(model)
+            self.backend = "quantized"
+        elif isinstance(model, QuantizedPlan):
+            self._plan = model
             self.backend = "quantized"
         elif hasattr(model, "run") and callable(model.run):
             self._plan = model.run
@@ -132,12 +149,16 @@ class InferenceSession:
 
     def refresh(self) -> None:
         """Re-freeze the model (call after mutating its parameters)."""
+        from ..fixedpoint.plan import QuantizedPlan
+
         if isinstance(self.model, Module):
             self.model.eval()
             if self.backend == "packed":
                 self._plan = PackedODENet(self.model)
             else:
                 self._plan = ModulePlan(self.model)
+        elif isinstance(self._plan, QuantizedPlan):
+            self._plan.refresh()
 
     # ------------------------------------------------------------------
     def predict_batch(self, x) -> np.ndarray:

@@ -17,8 +17,11 @@ this package turns that into a servable system:
   execution;
 * :class:`AdmissionQueue` — a bounded priority queue with typed load
   shedding (``reject`` / ``reject-oldest`` / ``degrade``, the last
-  running overload traffic on reduced-ODE-step sessions built from
-  :func:`repro.models.reduced_profile`);
+  admitting overload traffic onto an ordered **degrade ladder** —
+  ``reduced`` ODE steps, then ``int8``, then ``int4`` fixed point; see
+  :mod:`repro.serve.tiers`), every active tier statically certified by
+  the overflow checker at :meth:`Server.build`
+  (:mod:`repro.serve.certify`);
 * :class:`Scheduler` — dynamic batching per replica with
   :class:`~repro.runtime.MicroBatcher` mechanics, deadline fail-fast
   (:class:`DeadlineExceeded`), priority classes drained high-first;
@@ -37,6 +40,7 @@ See ``docs/SERVING.md`` for semantics and tuning,
 """
 
 from .admission import POLICIES, AdmissionQueue
+from .certify import certify_ladder, certify_tier
 from .errors import (
     BatcherStopped,
     DeadlineExceeded,
@@ -44,6 +48,7 @@ from .errors import (
     ReplicaUnavailable,
     ServeError,
     ServerStopped,
+    TierCertificationError,
 )
 from .loadgen import (
     LoadReport,
@@ -57,6 +62,7 @@ from .pool import ProcessReplica, Replica, ReplicaPool
 from .request import Priority, Request
 from .scheduler import Scheduler
 from .server import Server
+from .tiers import BUILTIN_TIERS, DEFAULT_LADDER, TierSpec, resolve_ladder
 
 __all__ = [
     "Server",
@@ -68,11 +74,18 @@ __all__ = [
     "POLICIES",
     "Priority",
     "Request",
+    "TierSpec",
+    "BUILTIN_TIERS",
+    "DEFAULT_LADDER",
+    "resolve_ladder",
+    "certify_tier",
+    "certify_ladder",
     "ServeError",
     "DeadlineExceeded",
     "QueueFull",
     "ServerStopped",
     "ReplicaUnavailable",
+    "TierCertificationError",
     "BatcherStopped",
     "snapshot",
     "render_report",

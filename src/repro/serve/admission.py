@@ -18,11 +18,17 @@ Shedding policies
     outranks the newcomer), the newcomer is rejected instead.
 ``degrade``
     between ``capacity`` and ``capacity + degrade_headroom`` requests
-    are admitted but flagged ``degraded`` — the scheduler runs them on
-    the replica's reduced-ODE-step session (same weights, roughly half
-    the ODE compute; see :func:`repro.models.reduced_profile`), trading
-    a little accuracy for queue drain rate.  Past the hard cap the
-    policy falls back to reject-newest, so the bound still holds.
+    are admitted onto the **degrade ladder** (see
+    :mod:`repro.serve.tiers`): the headroom is partitioned into ordered
+    bands, one per tier, and the band the queue depth falls in decides
+    the request's tier.  A lightly-over queue degrades to the
+    ``reduced`` rung (fewer ODE steps); as the backlog deepens,
+    requests land on the ``int8`` and finally ``int4`` fixed-point
+    rungs — each cheaper than the last, trading accuracy for queue
+    drain rate in steps.  Past the hard cap the policy falls back to
+    reject-newest, so the bound still holds.  ``degraded_by_tier``
+    counts admissions per rung (``degraded_admissions`` remains the
+    total).
 
 Ordering is priority-first (higher :class:`~repro.serve.Priority`
 classes drain first), FIFO within a class.  A popped batch may mix
@@ -37,9 +43,28 @@ import threading
 import time
 
 from .errors import QueueFull, ServerStopped
+from .tiers import DEFAULT_LADDER
 
 #: the recognised shedding policies
 POLICIES = ("reject", "reject-oldest", "degrade")
+
+
+def _tier_bands(tier_names, headroom):
+    """Partition *headroom* queue slots into per-tier bands.
+
+    The split is as even as integer division allows, with the remainder
+    going to the shallowest tiers — so a small headroom engages the
+    gentler rungs first and a tier can end up with a zero-width band
+    (it simply never fires).  Returns ``[(cumulative_limit, name)]``
+    with the last limit equal to *headroom*.
+    """
+    k = len(tier_names)
+    base, rem = divmod(int(headroom), k)
+    edges, acc = [], 0
+    for i, name in enumerate(tier_names):
+        acc += base + (1 if i < rem else 0)
+        edges.append((acc, name))
+    return edges
 
 
 class AdmissionQueue:
@@ -54,9 +79,15 @@ class AdmissionQueue:
     degrade_headroom:
         extra queue slots available to degraded admissions under the
         ``degrade`` policy (default: ``capacity``, i.e. a 2x hard cap).
+    tiers:
+        ordered tier *names* forming the degrade ladder (default:
+        :data:`repro.serve.tiers.DEFAULT_LADDER`).  The headroom is
+        split into one band per tier, shallowest first; the band the
+        queue depth falls in decides an overflow request's tier.
     """
 
-    def __init__(self, capacity, policy="reject", degrade_headroom=None):
+    def __init__(self, capacity, policy="reject", degrade_headroom=None,
+                 tiers=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if policy not in POLICIES:
@@ -66,6 +97,12 @@ class AdmissionQueue:
         self.degrade_headroom = (
             self.capacity if degrade_headroom is None else int(degrade_headroom)
         )
+        self.tiers = tuple(
+            str(t) for t in (DEFAULT_LADDER if tiers is None else tiers)
+        )
+        if not self.tiers:
+            raise ValueError("the degrade ladder needs at least one tier")
+        self._bands = _tier_bands(self.tiers, self.degrade_headroom)
         self._heap = []  # (sort_key, Request)
         self._cond = threading.Condition()
         self._closed = False
@@ -75,6 +112,7 @@ class AdmissionQueue:
         self.shed_incoming = 0
         self.shed_evicted = 0
         self.degraded_admissions = 0
+        self.degraded_by_tier = {name: 0 for name in self.tiers}
         self.high_water = 0
 
     # ------------------------------------------------------------------
@@ -122,8 +160,13 @@ class AdmissionQueue:
                         self.shed_incoming += 1
                         request.fail(QueueFull(self.policy, depth))
                         return False
-                    request.degraded = True
+                    over = depth - self.capacity
+                    for limit, name in self._bands:
+                        if over < limit:
+                            request.tier = name
+                            break
                     self.degraded_admissions += 1
+                    self.degraded_by_tier[request.tier] += 1
             heapq.heappush(self._heap, (request.sort_key(), request))
             self.admitted += 1
             self.high_water = max(self.high_water, len(self._heap))
@@ -208,6 +251,8 @@ class AdmissionQueue:
                 "shed_incoming": self.shed_incoming,
                 "shed_evicted": self.shed_evicted,
                 "degraded_admissions": self.degraded_admissions,
+                "degraded_by_tier": dict(self.degraded_by_tier),
+                "tiers": list(self.tiers),
                 "high_water": self.high_water,
             }
 

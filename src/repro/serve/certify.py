@@ -1,0 +1,104 @@
+"""Static per-tier certification: no uncertifiable ladder ever serves.
+
+Before :meth:`~repro.serve.Server.build` starts replicas, every rung of
+the degrade ladder is walked by the PR 3 overflow checker
+(:mod:`repro.lint.shapecheck`):
+
+* **float tiers** (the primary profile and the ``reduced`` rung) must
+  shape-check clean — no ``SHP001``/``SHP002`` errors;
+* **quantized tiers** additionally run the Q-format accumulator
+  analysis (``--fixed-point`` on the CLI) under the tier's own
+  ``(feature, parameter)`` format pair, and must produce **zero**
+  ``SHP003`` diagnostics — warnings included.  A ``SHP003`` warning
+  means a worst-case accumulator past 48 bits, i.e. a model that would
+  not map onto a single DSP cascade on the paper's target part; serving
+  such a tier would silently promise hardware parity the hardware
+  cannot deliver, so the build fails fast with
+  :class:`~repro.serve.TierCertificationError` instead.
+
+Certification is *static*: it bounds accumulators from formats and
+shapes alone, runs no data, and therefore certifies every future
+request, not a sample of them.  ``Server.build(certify=False)`` is the
+escape hatch for experiments that knowingly serve uncertified formats.
+"""
+
+from __future__ import annotations
+
+from .errors import TierCertificationError
+from .tiers import resolve_ladder
+
+__all__ = ["certify_tier", "certify_ladder"]
+
+
+def certify_tier(tier, model="ode_botnet", profile="tiny", *, seed=0,
+                 net=None):
+    """Certify one :class:`~repro.serve.tiers.TierSpec`; returns a report.
+
+    Builds the tier's model (or reuses *net*), runs the shape checker —
+    with the accumulator analysis for quantized tiers — and returns::
+
+        {"tier": name, "quantized": bool, "qformat": str | None,
+         "ok": bool, "diagnostics": [...], "blocking": [...]}
+
+    ``blocking`` is the subset that fails certification: every
+    error-severity diagnostic, plus **all** ``SHP003`` accumulator
+    findings (warnings included) for quantized tiers.
+    """
+    from ..lint import Severity, check_fixed_point, check_model
+    from ..lint.shapecheck import Q_OVERFLOW
+
+    if net is None:
+        net = tier.build_model(model, profile, seed=seed)
+    if tier.is_quantized:
+        ffmt, pfmt = tier.formats()
+        diagnostics = check_fixed_point(
+            net, ffmt, pfmt,
+            origin=f"<tier:{tier.name}:{tier.qformat}>",
+        )
+        blocking = [
+            d for d in diagnostics
+            if d.severity >= Severity.ERROR or d.rule == Q_OVERFLOW
+        ]
+    else:
+        diagnostics = check_model(net, origin=f"<tier:{tier.name}>")
+        blocking = [d for d in diagnostics if d.severity >= Severity.ERROR]
+    return {
+        "tier": tier.name,
+        "quantized": tier.is_quantized,
+        "qformat": tier.qformat,
+        "ok": not blocking,
+        "diagnostics": diagnostics,
+        "blocking": blocking,
+    }
+
+
+def certify_ladder(tiers, model="ode_botnet", profile="tiny", *, seed=0,
+                   include_primary=True):
+    """Certify every rung of a ladder (and the primary profile).
+
+    Returns ``{tier_name: report}`` (the primary profile reports under
+    ``"full"``) or raises :class:`~repro.serve.TierCertificationError`
+    on the first rung whose report is not ``ok`` — the failure mode is
+    *refuse to build*, not *serve and hope*.
+    """
+    from ..lint import Severity, check_model
+    from ..models import build_model
+
+    reports = {}
+    if include_primary:
+        net = build_model(model, profile=profile, seed=seed, inference=True)
+        diagnostics = check_model(net, origin=f"<tier:full:{profile}>")
+        blocking = [d for d in diagnostics if d.severity >= Severity.ERROR]
+        reports["full"] = {
+            "tier": "full", "quantized": False, "qformat": None,
+            "ok": not blocking, "diagnostics": diagnostics,
+            "blocking": blocking,
+        }
+        if blocking:
+            raise TierCertificationError("full", blocking)
+    for spec in resolve_ladder(tiers):
+        report = certify_tier(spec, model, profile, seed=seed)
+        reports[spec.name] = report
+        if not report["ok"]:
+            raise TierCertificationError(spec.name, report["blocking"])
+    return reports

@@ -13,6 +13,9 @@ classify outcomes without string matching:
   in flight, or a submit arrived after close.
 * :class:`ReplicaUnavailable` — every replica is marked unhealthy, so
   there is nowhere to dispatch.
+* :class:`TierCertificationError` — a degrade-ladder tier failed the
+  static overflow certification at :meth:`~repro.serve.Server.build`
+  time; the server refuses to start with an uncertifiable ladder.
 
 :class:`~repro.runtime.BatcherStopped` (the micro-batcher's typed
 shutdown error) is re-exported here for symmetry — it is the same
@@ -68,11 +71,37 @@ class ReplicaUnavailable(ServeError):
     """No healthy replica is available to run the request."""
 
 
+class TierCertificationError(ServeError):
+    """A degrade-ladder tier failed static certification at build time.
+
+    Raised by :func:`repro.serve.certify.certify_ladder` (and therefore
+    :meth:`~repro.serve.Server.build`) when the overflow checker finds
+    shape errors — or, for a quantized tier, ``SHP003`` accumulator
+    diagnostics meaning the tier's worst-case accumulator would not fit
+    a 48-bit DSP cascade.  Carries the offending ``tier`` name and the
+    checker's ``diagnostics`` list so CI logs show exactly which site
+    overflows.
+    """
+
+    def __init__(self, tier, diagnostics):
+        self.tier = str(tier)
+        self.diagnostics = list(diagnostics)
+        preview = "; ".join(str(d) for d in self.diagnostics[:3])
+        more = len(self.diagnostics) - 3
+        if more > 0:
+            preview += f"; ... {more} more"
+        super().__init__(
+            f"tier {self.tier!r} failed static certification "
+            f"({len(self.diagnostics)} diagnostic(s)): {preview}"
+        )
+
+
 __all__ = [
     "ServeError",
     "DeadlineExceeded",
     "QueueFull",
     "ServerStopped",
     "ReplicaUnavailable",
+    "TierCertificationError",
     "BatcherStopped",
 ]

@@ -236,6 +236,12 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
                         choices=("thread", "process"))
     parser.add_argument("--policy", default="reject",
                         choices=("reject", "reject-oldest", "degrade"))
+    parser.add_argument("--tiers", default=None,
+                        help="comma-separated degrade ladder for "
+                        "--policy degrade (default: reduced,int8,int4)")
+    parser.add_argument("--no-certify", action="store_true",
+                        help="skip the static per-tier overflow "
+                        "certification at build time")
     parser.add_argument("--capacity", type=int, default=64)
     parser.add_argument("--batch", type=int, default=8)
     parser.add_argument("--wait-ms", type=float, default=2.0)
@@ -268,9 +274,13 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
     server = Server.build(
         args.model, args.profile, args.replicas, backends=args.backend,
         mode=args.mode, shed_policy=args.policy,
+        tiers=args.tiers, certify=not args.no_certify,
         queue_capacity=args.capacity, max_batch_size=args.batch,
         max_wait_ms=args.wait_ms, tracer=tracer,
     )
+    if args.policy == "degrade":
+        print(f"degrade ladder: {' -> '.join(server.queue.tiers)} "
+              f"({'certified' if not args.no_certify else 'UNCERTIFIED'})")
     try:
         rate = args.rate
         if rate is None:

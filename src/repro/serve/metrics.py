@@ -72,6 +72,12 @@ def render_report(snap) -> str:
             f"  shed {queue['shed_incoming']}+{queue['shed_evicted']}"
             f"  degraded {queue['degraded_admissions']}"
         )
+        by_tier = queue.get("degraded_by_tier") or {}
+        if any(by_tier.values()):
+            rungs = "  ".join(
+                f"{tier}:{count}" for tier, count in by_tier.items()
+            )
+            lines.append(f"  degrade ladder: {rungs}")
     sched = snap.get("scheduler")
     if sched is not None:
         lines.append(
@@ -80,6 +86,12 @@ def render_report(snap) -> str:
             f" {sched['degraded_dispatched']} degraded)"
             f"  priorities {sched['by_priority'] or '{}'}"
         )
+        by_tier = sched.get("dispatched_by_tier") or {}
+        if by_tier:
+            rungs = "  ".join(
+                f"{tier}:{count}" for tier, count in by_tier.items()
+            )
+            lines.append(f"  dispatched by tier: {rungs}")
     trace = snap.get("trace")
     if trace is not None:
         lines.append(
@@ -108,6 +120,15 @@ def render_report(snap) -> str:
             f"  outstanding {rep['outstanding']}"
             f"  failures {rep['consecutive_failures']}"
         )
+        tier_counts = rep.get("dispatches_by_tier") or {}
+        if any(tier_counts.values()):
+            rungs = "  ".join(
+                f"{tier}:{count}" for tier, count in tier_counts.items()
+            )
+            lines.append(
+                f"      tiers (weights v{rep.get('weights_version', 1)}):"
+                f" {rungs}"
+            )
         for kernel, k in list(stats.get("kernels", {}).items())[:4]:
             lines.append(
                 f"      {kernel:<24s} {k['calls']:8d} calls"

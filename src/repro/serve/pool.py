@@ -1,10 +1,19 @@
 """Replica management: N inference sessions behind one dispatch point.
 
 A :class:`Replica` owns one :class:`~repro.runtime.InferenceSession`
-(plus, optionally, a *degraded* session built from the registry's
-reduced profile — same weights, halved ODE step count) and tracks its
-own health: consecutive failures past a threshold mark it unhealthy and
-routing skips it until :meth:`ReplicaPool.revive`.
+plus, optionally, a set of *tier sessions* — one per rung of the
+degrade ladder (see :mod:`repro.serve.tiers`): the reduced-ODE-step
+profile, and the ``int8`` / ``int4`` fixed-point plans built from the
+same weight set.  It tracks its own health: consecutive failures past
+a threshold mark it unhealthy and routing skips it until
+:meth:`ReplicaPool.revive`.
+
+Every tier shares the primary session's weights.  The quantized tiers
+derive their integer weights exactly once, at construction (inside the
+tier session's :class:`~repro.fixedpoint.QuantizedPlan`); the
+replica's ``weights_version`` counter ticks on :meth:`Replica.refresh`,
+which re-freezes every session — so metrics can confirm all tiers of a
+replica serve the same weight generation.
 
 The :class:`ReplicaPool` routes by **least outstanding work**: every
 dispatch leases the healthy replica with the fewest in-flight batches,
@@ -34,13 +43,31 @@ import time
 
 import numpy as np
 
-from ..models import build_model, reduced_profile
+from ..models import build_model
 from ..runtime import InferenceSession, SessionConfig, SessionStats
 from .errors import ReplicaUnavailable
+from .tiers import resolve_ladder
+
+
+def _as_tier_sessions(tier_sessions, degraded_session):
+    """Normalise the two ways of passing tier sessions into one dict."""
+    if degraded_session is not None:
+        if tier_sessions is not None:
+            raise TypeError(
+                "pass either tier_sessions= or the legacy "
+                "degraded_session= keyword, not both"
+            )
+        return {"reduced": degraded_session}
+    if tier_sessions is None:
+        return {}
+    if isinstance(tier_sessions, dict):
+        return dict(tier_sessions)
+    # a bare session is the legacy single-rung ladder
+    return {"reduced": tier_sessions}
 
 
 class Replica:
-    """One managed inference session (plus optional degraded twin).
+    """One managed inference session plus its degrade-tier sessions.
 
     Parameters
     ----------
@@ -48,37 +75,63 @@ class Replica:
         stable identifier used in health/metrics reports.
     session:
         the full-quality :class:`~repro.runtime.InferenceSession`.
-    degraded_session:
-        optional reduced-step session for the ``degrade`` shedding
-        policy; shares the primary session's :class:`SessionStats`.
+    tier_sessions:
+        mapping of degrade-ladder tier name to that tier's session
+        (all sharing the primary's weight set).  A bare session is
+        accepted as the legacy single-rung ``{"reduced": session}``
+        ladder, as is the ``degraded_session=`` keyword.
     unhealthy_after:
         consecutive failures before the replica is taken out of
         routing.
     """
 
-    def __init__(self, name, session, degraded_session=None,
-                 unhealthy_after=3):
+    def __init__(self, name, session, tier_sessions=None,
+                 unhealthy_after=3, *, degraded_session=None):
         self.name = str(name)
         self.session = session
-        self.degraded_session = degraded_session
+        self.tier_sessions = _as_tier_sessions(tier_sessions,
+                                               degraded_session)
         self.unhealthy_after = int(unhealthy_after)
         self.outstanding = 0
         self.consecutive_failures = 0
         self.healthy = True
         self.dispatches = 0
         self.degraded_dispatches = 0
+        self.dispatches_by_tier = {name: 0 for name in self.tier_sessions}
+        #: weight generation every session of this replica serves;
+        #: ticks on :meth:`refresh`
+        self.weights_version = 1
 
     # ------------------------------------------------------------------
+    @property
+    def degraded_session(self):
+        """The legacy single-rung alias: the ``reduced`` tier session."""
+        return self.tier_sessions.get("reduced")
+
     @property
     def stats(self) -> SessionStats:
         """The replica's serving statistics."""
         return self.session.stats
 
-    def run(self, samples, degraded=False) -> np.ndarray:
-        """Execute one batch, with health accounting."""
-        session = self.session
-        if degraded and self.degraded_session is not None:
-            session = self.degraded_session
+    def _session_for(self, tier):
+        """The (tier, session) actually serving *tier* — full quality
+        when the replica has no session for it (a less-degraded answer
+        is always an acceptable substitute)."""
+        if tier is None:
+            return None, self.session
+        session = self.tier_sessions.get(tier)
+        if session is None:
+            return None, self.session
+        return tier, session
+
+    def run(self, samples, tier=None, degraded=False) -> np.ndarray:
+        """Execute one batch on *tier*'s session, with health accounting.
+
+        ``degraded=True`` is the legacy spelling of ``tier="reduced"``.
+        """
+        if degraded and tier is None:
+            tier = "reduced"
+        used, session = self._session_for(tier)
         try:
             out = session.predict_batch(samples)
         except Exception:
@@ -88,9 +141,19 @@ class Replica:
             raise
         self.consecutive_failures = 0
         self.dispatches += 1
-        if degraded and self.degraded_session is not None:
+        if used is not None:
             self.degraded_dispatches += 1
+            self.dispatches_by_tier[used] += 1
         return out
+
+    def refresh(self) -> None:
+        """Re-freeze every session (primary and all tiers) after a
+        weight mutation; bumps :attr:`weights_version` so metrics show
+        all tiers moved to the new generation together."""
+        self.session.refresh()
+        for session in self.tier_sessions.values():
+            session.refresh()
+        self.weights_version += 1
 
     def close(self) -> None:
         """Release replica resources (no-op for in-process replicas)."""
@@ -103,6 +166,9 @@ class Replica:
             "consecutive_failures": self.consecutive_failures,
             "dispatches": self.dispatches,
             "degraded_dispatches": self.degraded_dispatches,
+            "dispatches_by_tier": dict(self.dispatches_by_tier),
+            "tiers": list(self.tier_sessions),
+            "weights_version": self.weights_version,
         }
 
     def __repr__(self):
@@ -115,16 +181,19 @@ class Replica:
 class ProcessReplica(Replica):
     """A replica whose sessions live in a forked worker process.
 
-    The parent sends ``(seq, degraded, samples, want_trace)`` over a
+    The parent sends ``(seq, tier, samples, want_trace)`` over a
     pipe and receives ``(seq, kind, payload, spans)`` — the output
     batch or the worker-side exception, with the request's ``seq``
-    echoed back.  When the parent's dispatch is being traced
-    (``want_trace``), the worker runs the batch under a private
-    :class:`repro.trace.Tracer` and ships the collected spans back as
-    the fourth element; the parent re-parents them under its ambient
-    ``dispatch`` span with :meth:`Tracer.ingest` (``perf_counter`` is
-    ``CLOCK_MONOTONIC`` on Linux, so timestamps line up across the
-    fork).  The echo is what keeps the pipe
+    echoed back.  ``tier`` is the degrade-ladder tier name (or ``None``
+    for full quality); the worker holds the same tier-session mapping
+    the parent built before forking, so tier routing is decided
+    parent-side and executed child-side on identical objects.  When the
+    parent's dispatch is being traced (``want_trace``), the worker runs
+    the batch under a private :class:`repro.trace.Tracer` and ships the
+    collected spans back as the fourth element; the parent re-parents
+    them under its ambient ``dispatch`` span with :meth:`Tracer.ingest`
+    (``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux, so timestamps
+    line up across the fork).  The echo is what keeps the pipe
     usable after a timeout: when ``timeout_s`` expires the worker's
     late reply stays buffered in the pipe, and the *next* ``run`` must
     discard it by sequence id — not mistake it for its own answer and
@@ -136,8 +205,9 @@ class ProcessReplica(Replica):
     routing.
     """
 
-    def __init__(self, name, session, degraded_session=None,
-                 unhealthy_after=3, timeout_s=None):
+    def __init__(self, name, session, tier_sessions=None,
+                 unhealthy_after=3, timeout_s=None, *,
+                 degraded_session=None):
         import multiprocessing as mp
 
         if "fork" not in mp.get_all_start_methods():
@@ -145,8 +215,9 @@ class ProcessReplica(Replica):
                 "process-mode replicas need a fork platform (Linux); "
                 "use mode='thread' here"
             )
-        super().__init__(name, session, degraded_session,
-                         unhealthy_after=unhealthy_after)
+        super().__init__(name, session, tier_sessions,
+                         unhealthy_after=unhealthy_after,
+                         degraded_session=degraded_session)
         self._stats = SessionStats()
         self._pipe_lock = threading.Lock()
         self._seq = 0  # protected by _pipe_lock
@@ -155,7 +226,7 @@ class ProcessReplica(Replica):
         self._parent_conn, child_conn = ctx.Pipe()
         self._proc = ctx.Process(
             target=self._worker_loop,
-            args=(child_conn, session, degraded_session),
+            args=(child_conn, session, self.tier_sessions),
             name=f"repro-serve-{self.name}",
             daemon=True,
         )
@@ -163,9 +234,9 @@ class ProcessReplica(Replica):
         child_conn.close()
 
     @staticmethod
-    def _worker_loop(conn, session, degraded_session):
-        """Child: answer ``(seq, degraded, samples, want_trace)`` until
-        the pipe closes, echoing each request's ``seq`` in its reply."""
+    def _worker_loop(conn, session, tier_sessions):
+        """Child: answer ``(seq, tier, samples, want_trace)`` until the
+        pipe closes, echoing each request's ``seq`` in its reply."""
         from ..trace import Tracer
 
         while True:
@@ -175,12 +246,8 @@ class ProcessReplica(Replica):
                 return
             if msg is None:
                 return
-            seq, degraded, samples, want_trace = msg
-            use = (
-                degraded_session
-                if degraded and degraded_session is not None
-                else session
-            )
+            seq, tier, samples, want_trace = msg
+            use = tier_sessions.get(tier, session) if tier else session
             try:
                 if want_trace:
                     tracer = Tracer(capacity=8192)
@@ -197,7 +264,7 @@ class ProcessReplica(Replica):
         """Parent-side statistics (round-trip serving latency)."""
         return self._stats
 
-    def run(self, samples, degraded=False) -> np.ndarray:
+    def run(self, samples, tier=None, degraded=False) -> np.ndarray:
         """Round-trip one batch through the worker process.
 
         Replies are matched to this request by sequence id; buffered
@@ -206,6 +273,9 @@ class ProcessReplica(Replica):
         """
         from ..trace import current_tracer
 
+        if degraded and tier is None:
+            tier = "reduced"
+        used = tier if tier in self.tier_sessions else None
         samples = np.asarray(samples)
         tracer = current_tracer()
         start = time.perf_counter()
@@ -214,7 +284,7 @@ class ProcessReplica(Replica):
                 self._seq += 1
                 seq = self._seq
                 self._parent_conn.send(
-                    (seq, bool(degraded), samples, tracer is not None)
+                    (seq, used, samples, tracer is not None)
                 )
                 deadline = (
                     None if self.timeout_s is None
@@ -246,8 +316,9 @@ class ProcessReplica(Replica):
             raise
         self.consecutive_failures = 0
         self.dispatches += 1
-        if degraded and self.degraded_session is not None:
+        if used is not None:
             self.degraded_dispatches += 1
+            self.dispatches_by_tier[used] += 1
         self._stats.record(samples.shape[0], time.perf_counter() - start)
         return payload
 
@@ -288,7 +359,7 @@ class ReplicaPool:
     @classmethod
     def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
               config=None, backends=None, seed=0, pretrained_state=None,
-              degraded=False, mode="thread", unhealthy_after=3,
+              tiers=None, degraded=False, mode="thread", unhealthy_after=3,
               instrument=False):
         """Build *n_replicas* identical-weight replicas from the registry.
 
@@ -308,10 +379,15 @@ class ReplicaPool:
             kernel backend per replica (name, list cycled across
             replicas, or ``None`` for the thread-default backend /
             ``config.backend``).
+        tiers:
+            the degrade ladder to build per replica — tier names /
+            :class:`~repro.serve.tiers.TierSpec` objects, in order
+            (see :func:`~repro.serve.tiers.resolve_ladder`).  Every
+            tier session is built from the shared ``state`` dict, so
+            quantized tiers derive their integer weights from the same
+            weight generation the primary serves.
         degraded:
-            also build the reduced-profile session (same state dict,
-            halved ODE steps) each replica needs for the ``degrade``
-            shedding policy.
+            legacy single-rung spelling of ``tiers=("reduced",)``.
         mode:
             ``"thread"`` or ``"process"`` (see the module docstring).
         """
@@ -329,6 +405,11 @@ class ReplicaPool:
         if backends is None or isinstance(backends, str):
             backends = [backends if backends is not None
                         else config.backend] * n_replicas
+        ladder = ()
+        if tiers is not None:
+            ladder = resolve_ladder(tiers)
+        elif degraded:
+            ladder = resolve_ladder(("reduced",))
         reference = build_model(model, profile=profile, seed=seed,
                                 pretrained_state=pretrained_state,
                                 inference=True)
@@ -342,17 +423,16 @@ class ReplicaPool:
                             pretrained_state=state, inference=True),
                 stats=stats, config=replica_config,
             )
-            degraded_session = None
-            if degraded:
-                degraded_session = InferenceSession(
-                    build_model(model, profile=reduced_profile(profile),
-                                seed=seed, pretrained_state=state,
-                                inference=True),
-                    stats=stats, config=replica_config,
+            tier_sessions = {
+                spec.name: spec.build_session(
+                    model, profile, seed=seed, state=state,
+                    config=replica_config, stats=stats,
                 )
+                for spec in ladder
+            }
             kind = Replica if mode == "thread" else ProcessReplica
             replicas.append(
-                kind(f"replica-{i}", session, degraded_session,
+                kind(f"replica-{i}", session, tier_sessions or None,
                      unhealthy_after=unhealthy_after)
             )
         return cls(replicas)
@@ -390,6 +470,12 @@ class ReplicaPool:
         raise KeyError(name)
 
     # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-freeze every replica's sessions (all tiers) after a
+        weight mutation; each replica's ``weights_version`` ticks."""
+        for replica in self.replicas:
+            replica.refresh()
+
     def health(self) -> dict:
         """Per-replica health, keyed by replica name."""
         with self._lock:

@@ -54,7 +54,7 @@ class Request:
 
     __slots__ = (
         "payload", "priority", "seq", "future",
-        "t_submit", "t_expiry", "deadline_ms", "degraded", "trace_id",
+        "t_submit", "t_expiry", "deadline_ms", "tier", "trace_id",
     )
 
     def __init__(self, payload, *, priority=Priority.NORMAL, deadline_ms=None,
@@ -69,11 +69,29 @@ class Request:
         self.t_expiry = (
             None if deadline_ms is None else now + float(deadline_ms) / 1e3
         )
-        #: set by admission control: execute on the reduced-step session
-        self.degraded = False
+        #: set by admission control: the degrade-ladder tier this
+        #: request executes on (a tier name from repro.serve.tiers), or
+        #: None for full quality
+        self.tier = None
         #: set by Server.submit when the request is sampled for tracing
         #: (a repro.trace trace id); None = untraced
         self.trace_id = None
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True when admission placed this request on a degrade tier."""
+        return self.tier is not None
+
+    @degraded.setter
+    def degraded(self, value):
+        # back-compat shim for the single-rung PR 4 API: flagging a
+        # request degraded puts it on the ladder's shallowest tier
+        if value:
+            if self.tier is None:
+                self.tier = "reduced"
+        else:
+            self.tier = None
 
     # ------------------------------------------------------------------
     def waited_ms(self, now=None) -> float:
@@ -118,7 +136,7 @@ class Request:
     def __repr__(self):
         return (
             f"Request(seq={self.seq}, priority={self.priority.name}, "
-            f"deadline_ms={self.deadline_ms}, degraded={self.degraded})"
+            f"deadline_ms={self.deadline_ms}, tier={self.tier})"
         )
 
 

@@ -6,8 +6,9 @@ with the same partial-batch mechanics as
 or ``max_wait_ms`` after the first request), then routes each formed
 batch to the least-loaded healthy replica, where a dedicated
 single-thread executor runs it.  Priority classes drain high-first
-(the queue is a priority heap); degraded admissions are grouped into
-their own sub-batches so a batch always runs on exactly one session.
+(the queue is a priority heap); requests are grouped by degrade-ladder
+*tier* into their own sub-batches (full quality first, then ladder
+order) so a batch always runs on exactly one session.
 
 Backpressure is explicit: the collector holds one of
 ``len(pool) * inflight_per_replica`` dispatch slots for every batch in
@@ -98,6 +99,7 @@ class Scheduler:
         self.failed = 0
         self.deadline_exceeded = 0
         self.degraded_dispatched = 0
+        self.dispatched_by_tier = Counter()
         self.by_priority = Counter()
 
     # ------------------------------------------------------------------
@@ -147,14 +149,21 @@ class Scheduler:
                 self._fail_deadline(req, now)
             else:
                 live.append(req)
+        groups = {}
+        for req in live:
+            groups.setdefault(req.tier, []).append(req)
+        # full quality first, then the queue's ladder order (deeper
+        # tiers last), then any tier the queue does not know about
+        rank = {None: 0}
+        for i, name in enumerate(getattr(self.queue, "tiers", ()) or ()):
+            rank.setdefault(name, i + 1)
         have_slot = True
-        for degraded in (False, True):
-            group = [r for r in live if r.degraded is degraded]
-            if group:
-                if not have_slot:
-                    self._slots.acquire()
-                have_slot = False
-                self._dispatch(group, degraded)
+        for tier in sorted(groups, key=lambda t: (rank.get(t, len(rank)),
+                                                  str(t))):
+            if not have_slot:
+                self._slots.acquire()
+            have_slot = False
+            self._dispatch(groups[tier], tier)
         if have_slot:
             self._slots.release()
 
@@ -165,7 +174,7 @@ class Scheduler:
             self.deadline_exceeded += 1
             self.failed += 1
 
-    def _dispatch(self, group, degraded):
+    def _dispatch(self, group, tier):
         """Run *group* on a replica; consumes the caller's dispatch slot."""
         try:
             replica = self.pool.acquire()
@@ -201,7 +210,7 @@ class Scheduler:
                     if tracer is not None else []
                 )
                 if not traced:
-                    self._execute(replica, live, degraded, None)
+                    self._execute(replica, live, tier, None)
                 else:
                     # retroactive queue-wait spans, one per sampled
                     # request: submit time -> batch execution start
@@ -210,15 +219,17 @@ class Scheduler:
                             "admission", req.t_submit, now,
                             trace_ids=[req.trace_id],
                             priority=req.priority.name,
+                            tier=req.tier or "full",
                             degraded=req.degraded,
                         )
                     with tracer.span(
                         "batch",
                         trace_ids=[r.trace_id for r in traced],
-                        size=len(live), degraded=degraded,
+                        size=len(live), tier=tier or "full",
+                        degraded=tier is not None,
                         replica=replica.name,
                     ):
-                        self._execute(replica, live, degraded, tracer)
+                        self._execute(replica, live, tier, tracer)
             except BaseException as exc:  # typed failure to every waiter
                 failed = sum(1 for req in group if req.fail(exc))
                 with self._lock:
@@ -229,7 +240,7 @@ class Scheduler:
 
         self._executors[replica.name].submit(run)
 
-    def _execute(self, replica, live, degraded, tracer):
+    def _execute(self, replica, live, tier, tracer):
         """Stack, run and deliver one already-deadline-checked group.
 
         Runs on the replica's executor thread inside ``run``'s fence;
@@ -239,11 +250,11 @@ class Scheduler:
         """
         samples = np.stack([req.payload for req in live])
         if tracer is None:
-            rows = replica.run(samples, degraded=degraded)
+            rows = replica.run(samples, tier=tier)
         else:
             with tracer.span("dispatch", replica=replica.name,
-                             size=len(live)):
-                rows = replica.run(samples, degraded=degraded)
+                             size=len(live), tier=tier or "full"):
+                rows = replica.run(samples, tier=tier)
         if len(rows) != len(live):
             raise RuntimeError(
                 f"replica {replica.name} returned {len(rows)} rows "
@@ -255,8 +266,9 @@ class Scheduler:
         with self._lock:
             self.dispatched_batches += 1
             self.completed += len(delivered)
-            if degraded:
+            if tier is not None:
                 self.degraded_dispatched += len(delivered)
+            self.dispatched_by_tier[tier or "full"] += len(delivered)
             for req in delivered:
                 self.by_priority[req.priority.name] += 1
 
@@ -291,6 +303,7 @@ class Scheduler:
                 "failed": self.failed,
                 "deadline_exceeded": self.deadline_exceeded,
                 "degraded_dispatched": self.degraded_dispatched,
+                "dispatched_by_tier": dict(self.dispatched_by_tier),
                 "by_priority": dict(self.by_priority),
             }
 

@@ -27,11 +27,13 @@ import time
 import numpy as np
 
 from .admission import AdmissionQueue
+from .certify import certify_ladder
 from .errors import DeadlineExceeded, ServerStopped
 from .metrics import render_report, snapshot
 from .pool import ReplicaPool
 from .request import Priority, Request
 from .scheduler import Scheduler
+from .tiers import resolve_ladder
 
 
 class Server:
@@ -47,6 +49,12 @@ class Server:
     queue_capacity, shed_policy, degrade_headroom:
         admission control knobs (see
         :class:`~repro.serve.AdmissionQueue`).
+    tiers:
+        ordered degrade-ladder tier *names* for the admission queue's
+        bands (default: the three-rung
+        :data:`~repro.serve.tiers.DEFAULT_LADDER` —
+        ``reduced -> int8 -> int4``).  Only meaningful under
+        ``shed_policy="degrade"``.
     default_deadline_ms:
         deadline applied to requests submitted without one (``None``
         disables).
@@ -60,12 +68,13 @@ class Server:
 
     def __init__(self, pool, *, max_batch_size=8, max_wait_ms=2.0,
                  queue_capacity=64, shed_policy="reject",
-                 degrade_headroom=None, default_deadline_ms=None,
-                 tracer=None):
+                 degrade_headroom=None, tiers=None,
+                 default_deadline_ms=None, tracer=None):
         self.pool = pool
         self.tracer = tracer
         self.queue = AdmissionQueue(queue_capacity, shed_policy,
-                                    degrade_headroom=degrade_headroom)
+                                    degrade_headroom=degrade_headroom,
+                                    tiers=tiers)
         self.scheduler = Scheduler(pool, self.queue,
                                    max_batch_size=max_batch_size,
                                    max_wait_ms=max_wait_ms,
@@ -78,7 +87,8 @@ class Server:
     @classmethod
     def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
               config=None, backends=None, seed=0, pretrained_state=None,
-              mode="thread", instrument=False, **server_kw):
+              mode="thread", instrument=False, tiers=None, certify=True,
+              **server_kw):
         """Build pool and server from the model registry in one call.
 
         ``config`` is a shared :class:`~repro.runtime.SessionConfig`
@@ -86,15 +96,29 @@ class Server:
         becomes the server tracer unless ``tracer=`` is passed
         explicitly); the legacy ``backends=`` / ``instrument=``
         keywords remain as shims.  Remaining keywords go to the
-        :class:`Server` constructor.  When ``shed_policy="degrade"``
-        the reduced-profile degraded sessions are built automatically.
+        :class:`Server` constructor.
+
+        When ``shed_policy="degrade"`` the degrade ladder (``tiers``,
+        default :data:`~repro.serve.tiers.DEFAULT_LADDER`) is built per
+        replica from the shared weight set, and — unless
+        ``certify=False`` — every active tier is **statically
+        certified** first by the overflow checker (see
+        :mod:`repro.serve.certify`): an uncertifiable ladder raises
+        :class:`~repro.serve.TierCertificationError` before any replica
+        starts.
         """
+        ladder = None
+        if server_kw.get("shed_policy") == "degrade":
+            ladder = resolve_ladder(tiers)
+            if certify:
+                certify_ladder(ladder, model, profile, seed=seed)
         pool = ReplicaPool.build(
             model, profile, n_replicas, config=config, backends=backends,
             seed=seed, pretrained_state=pretrained_state, mode=mode,
-            degraded=server_kw.get("shed_policy") == "degrade",
-            instrument=instrument,
+            tiers=ladder, instrument=instrument,
         )
+        if ladder is not None:
+            server_kw.setdefault("tiers", tuple(t.name for t in ladder))
         if config is not None and config.tracer is not None:
             server_kw.setdefault("tracer", config.tracer)
         return cls(pool, **server_kw)

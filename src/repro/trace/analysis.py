@@ -118,6 +118,7 @@ def _per_request_breakdown(spans):
         )
         rows.append({
             "trace_id": tid,
+            "tier": batch.attrs.get("tier", "full"),
             "total": s.dur,
             "queue": adm.dur,
             "compute": compute,
@@ -141,10 +142,14 @@ def tail_attribution(spans, p=99.0) -> dict:
          "threshold_ms": ...,
          "stages_ms": {"queue": ..., "compute": ...,
                        "dispatch_overhead": ..., "deliver": ...},
-         "dominant": "queue"}
+         "dominant": "queue",
+         "by_tier": {"full": ..., "reduced": ...},
+         "tail_by_tier": {...}, "dominant_tier": "full"}
 
-    or ``{"n_requests": 0}`` when no request completed with its spans
-    retained.
+    (the ``*tier`` keys attribute requests to the degrade-ladder tier
+    that served them — ``tail_by_tier`` answers *which tier served the
+    p99*), or ``{"n_requests": 0}`` when no request completed with its
+    spans retained.
     """
     rows = _per_request_breakdown(spans)
     if not rows:
@@ -155,6 +160,11 @@ def tail_attribution(spans, p=99.0) -> dict:
     for key in ("queue", "compute", "dispatch_overhead", "deliver"):
         stages[key] = sum(r[key] for r in tail) / len(tail) * 1e3
     dominant = max(stages, key=stages.get)
+    by_tier, tail_by_tier = {}, {}
+    for r in rows:
+        by_tier[r["tier"]] = by_tier.get(r["tier"], 0) + 1
+    for r in tail:
+        tail_by_tier[r["tier"]] = tail_by_tier.get(r["tier"], 0) + 1
     return {
         "p": float(p),
         "n_requests": len(rows),
@@ -162,6 +172,9 @@ def tail_attribution(spans, p=99.0) -> dict:
         "threshold_ms": threshold * 1e3,
         "stages_ms": stages,
         "dominant": dominant,
+        "by_tier": by_tier,
+        "tail_by_tier": tail_by_tier,
+        "dominant_tier": max(tail_by_tier, key=tail_by_tier.get),
     }
 
 
@@ -184,6 +197,14 @@ def render_tail_attribution(report) -> str:
         lines.append(
             f"  {stage:<18} {ms:8.2f} ms  ({ms / total * 100:5.1f}%){marker}"
         )
+    tail_by_tier = report.get("tail_by_tier") or {}
+    if tail_by_tier:
+        rungs = "  ".join(
+            f"{tier}:{count}" for tier, count in sorted(
+                tail_by_tier.items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(f"  tail served by tier: {rungs}")
     return "\n".join(lines)
 
 

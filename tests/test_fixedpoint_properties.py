@@ -1,13 +1,83 @@
 """Property-based tests (hypothesis) on fixed-point arithmetic invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fixedpoint import QFormat, fixed_add, fixed_matmul, fixed_relu, requantize
+from repro.fixedpoint.ops import _rescale
 
 formats = st.tuples(st.integers(8, 32), st.integers(2, 8)).map(
     lambda t: QFormat(t[0], min(t[1], t[0]))
 )
+
+
+def _oracle_rescale(raw, from_frac, fmt):
+    """Pure-python scalar reference for ``_rescale``: exact round-half-even
+    on a power-of-two division, then saturation.
+
+    Uses ``divmod`` (floor quotient, non-negative remainder) so negative
+    raws follow the same arithmetic-shift convention as the vectorized
+    int64 implementation without sharing any code with it.
+    """
+    raw = int(raw)
+    shift = from_frac - fmt.frac_bits
+    if shift <= 0:
+        out = raw * (2 ** -shift)
+    else:
+        quotient, remainder = divmod(raw, 2 ** shift)
+        half = 2 ** (shift - 1)
+        if remainder > half or (remainder == half and (quotient & 1)):
+            quotient += 1
+        out = quotient
+    return max(fmt.raw_min, min(fmt.raw_max, out))
+
+
+class TestRescaleAgainstScalarOracle:
+    """The vectorized ``_rescale`` must keep exact round-half-even +
+    saturation semantics — including negative raws at the shift boundary
+    — because the ``quantized`` backend's bit-exactness rests on it."""
+
+    FMT = QFormat(16, 8)
+
+    @pytest.mark.parametrize("shift", range(-8, 9))
+    def test_boundary_raws_match_oracle(self, shift):
+        fmt = self.FMT
+        from_frac = fmt.frac_bits + shift
+        step = 2 ** max(shift, 1)
+        # exercise exact multiples of the shift step, the half-way tie
+        # point, and its one-LSB neighbours — positive and negative
+        probes = []
+        for base in (0, step, 3 * step, 1000 * step, fmt.raw_max << max(shift, 0)):
+            for delta in (-step // 2 - 1, -step // 2, -step // 2 + 1, -1, 0, 1,
+                          step // 2 - 1, step // 2, step // 2 + 1):
+                probes.append(base + delta)
+                probes.append(-(base + delta))
+        raw = np.array(sorted(set(probes)), dtype=np.int64)
+        got = _rescale(raw, from_frac, fmt)
+        want = np.array([_oracle_rescale(r, from_frac, fmt) for r in raw],
+                        dtype=np.int64)
+        np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=120, deadline=None)
+    @given(formats, st.integers(-8, 8),
+           st.lists(st.integers(-(1 << 40), 1 << 40), min_size=1, max_size=16))
+    def test_random_raws_match_oracle(self, fmt, shift, raws):
+        from_frac = fmt.frac_bits + shift
+        raw = np.array(raws, dtype=np.int64)
+        got = _rescale(raw, from_frac, fmt)
+        want = np.array([_oracle_rescale(r, from_frac, fmt) for r in raws],
+                        dtype=np.int64)
+        np.testing.assert_array_equal(got, want)
+
+    def test_negative_tie_rounds_to_even(self):
+        # -2.5 in raw/2^1 terms: raw=-5, shift=1 → floor pair (-3, r=1)
+        # → tie → round to even quotient -2 (not -3): round-half-even,
+        # not round-half-away and not truncation.
+        fmt = QFormat(16, 8)
+        out = _rescale(np.array([-5, -3, 5, 3], dtype=np.int64),
+                       fmt.frac_bits + 1, fmt)
+        np.testing.assert_array_equal(out, [-2, -2, 2, 2])
 
 
 @settings(max_examples=60, deadline=None)

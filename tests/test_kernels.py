@@ -285,6 +285,110 @@ class TestBackendParity:
             assert _relative_close(got_ref, got_b)
 
 
+# ODE-family registry models — the ones QuantizedODENetExecutor accepts.
+ODE_MODELS = ("odenet", "ode_botnet")
+
+# Q-format pairs spanning the degrade ladder (8/4-bit rungs), the
+# paper's headline deployment format, and one pair wide enough to force
+# the backend's exact-int64 fallback (accumulators > 53 bits).
+QUANT_FORMATS = ("16(8)-12(4)", "8(4)-8(4)", "4(2)-4(2)", "32(16)-24(8)")
+
+
+def _quantized_executor(name, fmt="16(8)-12(4)"):
+    from repro.fixedpoint import QuantizedODENetExecutor, parse_format_pair
+
+    model = build_model(name, profile="tiny", inference=True)
+    ffmt, pfmt = parse_format_pair(fmt)
+    return QuantizedODENetExecutor(model, ffmt, pfmt)
+
+
+class TestQuantizedBackend:
+    """The fourth backend: exact integer GEMMs rerouted through float
+    BLAS.  Its whole contract is *bit-identity* with the scalar
+    reference path — any deviation means the mantissa bound is wrong."""
+
+    def test_quantized_backend_registered(self):
+        assert "quantized" in kernels.available_backends()
+
+    @pytest.mark.parametrize("name", ODE_MODELS)
+    def test_executor_bit_identical_per_model(self, name):
+        """Per registry model: executor.run under the quantized backend
+        is bit-identical to the scalar reference path."""
+        q = _quantized_executor(name)
+        x = _model_input(batch=2)
+        with kernels.use_backend("reference"):
+            ref = q.run(x)
+        with kernels.use_backend("quantized"):
+            out = q.run(x)
+        np.testing.assert_array_equal(ref, out)
+
+    @pytest.mark.parametrize("fmt", QUANT_FORMATS)
+    def test_executor_bit_identical_per_format(self, fmt):
+        """Per Q-format profile — including a pair wide enough that the
+        backend must fall back to exact int64 accumulation."""
+        q = _quantized_executor("ode_botnet", fmt)
+        x = _model_input(batch=2, seed=3)
+        with kernels.use_backend("reference"):
+            ref = q.run(x)
+        with kernels.use_backend("quantized"):
+            out = q.run(x)
+        np.testing.assert_array_equal(ref, out)
+
+    @pytest.mark.parametrize("name", ODE_MODELS)
+    def test_session_quantized_backend_bit_identical(self, name):
+        """SessionConfig(backend='quantized') packs a QuantizedPlan and
+        must reproduce the executor's reference output bit-for-bit."""
+        from repro.runtime import SessionConfig
+
+        q = _quantized_executor(name)
+        x = _model_input(batch=2, seed=11)
+        with kernels.use_backend("reference"):
+            ref = q.run(x)
+        session = InferenceSession(q, config=SessionConfig(backend="quantized"))
+        np.testing.assert_array_equal(ref, session.predict_batch(x))
+
+    def test_quantized_mhsa_exact_under_quantized_backend(self, rng):
+        """The existing backend-invariance contract extends to the new
+        backend: identical integers whichever backend runs the GEMMs."""
+        m = MHSA2d(8, 3, 3, heads=2, attention_activation="relu",
+                   out_layernorm=True, rng=rng)
+        x = rng.normal(size=(2, 8, 3, 3)).astype(np.float32)
+        q = QuantizedMHSA2d(m, QFormat(16, 8), QFormat(12, 4))
+        with kernels.use_backend("reference"):
+            ref = q(x)
+        with kernels.use_backend("quantized"):
+            out = q(x)
+        np.testing.assert_array_equal(ref, out)
+
+    def test_integer_gemm_kernels_exact(self, rng):
+        """Kernel-level: int64 operands through matmul/linear/conv2d
+        come back as exact int64 results."""
+        b = kernels.get_backend("quantized")
+        ref = kernels.get_backend("reference")
+        a = rng.integers(-(1 << 15), 1 << 15, size=(4, 64)).astype(np.int64)
+        w = rng.integers(-(1 << 11), 1 << 11, size=(64, 8)).astype(np.int64)
+        got = b.matmul(a, w)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, ref.matmul(a, w))
+        x = rng.integers(-(1 << 15), 1 << 15, size=(2, 6, 8, 8)).astype(np.int64)
+        k = rng.integers(-(1 << 11), 1 << 11, size=(4, 6, 3, 3)).astype(np.int64)
+        np.testing.assert_array_equal(
+            b.conv2d(x, k, (1, 1), (1, 1), 1), ref.conv2d(x, k, (1, 1), (1, 1), 1)
+        )
+
+    def test_float_inputs_fall_through_to_fused(self, rng):
+        """Float work is untouched: the quantized backend inherits the
+        fused float paths verbatim."""
+        b = kernels.get_backend("quantized")
+        fused = kernels.get_backend("fused")
+        x = rng.normal(size=(2, 6, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 6, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            b.conv2d(x, w, (1, 1), (1, 1), 1),
+            fused.conv2d(x, w, (1, 1), (1, 1), 1),
+        )
+
+
 class TestInstrumentation:
     def test_collect_counts_calls_seconds_bytes(self, rng):
         x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)

@@ -359,6 +359,38 @@ RULE_FIXTURES = [
         """,
         {"rel": "runtime/session.py"},
     ),
+    (
+        "QNT001",
+        """\
+        import numpy as np
+        def fixed_global_avgpool(x, fmt):
+            acc = x.sum(axis=(2, 3))
+            n = x.shape[2] * x.shape[3]
+            return fmt.saturate(np.rint(acc / n).astype(np.int64))
+        """,
+        """\
+        from .ops import div_round_half_even
+        def fixed_global_avgpool(x, fmt):
+            acc = x.sum(axis=(2, 3))
+            n = x.shape[2] * x.shape[3]
+            return fmt.saturate(div_round_half_even(acc, n))
+        """,
+        {"rel": "fixedpoint/quantized_layers.py"},
+    ),
+    (
+        "QNT001",
+        """\
+        import numpy as np
+        def fixed_scale_shift(raw, fmt):
+            return np.clip(raw.astype(np.float64), fmt.min_raw, fmt.max_raw)
+        """,
+        """\
+        import numpy as np
+        def fixed_scale_shift(raw, fmt):
+            return np.clip(raw, fmt.min_raw, fmt.max_raw)
+        """,
+        {"rel": "fixedpoint/ops.py"},
+    ),
 ]
 
 

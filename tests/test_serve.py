@@ -558,3 +558,212 @@ class TestRegistryReducedProfiles:
         ):
             assert ka == kb
             assert np.array_equal(va, vb)
+
+
+# ----------------------------------------------------------------------
+class TestTierLadder:
+    """The three-rung degrade ladder: band assignment, per-tier
+    counters, shared weights, and static certification."""
+
+    def _request(self, q):
+        return Request(np.zeros(2, np.float32), seq=q.next_seq())
+
+    def test_overflow_fills_bands_in_ladder_order(self):
+        q = AdmissionQueue(2, "degrade", degrade_headroom=6)
+        reqs = [self._request(q) for _ in range(8)]
+        for r in reqs:
+            assert q.offer(r)
+        assert [r.tier for r in reqs] == [
+            None, None, "reduced", "reduced", "int8", "int8", "int4", "int4",
+        ]
+        snap = q.snapshot()
+        assert list(snap["tiers"]) == ["reduced", "int8", "int4"]
+        assert snap["degraded_by_tier"] == {
+            "reduced": 2, "int8": 2, "int4": 2,
+        }
+        assert snap["degraded_admissions"] == 6
+
+    def test_uneven_headroom_biases_shallow_tiers(self):
+        q = AdmissionQueue(1, "degrade", degrade_headroom=4)
+        reqs = [self._request(q) for _ in range(5)]
+        for r in reqs:
+            assert q.offer(r)
+        # 4 across 3 rungs: the extra slot goes to the shallowest tier
+        assert [r.tier for r in reqs] == [
+            None, "reduced", "reduced", "int8", "int4",
+        ]
+
+    def test_custom_single_rung_ladder(self):
+        q = AdmissionQueue(1, "degrade", degrade_headroom=2,
+                           tiers=("int8",))
+        reqs = [self._request(q) for _ in range(3)]
+        for r in reqs:
+            assert q.offer(r)
+        assert [r.tier for r in reqs] == [None, "int8", "int8"]
+        assert not q.offer(self._request(q))  # hard cap still holds
+
+    def test_request_degraded_backcompat(self):
+        req = Request(np.zeros(2, np.float32), seq=0)
+        assert req.tier is None and not req.degraded
+        req.degraded = True
+        assert req.tier == "reduced" and req.degraded
+        req.tier = "int4"
+        assert req.degraded  # setter does not clobber a deeper tier
+        req.degraded = True
+        assert req.tier == "int4"
+        req.degraded = False
+        assert req.tier is None
+
+    def test_resolve_ladder_forms(self):
+        from repro.serve import DEFAULT_LADDER, TierSpec, resolve_ladder
+
+        default = resolve_ladder(None)
+        assert tuple(t.name for t in default) == DEFAULT_LADDER
+        from_text = resolve_ladder("int8, int4")
+        assert tuple(t.name for t in from_text) == ("int8", "int4")
+        custom = TierSpec("half", qformat="16(8)-12(4)")
+        mixed = resolve_ladder(["reduced", custom])
+        assert mixed[1] is custom
+        with pytest.raises(ValueError, match="unknown tier"):
+            resolve_ladder("int2")
+        with pytest.raises(ValueError, match="unique"):
+            resolve_ladder(("int8", "int8"))
+        with pytest.raises(ValueError, match="at least one"):
+            resolve_ladder(())
+
+    def test_replica_routes_tiers_and_counts(self):
+        full = Replica(
+            "r0", _echo_session(scale=1.0),
+            tier_sessions={
+                "reduced": _echo_session(scale=-1.0),
+                "int8": _echo_session(scale=2.0),
+            },
+        )
+        x = np.ones((1, 2), np.float32)
+        assert full.run(x)[0, 0] == 2.0
+        assert full.run(x, tier="reduced")[0, 0] == -2.0
+        assert full.run(x, tier="int8")[0, 0] == 4.0
+        # unknown tier falls back to the full session, counted as full
+        assert full.run(x, tier="int4")[0, 0] == 2.0
+        assert full.run(x, degraded=True)[0, 0] == -2.0  # legacy kwarg
+        health = full.health()
+        assert health["dispatches"] == 5
+        assert health["degraded_dispatches"] == 3
+        assert health["dispatches_by_tier"] == {"reduced": 2, "int8": 1}
+        assert list(health["tiers"]) == ["reduced", "int8"]
+        assert health["weights_version"] == 1
+        full.refresh()
+        assert full.health()["weights_version"] == 2
+
+    def test_pool_build_ladder_shares_weights(self):
+        pool = ReplicaPool.build(
+            "ode_botnet", "tiny", 1, tiers=("reduced", "int8"),
+        )
+        replica = next(iter(pool))
+        assert set(replica.tier_sessions) == {"reduced", "int8"}
+        # every rung derives from the primary session's weight set
+        from repro.fixedpoint import QuantizedPlan
+
+        assert replica.tier_sessions["reduced"].backend == "packed"
+        assert isinstance(
+            replica.tier_sessions["int8"]._plan, QuantizedPlan
+        )
+        x = _samples(n=2, shape=(3, 32, 32))
+        full_out = replica.run(x)
+        int8_out = replica.run(x, tier="int8")
+        assert full_out.shape == int8_out.shape
+        assert not np.array_equal(full_out, int8_out)
+
+    def test_scheduler_groups_and_counts_by_tier(self):
+        replica = Replica(
+            "r0", _echo_session(scale=1.0, delay_s=0.02),
+            tier_sessions={
+                "reduced": _echo_session(scale=-1.0),
+                "int8": _echo_session(scale=2.0),
+                "int4": _echo_session(scale=4.0),
+            },
+        )
+        with Server(ReplicaPool([replica]), max_batch_size=1,
+                    max_wait_ms=0.1, queue_capacity=1,
+                    shed_policy="degrade", degrade_headroom=6) as server:
+            x = np.ones(2, np.float32)
+            futures = [server.submit(x) for _ in range(7)]
+            for f in futures:
+                f.result(timeout=30)
+            snap = server.scheduler.snapshot()
+        by_tier = snap["dispatched_by_tier"]
+        assert set(by_tier) <= {"full", "reduced", "int8", "int4"}
+        assert by_tier["full"] >= 1
+        assert sum(by_tier.values()) == 7
+        assert snap["degraded_dispatched"] == 7 - by_tier["full"]
+        report = render_report(server.metrics())
+        assert "dispatched by tier" in report
+
+
+class TestTierCertification:
+    def test_default_ladder_certifies_clean(self):
+        from repro.serve import certify_ladder, certify_tier, resolve_ladder
+
+        reports = certify_ladder(None, "ode_botnet", "tiny")
+        assert set(reports) == {"full", "reduced", "int8", "int4"}
+        assert all(r["ok"] for r in reports.values())
+        rung = certify_tier(resolve_ladder(None)[1], "ode_botnet", "tiny")
+        assert rung["quantized"] and rung["qformat"] == "8(4)-8(4)"
+        assert rung["blocking"] == []
+
+    def test_wide_tier_fails_certification(self):
+        from repro.serve import (
+            TierCertificationError,
+            TierSpec,
+            certify_ladder,
+            certify_tier,
+        )
+
+        wide = TierSpec("wide", qformat="32(16)-24(8)")
+        report = certify_tier(wide, "ode_botnet", "tiny")
+        assert not report["ok"]
+        assert any("48-bit DSP" in d.message for d in report["blocking"])
+        with pytest.raises(TierCertificationError) as exc_info:
+            certify_ladder(("reduced", wide), "ode_botnet", "tiny")
+        assert exc_info.value.tier == "wide"
+        assert exc_info.value.diagnostics
+
+    def test_server_build_certifies_and_escape_hatch(self):
+        from repro.serve import TierCertificationError, TierSpec
+
+        wide = TierSpec("wide", qformat="32(16)-24(8)")
+        with pytest.raises(TierCertificationError):
+            Server.build("ode_botnet", "tiny", 1, shed_policy="degrade",
+                         tiers=("reduced", wide))
+        server = Server.build("ode_botnet", "tiny", 1,
+                              shed_policy="degrade", tiers=("reduced", wide),
+                              certify=False)
+        try:
+            assert server.queue.tiers == ("reduced", "wide")
+        finally:
+            server.close()
+
+    def test_three_rung_soak_bounded_and_attributed(self):
+        server = Server.build(
+            "ode_botnet", "tiny", 1, shed_policy="degrade",
+            queue_capacity=2, degrade_headroom=6,
+            max_batch_size=2, max_wait_ms=0.5,
+        )
+        try:
+            size = PROFILES["tiny"]["input_size"]
+            samples = _samples(n=8, shape=(3, size, size))
+            offsets = arrival_offsets(rate_hz=400.0, duration_s=0.25, seed=3)
+            report = run_load(server, samples, offsets, seed=3)
+            metrics = server.metrics()
+        finally:
+            server.close()
+        assert report.hung == 0 and report.errors == 0
+        assert report.completed >= 1
+        bound = server.queue.capacity + server.queue.degrade_headroom
+        assert metrics["queue"]["high_water"] <= bound
+        assert list(metrics["queue"]["tiers"]) == ["reduced", "int8", "int4"]
+        assert set(metrics["queue"]["degraded_by_tier"]) == {
+            "reduced", "int8", "int4",
+        }
+        by_tier = metrics["scheduler"]["dispatched_by_tier"]
+        assert sum(by_tier.values()) == report.completed

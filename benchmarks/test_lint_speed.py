@@ -3,8 +3,10 @@
 The linter is wired into CI and into `tests/test_codebase_quality.py`,
 so its wall-clock cost is paid on every run. Contract: one cold pass of
 the AST rule engine over the whole repository (`src`, `tests`,
-`examples`, `benchmarks`) finishes in well under 10 s, and one static
-shape/Q-format walk of the registry model costs milliseconds.
+`examples`, `benchmarks`) finishes in well under 10 s, the same pass
+plus the whole-program concurrency analysis and suppression audit stays
+under 15 s, and one static shape/Q-format walk of the registry model
+costs milliseconds.
 """
 
 import os
@@ -13,6 +15,7 @@ import time
 import repro
 from repro.fixedpoint import QFormat
 from repro.lint import check_fixed_point, lint_paths
+from repro.lint.cli import main as lint_main
 from repro.models import build_model
 
 from conftest import show
@@ -39,6 +42,26 @@ def test_full_tree_lint_under_ten_seconds():
         f"elapsed: {elapsed * 1000:.0f} ms (budget 10000 ms)",
     )
     assert elapsed < 10.0, f"full-tree lint took {elapsed:.1f}s"
+
+
+def test_full_lint_with_concurrency_under_fifteen_seconds(capsys):
+    # the CI lint job runs exactly this: every rule, the CON001-CON004
+    # whole-program analysis, and the stale-suppression audit
+    existing = [p for p in TREE if os.path.isdir(p)]
+    start = time.perf_counter()
+    rc = lint_main(
+        existing + ["--concurrency", "--report-unused-suppressions",
+                    "--format", "json"]
+    )
+    elapsed = time.perf_counter() - start
+    out = capsys.readouterr().out
+    show(
+        "Full lint + concurrency + suppression audit speed",
+        f"exit code: {rc}\n"
+        f"elapsed: {elapsed * 1000:.0f} ms (budget 15000 ms)",
+    )
+    assert rc == 0, out
+    assert elapsed < 15.0, f"lint + concurrency took {elapsed:.1f}s"
 
 
 def test_shape_check_is_milliseconds():

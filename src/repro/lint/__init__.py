@@ -1,6 +1,6 @@
 """repro.lint — AST project linter + static shape/dtype checker.
 
-Two halves, one diagnostic vocabulary:
+Three analyses, one diagnostic vocabulary:
 
 * a **rule engine** (:mod:`~repro.lint.engine`) that parses every file
   into an AST and runs pluggable :class:`~repro.lint.rules.Rule`
@@ -11,20 +11,34 @@ Two halves, one diagnostic vocabulary:
   abstractly interprets models and runtime execution plans over
   :mod:`repro.kernels.shapes` geometry — shape mismatches, dtype mixing
   across the fixed-point boundary and Q-format accumulator overflow
-  risk, all before a single kernel runs.
+  risk, all before a single kernel runs;
+* a **concurrency analyzer** (:mod:`~repro.lint.concurrency`) that
+  models every lock-owning class of the serve stack as one program and
+  proves its thread/lock discipline (CON001–CON004: guarded shared
+  state, acyclic lock order, no blocking under a mutex, fork safety),
+  cross-checked at runtime by its opt-in lock sanitizer.
 
 CLI: ``python -m repro.lint [paths] [--select/--ignore] [--format
-text|json] [--check-plan model:profile] [--fixed-point "32(16)-24(8)"]``
+text|json] [--concurrency] [--report-unused-suppressions]
+[--check-plan model:profile] [--fixed-point "32(16)-24(8)"]``
 — exit 0 when clean, 1 on error-severity findings, 2 on usage errors.
 Suppress a finding inline with ``# repro-lint: ignore[RULE] reason``.
-See ``docs/LINTING.md`` for the rule catalogue and how to add a rule.
+See ``docs/LINTING.md`` for the rule catalogue and how to add a rule,
+and ``docs/CONCURRENCY.md`` for the concurrency passes.
 """
 
 from __future__ import annotations
 
 from .cli import main
+from .concurrency import analyze_package, analyze_paths
 from .diagnostics import Diagnostic, Severity, Summary, render_json, render_text
-from .engine import Linter, SourceFile, lint_paths, lint_text
+from .engine import (
+    Linter,
+    SourceFile,
+    lint_paths,
+    lint_text,
+    unused_suppression_diagnostics,
+)
 from .rules import Rule, all_rules, get_rule, register
 from .shapecheck import (
     ShapeChecker,
@@ -49,6 +63,9 @@ __all__ = [
     "SourceFile",
     "lint_paths",
     "lint_text",
+    "unused_suppression_diagnostics",
+    "analyze_package",
+    "analyze_paths",
     "ShapeChecker",
     "SymbolicTensor",
     "check_model",

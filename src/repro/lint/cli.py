@@ -71,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
         'for a format pair, e.g. "32(16)-24(8)"',
     )
     parser.add_argument(
+        "--concurrency", action="store_true",
+        help="also run the whole-program concurrency analysis (CON001-"
+        "CON004) over the serve/runtime/trace files among the paths",
+    )
+    parser.add_argument(
+        "--report-unused-suppressions", action="store_true",
+        help="emit SUP001 errors for ignore[...] comments no diagnostic "
+        "matched (run with the full rule set, or everything looks stale)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -78,13 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _list_rules() -> str:
+    from .concurrency import CONCURRENCY_RULES
+    from .engine import UNUSED_SUPPRESSION_RULE
+
     lines = []
-    for rule in all_rules():
+    for rule in all_rules() + list(CONCURRENCY_RULES):
         domains = ",".join(rule.domains)
         lines.append(
             f"{rule.id}  {rule.name}  [{rule.severity}] ({domains}) — "
             f"{rule.description}"
         )
+    lines.append(
+        f"{UNUSED_SUPPRESSION_RULE}  unused-suppression  [error] "
+        f"(library,tests,examples) — ignore[...] comment no diagnostic "
+        f"matched (--report-unused-suppressions)"
+    )
     return "\n".join(lines)
 
 
@@ -156,6 +174,29 @@ def main(argv=None) -> int:
         )
         return 2
     diagnostics = linter.run(args.paths) if args.paths else []
+
+    if args.concurrency:
+        from .concurrency import CONCURRENCY_SCOPE, analyze_sources
+
+        # reuse the linter's SourceFiles: the model is built from the
+        # same parse, and CON suppressions register as *used* so the
+        # stale-suppression audit below sees the whole picture
+        scoped = [
+            src for src in linter.sources
+            if src.rel.startswith(tuple(CONCURRENCY_SCOPE))
+        ]
+        diagnostics = sorted(
+            diagnostics + analyze_sources(scoped),
+            key=lambda d: d.sort_key,
+        )
+
+    if args.report_unused_suppressions:
+        from .engine import unused_suppression_diagnostics
+
+        diagnostics = sorted(
+            diagnostics + unused_suppression_diagnostics(linter.sources),
+            key=lambda d: d.sort_key,
+        )
 
     if args.check_plan:
         try:

@@ -1,0 +1,145 @@
+"""Whole-program concurrency static analysis for the serving stack.
+
+``repro.lint.concurrency`` proves the thread/lock discipline of
+``repro.serve``, ``repro.runtime`` and ``repro.trace`` the same way
+``repro.serve.certify`` proves accumulator safety: statically, before
+anything runs.  Four rules (see
+:mod:`~repro.lint.concurrency.analyzer`):
+
+==========  =====================================================
+CON001      shared attribute written without its guarding lock
+CON002      cycle in the whole-program lock-acquisition order
+CON003      blocking call (pipe/queue/future/sleep/foreign wait)
+            while a mutex is held
+CON004      lock or pipe captured across a fork boundary
+==========  =====================================================
+
+Run it from the lint CLI (``python -m repro.lint src --concurrency``)
+or directly::
+
+    from repro.lint.concurrency import analyze_package
+    for diag in analyze_package():
+        print(diag.format())
+
+The static model is validated by execution: the opt-in runtime
+sanitizer (:mod:`~repro.lint.concurrency.sanitizer`, enabled with
+``$REPRO_LOCK_SANITIZER=1``) instruments every lock the serve stack
+creates, records the acquisition orders that actually happen under
+load, and cross-checks them against :func:`lock_order_edges` — an
+observed edge the model does not predict fails the soak.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..diagnostics import Diagnostic, Severity
+from ..engine import SourceFile, iter_python_files
+from .analyzer import (
+    CONCURRENCY_RULES,
+    CONCURRENCY_SCOPE,
+    ConRule,
+    analyze_model,
+    analyze_sources,
+    lock_order_edges,
+)
+from .model import ConcurrencyModel, build_model
+
+
+def _load_sources(paths, *, scope=None):
+    """Parse *paths* into SourceFiles, PARSE diagnostics for failures.
+
+    With *scope* (an iterable of ``repro``-package rel prefixes such as
+    ``("serve/",)``), files outside those subtrees are skipped — the
+    analyzer's model only covers the threaded packages.
+    """
+    sources, errors = [], []
+    prefixes = tuple(scope) if scope is not None else None
+    for path in iter_python_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            src = SourceFile(path, text)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(Diagnostic(
+                path=path, line=getattr(exc, "lineno", 0) or 0,
+                rule="PARSE", severity=Severity.ERROR,
+                message=f"could not parse: {exc}",
+            ))
+            continue
+        if prefixes is not None and not src.rel.startswith(prefixes):
+            continue
+        sources.append(src)
+    return sources, errors
+
+
+def analyze_paths(paths, *, scope=None):
+    """Analyze every ``.py`` file reachable from *paths* as one program.
+
+    ``scope=CONCURRENCY_SCOPE`` restricts the model to the threaded
+    subtrees (what the CLI's ``--concurrency`` does); ``scope=None``
+    (default) analyzes everything handed in — the right mode for
+    fixtures and ad-hoc runs on explicit files.
+    """
+    sources, errors = _load_sources(paths, scope=scope)
+    return sorted(errors + analyze_sources(sources),
+                  key=lambda d: d.sort_key)
+
+
+def _package_sources():
+    """SourceFiles for the installed package's threaded subtrees."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    roots = [os.path.join(root, p.rstrip("/")) for p in CONCURRENCY_SCOPE]
+    sources, _ = _load_sources([p for p in roots if os.path.isdir(p)],
+                               scope=CONCURRENCY_SCOPE)
+    return sources
+
+
+def analyze_package():
+    """Analyze the installed ``repro`` package's threaded subtrees.
+
+    Locates ``serve/``, ``runtime/`` and ``trace/`` relative to the
+    imported package — this is what the runtime sanitizer uses to
+    rebuild the static lock graph inside a soak process.
+    """
+    return sorted(analyze_sources(_package_sources()),
+                  key=lambda d: d.sort_key)
+
+
+def package_lock_model():
+    """The :class:`ConcurrencyModel` of the installed package."""
+    return build_model(_package_sources())
+
+
+def package_lock_graph():
+    """The static acquisition-order edges of the installed package."""
+    return lock_order_edges(package_lock_model())
+
+
+def analyze_text(text, *, filename="<snippet>", rel="serve/snippet.py"):
+    """Analyze one in-memory snippet — the fixture-test entry point.
+
+    *rel* positions the snippet inside the virtual package (defaults
+    into ``serve/`` so scope conventions hold).
+    """
+    src = SourceFile(filename, text, rel=rel, domain="library")
+    return analyze_sources([src])
+
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "CONCURRENCY_SCOPE",
+    "ConRule",
+    "ConcurrencyModel",
+    "analyze_model",
+    "analyze_package",
+    "analyze_paths",
+    "analyze_sources",
+    "analyze_text",
+    "build_model",
+    "lock_order_edges",
+    "package_lock_graph",
+    "package_lock_model",
+]

@@ -1,0 +1,491 @@
+"""Runtime lock sanitizer: the execution check on the static lock model.
+
+The static analyzer (:mod:`repro.lint.concurrency.analyzer`) reasons
+about a *model* of the serve stack; this module validates that model by
+running the real thing under instrumented locks.  When installed (the
+CI soak sets ``$REPRO_LOCK_SANITIZER=1``), the ``threading`` lock
+factories are monkeypatched so that every lock **created by repro
+code** is wrapped in a recording proxy:
+
+* each acquisition records an ordering edge from every lock the
+  acquiring thread already holds to the lock being taken — the same
+  edges, with the same ``ClassName.attr`` node names, that
+  :func:`~repro.lint.concurrency.analyzer.lock_order_edges` derives
+  statically (labels come from the ``self.X = threading.Lock()``
+  creation site);
+* per-lock contention (time spent waiting to acquire) and hold times
+  are tracked, surfacing held-lock blocking as a measurement rather
+  than a guess.
+
+:meth:`LockSanitizer.cross_check` then compares execution against the
+model: an **observed cycle** is a deadlock the test run got lucky on,
+and an **observed edge between modeled locks that the static graph
+does not predict** means the analyzer's model of the code is wrong —
+either way the soak fails.  Stdlib-internal locks (``Future``'s
+condition, executor queues) are deliberately left raw: they belong to
+CPython's locking discipline, not ours.
+
+The proxies only add bookkeeping on a thread-local list and a dict
+update under one raw lock, so a sanitized soak still drives realistic
+concurrency.
+"""
+
+from __future__ import annotations
+
+import linecache
+import os
+import re
+import sys
+import threading
+import time
+
+#: environment variable that turns the sanitizer on in the soak CLI
+ENV_FLAG = "REPRO_LOCK_SANITIZER"
+
+#: modules whose lock creations get instrumented (prefix match on the
+#: creating frame's ``__name__``) — the lint package itself is exempt
+#: so the sanitizer never wraps its own machinery
+_INSTRUMENT_PREFIX = "repro."
+_EXEMPT_PREFIX = "repro.lint"
+
+_ASSIGN_RE = re.compile(r"self\.(\w+)\s*=")
+
+
+def _creation_label():
+    """Label for a lock created two frames up: ``ClassName.attr``.
+
+    Matches the static model's node naming by reading the creating
+    source line (``self._lock = threading.Lock()``) and the creating
+    frame's ``self``.  Falls back to ``module:lineno`` when the
+    creation site is not that canonical shape.
+    """
+    frame = sys._getframe(2)
+    module = frame.f_globals.get("__name__", "")
+    attr = None
+    for back in range(4):  # multi-line call: scan up a few lines
+        line = linecache.getline(
+            frame.f_code.co_filename, frame.f_lineno - back
+        )
+        m = _ASSIGN_RE.search(line)
+        if m:
+            attr = m.group(1)
+            break
+    owner = frame.f_locals.get("self")
+    if attr is not None and owner is not None:
+        return f"{type(owner).__name__}.{attr}", module
+    return f"{module}:{frame.f_lineno}", module
+
+
+def _wants_instrumentation(module):
+    return (module.startswith(_INSTRUMENT_PREFIX)
+            and not module.startswith(_EXEMPT_PREFIX))
+
+
+class _LockStats:
+    """Mutable per-lock record inside the sanitizer's registry."""
+
+    __slots__ = ("label", "kind", "acquisitions", "max_wait_s",
+                 "max_held_s")
+
+    def __init__(self, label, kind):
+        self.label = label
+        self.kind = kind
+        self.acquisitions = 0
+        self.max_wait_s = 0.0
+        self.max_held_s = 0.0
+
+
+class _SanitizedLock:
+    """Recording proxy over one mutex (Lock or RLock).
+
+    Mutexes are pushed on the acquiring thread's held stack until
+    released.  Semaphores are handled differently — see
+    :meth:`LockSanitizer._semaphore_class` — because the stdlib's
+    ``BoundedSemaphore.__init__`` calls ``Semaphore.__init__`` through
+    the *module-global name*, so ``threading.Semaphore`` must stay a
+    real class while patched; a factory function there silently skips
+    the parent initializer.
+    """
+
+    def __init__(self, san, inner, label, kind):
+        self._san = san
+        self._inner = inner
+        self._label = label
+        self._kind = kind
+        self._holds_stack = kind in ("lock", "rlock")
+
+    # -- core protocol -------------------------------------------------
+    def acquire(self, blocking=True, timeout=-1):
+        t0 = time.perf_counter()
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._san._on_acquired(self, time.perf_counter() - t0)
+        return got
+
+    def release(self):
+        self._inner.release()
+        self._san._on_released(self)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    def locked(self):
+        return self._inner.locked()
+
+    # -- RLock protocol Condition relies on ----------------------------
+    def _release_save(self):
+        # Condition.wait: drop every recursion level at once.  The
+        # thread no longer holds the lock while waiting, so the stack
+        # entry (or entries) must go too.
+        self._san._on_released(self, all_levels=True)
+        if hasattr(self._inner, "_release_save"):
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state):
+        t0 = time.perf_counter()
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._san._on_acquired(self, time.perf_counter() - t0)
+
+    def _is_owned(self):
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self):
+        return f"<sanitized {self._kind} {self._label}>"
+
+
+class LockSanitizer:
+    """Instruments repro-created locks; records orders and contention.
+
+    Use :meth:`install` / :meth:`uninstall` (or the module-level
+    :func:`install_from_env`), run the workload, then
+    :meth:`cross_check` against the static graph::
+
+        san = LockSanitizer()
+        san.install()
+        try:
+            run_soak()
+        finally:
+            san.uninstall()
+        verdict = san.cross_check()
+        assert not verdict["violations"]
+    """
+
+    def __init__(self):
+        # the sanitizer's own state lock must be a RAW lock: taking an
+        # instrumented one here would recurse forever
+        self._state_lock = _RAW["lock"]()
+        self._local = threading.local()
+        self.locks = {}        # id(proxy) -> _LockStats
+        self.edges = {}        # (label, label) -> count
+        self._installed = False
+        self._entry_t0 = {}    # (thread id, id(proxy)) -> hold start
+
+    # -- factory patching ----------------------------------------------
+    def install(self):
+        """Monkeypatch the ``threading`` lock factories (idempotent)."""
+        if self._installed:
+            return self
+        self._installed = True
+        threading.Lock = self._factory("lock")
+        threading.RLock = self._factory("rlock")
+        threading.Semaphore = self._semaphore_class(bounded=False)
+        threading.BoundedSemaphore = self._semaphore_class(bounded=True)
+        threading.Condition = self._condition_factory()
+        return self
+
+    def uninstall(self):
+        """Restore the original factories."""
+        if not self._installed:
+            return
+        self._installed = False
+        threading.Lock = _RAW["lock"]
+        threading.RLock = _RAW["rlock"]
+        threading.Semaphore = _RAW["semaphore"]
+        threading.BoundedSemaphore = _RAW["bounded_semaphore"]
+        threading.Condition = _RAW["condition"]
+
+    def _factory(self, kind):
+        raw = _RAW[kind]
+        san = self
+
+        def make(*args, **kwargs):
+            inner = raw(*args, **kwargs)
+            label, module = _creation_label()
+            if not _wants_instrumentation(module):
+                return inner
+            proxy = _SanitizedLock(san, inner, label, kind)
+            with san._state_lock:
+                san.locks[id(proxy)] = _LockStats(label, kind)
+            return proxy
+
+        make.__name__ = f"sanitized_{kind}"
+        return make
+
+    def _semaphore_class(self, *, bounded):
+        """A recording *subclass* of (Bounded)Semaphore.
+
+        Unlike Lock/RLock — which are factory functions in the stdlib
+        itself, so replacing them with functions is API-faithful —
+        ``threading.Semaphore`` must remain a genuine class:
+        ``BoundedSemaphore.__init__`` resolves ``Semaphore.__init__``
+        through the patched module global.  The subclass instruments in
+        place.  Semaphores record ordering edges on acquisition but are
+        never *held* — their release legitimately happens on another
+        thread, so they cannot guard anything and must not poison the
+        held stack.
+        """
+        raw_sem = _RAW["semaphore"]
+        base = _RAW["bounded_semaphore"] if bounded else raw_sem
+        san = self
+
+        class SanitizedSemaphore(base):
+            _label = None         # set iff repro code created us
+            _holds_stack = False  # edges-only: never on the held stack
+
+            def __init__(self, value=1):
+                # call the raw initializer directly — going through the
+                # (patched) module globals is exactly the trap we are
+                # working around
+                raw_sem.__init__(self, value)
+                if bounded:
+                    self._initial_value = value
+                label, module = _creation_label()
+                if _wants_instrumentation(module):
+                    self._label = label
+                    with san._state_lock:
+                        san.locks[id(self)] = _LockStats(label, "semaphore")
+
+            def acquire(self, blocking=True, timeout=None):
+                if self._label is None:
+                    return raw_sem.acquire(self, blocking, timeout)
+                t0 = time.perf_counter()
+                got = raw_sem.acquire(self, blocking, timeout)
+                if got:
+                    san._on_acquired(self, time.perf_counter() - t0)
+                return got
+
+            __enter__ = acquire  # mirror Semaphore's own protocol
+
+        SanitizedSemaphore.__name__ = SanitizedSemaphore.__qualname__ = (
+            "SanitizedBoundedSemaphore" if bounded else "SanitizedSemaphore"
+        )
+        return SanitizedSemaphore
+
+    def _condition_factory(self):
+        raw_condition = _RAW["condition"]
+        raw_rlock = _RAW["rlock"]
+        san = self
+
+        def make(lock=None):
+            label, module = _creation_label()
+            if not _wants_instrumentation(module):
+                return raw_condition(lock)
+            if lock is None:
+                lock = _SanitizedLock(san, raw_rlock(), label, "rlock")
+                with san._state_lock:
+                    san.locks[id(lock)] = _LockStats(label, "condition")
+            # the proxy exposes _release_save/_acquire_restore/_is_owned,
+            # so Condition keeps exact RLock semantics through it — and
+            # wait() correctly pops the held stack for the wait duration
+            return raw_condition(lock)
+
+        make.__name__ = "sanitized_condition"
+        return make
+
+    # -- per-thread bookkeeping ----------------------------------------
+    def _held(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _on_acquired(self, proxy, waited_s):
+        stack = self._held()
+        new_edges = [
+            (held._label, proxy._label)
+            for held in stack
+            if held._label != proxy._label
+        ]
+        with self._state_lock:
+            stats = self.locks.get(id(proxy))
+            if stats is not None:
+                stats.acquisitions += 1
+                stats.max_wait_s = max(stats.max_wait_s, waited_s)
+            for edge in new_edges:
+                self.edges[edge] = self.edges.get(edge, 0) + 1
+        if proxy._holds_stack:
+            stack.append(proxy)
+            self._entry_t0[
+                (threading.get_ident(), id(proxy), len(stack))
+            ] = time.perf_counter()
+
+    def _on_released(self, proxy, all_levels=False):
+        if not proxy._holds_stack:
+            return
+        stack = self._held()
+        while True:
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is proxy:
+                    t0 = self._entry_t0.pop(
+                        (threading.get_ident(), id(proxy), i + 1), None
+                    )
+                    if t0 is not None:
+                        held_s = time.perf_counter() - t0
+                        with self._state_lock:
+                            stats = self.locks.get(id(proxy))
+                            if stats is not None:
+                                stats.max_held_s = max(
+                                    stats.max_held_s, held_s
+                                )
+                    del stack[i]
+                    break
+            else:
+                return
+            if not all_levels:
+                return
+
+    # -- reporting -----------------------------------------------------
+    def observed_edges(self):
+        """``{(label, label): count}`` snapshot."""
+        with self._state_lock:
+            return dict(self.edges)
+
+    def report(self):
+        """Raw observations: locks, contention/hold stats, edges."""
+        with self._state_lock:
+            return {
+                "locks": [
+                    {
+                        "label": s.label,
+                        "kind": s.kind,
+                        "acquisitions": s.acquisitions,
+                        "max_wait_ms": s.max_wait_s * 1e3,
+                        "max_held_ms": s.max_held_s * 1e3,
+                    }
+                    for s in self.locks.values()
+                ],
+                "edges": [
+                    {"from": a, "to": b, "count": n}
+                    for (a, b), n in sorted(self.edges.items())
+                ],
+            }
+
+    def cross_check(self, model=None):
+        """Compare observed behaviour against the static lock model.
+
+        Returns ``{"edges": ..., "violations": [...], ...}``.
+        Violations:
+
+        * ``cycle`` — the observed acquisition orders contain a cycle
+          (a real deadlock that did not happen to fire this run);
+        * ``unpredicted-edge`` — an observed edge between two modeled
+          locks that :func:`lock_order_edges` does not derive — the
+          static model missed an ordering the program performs.
+
+        Edges touching a lock the static model does not know (fallback
+        ``module:lineno`` labels) are reported but cannot violate.
+        """
+        from . import package_lock_model
+        from .analyzer import _find_cycles, lock_order_edges
+
+        if model is None:
+            model = package_lock_model()
+        static_nodes = {
+            cls.lock_node(attr)
+            for cls in model.classes.values()
+            for attr in cls.lock_attrs
+        }
+        static_edges = set(lock_order_edges(model))
+        observed = self.observed_edges()
+        violations = []
+        for cycle in _find_cycles(observed):
+            violations.append({
+                "kind": "cycle",
+                "detail": " -> ".join(cycle),
+            })
+        for (a, b), count in sorted(observed.items()):
+            if a in static_nodes and b in static_nodes \
+                    and (a, b) not in static_edges:
+                violations.append({
+                    "kind": "unpredicted-edge",
+                    "detail": f"{a} -> {b} observed {count}x at runtime "
+                              f"but absent from the static lock graph",
+                })
+        out = self.report()
+        out["static_edges"] = sorted(f"{a} -> {b}" for a, b in static_edges)
+        out["violations"] = violations
+        return out
+
+    def summary(self, verdict=None) -> str:
+        """CI-log friendly text block for a :meth:`cross_check` verdict."""
+        if verdict is None:
+            verdict = self.cross_check()
+        lines = ["=== lock sanitizer ==="]
+        lines.append(
+            f"instrumented locks: {len(verdict['locks'])}, observed "
+            f"edges: {len(verdict['edges'])}, static edges: "
+            f"{len(verdict['static_edges'])}"
+        )
+        for lock in sorted(verdict["locks"],
+                           key=lambda s: -s["acquisitions"]):
+            lines.append(
+                f"  {lock['label']} ({lock['kind']}): "
+                f"{lock['acquisitions']} acquisitions, "
+                f"max wait {lock['max_wait_ms']:.2f}ms, "
+                f"max held {lock['max_held_ms']:.2f}ms"
+            )
+        for edge in verdict["edges"]:
+            lines.append(
+                f"  edge {edge['from']} -> {edge['to']} x{edge['count']}"
+            )
+        if verdict["violations"]:
+            for v in verdict["violations"]:
+                lines.append(f"  VIOLATION [{v['kind']}] {v['detail']}")
+        else:
+            lines.append("  no lock-order violations")
+        return "\n".join(lines)
+
+
+#: the pristine factories, captured at import time (before any install)
+_RAW = {
+    "lock": threading.Lock,
+    "rlock": threading.RLock,
+    "semaphore": threading.Semaphore,
+    "bounded_semaphore": threading.BoundedSemaphore,
+    "condition": threading.Condition,
+}
+
+
+def install_from_env():
+    """Install a sanitizer iff ``$REPRO_LOCK_SANITIZER`` is set/truthy.
+
+    Returns the installed :class:`LockSanitizer` or ``None``; the soak
+    CLI calls this before building the server so every serve-stack lock
+    is created through the patched factories.
+    """
+    flag = os.environ.get(ENV_FLAG, "").strip().lower()
+    if flag in ("", "0", "false", "off", "no"):
+        return None
+    return LockSanitizer().install()
+
+
+__all__ = [
+    "ENV_FLAG",
+    "LockSanitizer",
+    "install_from_env",
+]

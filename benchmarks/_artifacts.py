@@ -29,8 +29,28 @@ def bench_path(name: str) -> str:
     return os.path.join(_ROOT, f"BENCH_{name}.json")
 
 
-def record_bench(name: str, payload: dict) -> str:
-    """Persist *payload* as ``BENCH_<name>.json``; returns the path."""
+def record_bench(name: str, payload: dict, *,
+                 gate_skip_reason: str | None = None) -> str:
+    """Persist *payload* as ``BENCH_<name>.json``; returns the path.
+
+    Benchmarks with a conditional hard gate set ``gate_active`` in
+    their payload.  When the gate is off the artifact must say *why*
+    (for CI readers diffing numbers across runner shapes), so a
+    ``gate_skip_reason`` is required exactly when ``gate_active`` is
+    false — passing one alongside an active gate, or omitting it for
+    an inactive one, is an error.
+    """
+    gate_active = payload.get("gate_active")
+    if gate_active is False and not gate_skip_reason:
+        raise ValueError(
+            f"bench {name!r}: gate_active is false but no "
+            f"gate_skip_reason was given"
+        )
+    if gate_active is not False and gate_skip_reason:
+        raise ValueError(
+            f"bench {name!r}: gate_skip_reason given but the gate "
+            f"is active"
+        )
     entry = {
         "schema": BENCH_SCHEMA_VERSION,
         "bench": name,
@@ -43,6 +63,8 @@ def record_bench(name: str, payload: dict) -> str:
         },
         "payload": payload,
     }
+    if gate_skip_reason:
+        entry["gate_skip_reason"] = str(gate_skip_reason)
     path = bench_path(name)
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w", encoding="utf-8") as fh:

@@ -1,0 +1,371 @@
+"""Cluster worker: N local replicas behind one socket acceptor.
+
+``python -m repro.cluster.worker --listen host:port ...`` builds a
+normal :class:`~repro.serve.ReplicaPool` (thread or fork+pipe process
+replicas, optionally with :class:`~repro.cluster.SharedWeightStore`
+weights so the host maps one weight set) and serves it over the
+:mod:`repro.cluster.wire` protocol.  Each accepted connection gets a
+handler thread that speaks hello-first, then answers ``(op, seq,
+payload)`` requests sequentially — one connection is one serialized
+channel, which is exactly what a parent-side
+:class:`~repro.cluster.RemoteReplica` expects.  Parallelism comes from
+*multiple* connections: :func:`~repro.cluster.connect_worker` opens one
+per advertised replica slot, and the worker's own least-outstanding
+pool spreads their concurrent batches over its local replicas.
+
+Ops: ``run`` (one batch, optional worker-side trace capture shipped
+back with the reply), ``health`` (the worker pool's own report),
+``stats`` (merged :class:`~repro.runtime.SessionStats`), ``refresh``
+(re-freeze all sessions / bump the shared weights version), ``ping``.
+An unknown op or an op-level exception travels back typed on the same
+connection; only transport-level failures close it.
+
+The stdout line ``CLUSTER_WORKER_READY <host:port> pid=<pid>
+replicas=<n>`` is a stable, parseable readiness contract for harnesses
+that launch workers with ``--listen host:0`` (ephemeral port).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+
+from .wire import (
+    WIRE_VERSION,
+    PeerGone,
+    WireProtocolError,
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+
+class ClusterWorker:
+    """Serve a :class:`~repro.serve.ReplicaPool` over loopback/LAN TCP.
+
+    Build one with :meth:`build` (registry model + pool knobs) or wrap
+    a pre-built pool.  :meth:`start` runs the acceptor in a background
+    thread (tests); :meth:`serve_forever` runs it in the calling thread
+    (the CLI).  :meth:`close` stops the acceptor, closes live
+    connections, and closes the pool.
+    """
+
+    def __init__(self, pool, *, model="?", profile="?", mode="thread",
+                 backend=None, host="127.0.0.1", port=0,
+                 weight_store=None):
+        self.pool = pool
+        self.model = str(model)
+        self.profile = str(profile)
+        self.mode = str(mode)
+        self.backend = backend
+        self.weight_store = weight_store
+        self._lock = threading.Lock()
+        self._stopping = False   # protected by _lock
+        self._conns = set()      # protected by _lock
+        self._accept_thread = None
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((str(host), int(port)))
+        listener.listen(64)
+        self._listener = listener
+        #: the bound ``(host, port)`` (resolved when ``port=0``)
+        self.address = listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, model="ode_botnet", profile="tiny", replicas=2, *,
+              backend=None, mode="thread", tiers=None, shared_weights=False,
+              timeout_s=None, seed=0, unhealthy_after=3, config=None,
+              host="127.0.0.1", port=0):
+        """Build the local pool from the registry, then wrap it.
+
+        The pool — including any fork for process-mode replicas — is
+        constructed *before* the acceptor socket and threads exist, so
+        children never inherit live connections.
+        """
+        from ..runtime import SessionConfig
+        from ..serve.pool import ReplicaPool
+
+        if config is None:
+            config = SessionConfig()
+        if backend is not None:
+            config = config.with_backend(backend)
+        pool = ReplicaPool.build(
+            model, profile=profile, n_replicas=replicas, config=config,
+            tiers=tiers, mode=mode, unhealthy_after=unhealthy_after,
+            shared_weights=shared_weights,
+        )
+        if mode == "process" and timeout_s is not None:
+            for replica in pool:
+                replica.timeout_s = timeout_s
+        return cls(
+            pool, model=model, profile=profile, mode=mode,
+            backend=config.backend, host=host, port=port,
+            weight_store=getattr(pool, "weight_store", None),
+        )
+
+    # ------------------------------------------------------------------
+    def hello(self) -> dict:
+        """The self-description sent first on every connection."""
+        first = self.pool.replicas[0]
+        return {
+            "wire_version": WIRE_VERSION,
+            "model": self.model,
+            "profile": self.profile,
+            "mode": self.mode,
+            "backend": self.backend,
+            "tiers": list(first.tier_sessions),
+            "replicas": len(self.pool),
+            "weights_version": first.weights_version,
+            "shared_weights": (
+                self.weight_store.describe()
+                if self.weight_store is not None else None
+            ),
+            "pid": os.getpid(),
+        }
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def _op_run(self, payload):
+        from ..trace import Tracer
+
+        tier = payload.get("tier")
+        samples = payload["samples"]
+        replica = self.pool.acquire()
+        try:
+            if payload.get("want_trace"):
+                tracer = Tracer(capacity=8192)
+                with tracer.activate():
+                    out = replica.run(samples, tier=tier)
+                return out, tracer.spans()
+            return replica.run(samples, tier=tier), None
+        finally:
+            self.pool.release(replica)
+
+    def _op_health(self, payload):
+        return {
+            "address": format_address(self.address),
+            "pid": os.getpid(),
+            "replicas": len(self.pool),
+            "pool": self.pool.health(),
+            "weights_version": self.pool.replicas[0].weights_version,
+        }
+
+    def _op_stats(self, payload):
+        return self.pool.merged_stats()
+
+    def _op_refresh(self, payload):
+        self.pool.refresh()
+        return self.pool.replicas[0].weights_version
+
+    def _op_ping(self, payload):
+        return "pong"
+
+    _OPS = {
+        "run": _op_run,
+        "health": _op_health,
+        "stats": _op_stats,
+        "refresh": _op_refresh,
+        "ping": _op_ping,
+    }
+
+    # ------------------------------------------------------------------
+    # accept / handle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Run the acceptor in a daemon thread; returns the address."""
+        thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"cluster-accept-{format_address(self.address)}",
+            daemon=True,
+        )
+        self._accept_thread = thread
+        thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Run the acceptor in the calling thread until :meth:`close`."""
+        self._accept_loop()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed by close()
+            with self._lock:
+                if self._stopping:
+                    conn.close()
+                    return
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._handle, args=(conn,),
+                name="cluster-conn", daemon=True,
+            ).start()
+
+    def _handle(self, conn):
+        """One connection: hello first, then sequential request frames."""
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_frame(conn, ("hello", self.hello()))
+            while True:
+                try:
+                    msg = recv_frame(conn)
+                except (PeerGone, OSError):
+                    return  # client went away; nothing to answer
+                except WireProtocolError:
+                    return  # not our protocol; drop the connection
+                if (not isinstance(msg, tuple) or len(msg) != 3):
+                    return
+                op, seq, payload = msg
+                handler = self._OPS.get(op)
+                try:
+                    if handler is None:
+                        raise ValueError(f"unknown cluster op {op!r}")
+                    result = handler(self, payload or {})
+                except Exception as exc:
+                    self._reply(conn, seq, "err", self._shippable(exc))
+                else:
+                    self._reply(conn, seq, "ok", result)
+        except (PeerGone, WireProtocolError, OSError):
+            pass  # reply failed: connection is gone either way
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _shippable(exc):
+        """An exception safe to pickle across the wire."""
+        import pickle
+
+        try:
+            pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+            return exc
+        except Exception:
+            return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+    @staticmethod
+    def _reply(conn, seq, kind, payload):
+        send_frame(conn, (seq, kind, payload))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting, drop live connections, close the pool."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            conns = list(self._conns)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self.pool.close()
+        if self.weight_store is not None:
+            self.weight_store.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        return (
+            f"ClusterWorker({format_address(self.address)}, "
+            f"model={self.model!r}, replicas={len(self.pool)}, "
+            f"mode={self.mode!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description=(
+            "Host N local inference replicas behind one TCP acceptor "
+            "for a remote ReplicaPool."
+        ),
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address; port 0 picks an ephemeral port, printed on "
+             "the CLUSTER_WORKER_READY line (default: %(default)s)",
+    )
+    parser.add_argument("--model", default="ode_botnet",
+                        help="registry model (default: %(default)s)")
+    parser.add_argument("--profile", default="tiny",
+                        help="model profile (default: %(default)s)")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="local replicas to host (default: %(default)s)")
+    parser.add_argument("--backend", default=None,
+                        help="kernel backend for every replica "
+                             "(default: session default)")
+    parser.add_argument("--mode", choices=("thread", "process"),
+                        default="process",
+                        help="local replica execution mode "
+                             "(default: %(default)s)")
+    parser.add_argument("--tiers", default=None, metavar="T1,T2",
+                        help="comma-separated degrade ladder, e.g. "
+                             "reduced,int8,int4")
+    parser.add_argument("--shared-weights", action="store_true",
+                        help="map one shared weight set for all local "
+                             "replicas (mmap, versioned header)")
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        help="per-batch deadline for process replicas")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="weight seed (default: %(default)s)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    host, port = parse_address(args.listen)
+    tiers = (
+        tuple(t.strip() for t in args.tiers.split(",") if t.strip())
+        if args.tiers else None
+    )
+    worker = ClusterWorker.build(
+        args.model, profile=args.profile, replicas=args.replicas,
+        backend=args.backend, mode=args.mode, tiers=tiers,
+        shared_weights=args.shared_weights, timeout_s=args.timeout_s,
+        seed=args.seed, host=host, port=port,
+    )
+    print(
+        f"CLUSTER_WORKER_READY {format_address(worker.address)} "
+        f"pid={os.getpid()} replicas={len(worker.pool)}",
+        flush=True,
+    )
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,7 +1,8 @@
 """Whole-program concurrency static analysis for the serving stack.
 
 ``repro.lint.concurrency`` proves the thread/lock discipline of
-``repro.serve``, ``repro.runtime`` and ``repro.trace`` the same way
+``repro.serve``, ``repro.runtime``, ``repro.trace`` and
+``repro.cluster`` the same way
 ``repro.serve.certify`` proves accumulator safety: statically, before
 anything runs.  Four rules (see
 :mod:`~repro.lint.concurrency.analyzer`):
@@ -100,9 +101,10 @@ def _package_sources():
 def analyze_package():
     """Analyze the installed ``repro`` package's threaded subtrees.
 
-    Locates ``serve/``, ``runtime/`` and ``trace/`` relative to the
-    imported package — this is what the runtime sanitizer uses to
-    rebuild the static lock graph inside a soak process.
+    Locates ``serve/``, ``runtime/``, ``trace/`` and ``cluster/``
+    relative to the imported package — this is what the runtime
+    sanitizer uses to rebuild the static lock graph inside a soak
+    process.
     """
     return sorted(analyze_sources(_package_sources()),
                   key=lambda d: d.sort_key)

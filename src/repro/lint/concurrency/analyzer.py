@@ -87,7 +87,7 @@ CONCURRENCY_RULES = (
 )
 
 #: the package subtrees the analyzer covers by default (rel prefixes)
-CONCURRENCY_SCOPE = ("serve/", "runtime/", "trace/")
+CONCURRENCY_SCOPE = ("serve/", "runtime/", "trace/", "cluster/")
 
 
 def _diag(rule, cls, line, message, suggestion=""):

@@ -76,6 +76,9 @@ HEAPQ_MUTATORS = frozenset({
 BLOCKING_METHODS = frozenset({
     "send", "recv", "send_bytes", "recv_bytes", "poll", "join",
     "result", "wait", "wait_for", "acquire", "get", "put", "sleep",
+    # socket calls (the repro.cluster wire protocol): every one of
+    # these parks the thread on the kernel until the peer cooperates
+    "sendall", "recv_into", "accept", "connect", "create_connection",
 })
 
 #: ``.get`` / ``.put`` only block on real queue types; on an untyped
@@ -104,7 +107,7 @@ GENERIC_METHOD_NAMES = frozenset({
     "result", "submit", "shutdown", "items", "keys", "values", "append",
     "add", "pop", "clear", "update", "copy", "count", "index", "read",
     "write", "flush", "poll", "set", "is_set", "cancel", "done",
-    "format", "split", "strip",
+    "format", "split", "strip", "sendall", "accept", "connect",
 })
 
 #: construction-family methods whose writes are publication-safe (the
@@ -349,6 +352,11 @@ def _value_type(node, known_classes):
         return tail
     if tail == "Pipe":
         return "pipe"
+    if len(parts) >= 2 and parts[0] == "socket":
+        # socket.socket(...) and socket.create_connection(...) both
+        # hand back a socket — the receiver type that makes its
+        # send/recv family count as blocking calls
+        return "socket.socket"
     if len(parts) >= 2 and parts[0] in ("threading", "queue",
                                         "multiprocessing", "mp"):
         head = "multiprocessing" if parts[0] == "mp" else parts[0]

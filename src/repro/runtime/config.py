@@ -47,14 +47,52 @@ class SessionConfig:
         whether the config-built tracer records per-dispatch
         ``kernel.*`` spans.  Only meaningful with ``trace=True`` — pass
         a preconfigured tracer instead when you own the tracer.
+    workers:
+        cluster worker addresses (``"host:port"`` strings) whose
+        replica slots :meth:`repro.serve.Server.build` connects into
+        the pool as :class:`repro.cluster.RemoteReplica` instances
+        (the ``--workers`` CLI flag lands here).
+    autoscale:
+        ``(min_replicas, max_replicas)`` bounds for a
+        :class:`repro.cluster.Autoscaler` the server starts over
+        ``workers`` (the ``--autoscale min:max`` CLI flag); requires
+        ``workers`` to be non-empty.  ``None`` disables autoscaling.
     """
 
     backend: Optional[str] = None
     instrument: bool = False
     trace: Any = None
     kernel_spans: Optional[bool] = None
+    workers: tuple = ()
+    autoscale: Optional[tuple] = None
 
     def __post_init__(self):
+        object.__setattr__(
+            self, "workers", tuple(str(w) for w in (self.workers or ()))
+        )
+        if self.workers:
+            from ..cluster.wire import parse_address
+
+            for worker in self.workers:
+                parse_address(worker)  # validate eagerly, typed error
+        if self.autoscale is not None:
+            bounds = tuple(int(b) for b in self.autoscale)
+            if len(bounds) != 2:
+                raise ValueError(
+                    f"autoscale must be (min, max), got {self.autoscale!r}"
+                )
+            lo, hi = bounds
+            if lo < 1 or hi < lo:
+                raise ValueError(
+                    f"autoscale bounds need 1 <= min <= max, got "
+                    f"({lo}, {hi})"
+                )
+            if not self.workers:
+                raise ValueError(
+                    "autoscale needs at least one cluster worker "
+                    "(workers=...)"
+                )
+            object.__setattr__(self, "autoscale", bounds)
         if self.backend is not None:
             from .. import kernels
 

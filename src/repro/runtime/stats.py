@@ -35,6 +35,18 @@ class SessionStats:
         self._kernel_seconds = Counter()
         self._kernel_bytes = Counter()
 
+    def __getstate__(self):
+        # picklable snapshot (the cluster "stats" op ships one merged
+        # SessionStats over the wire): everything but the lock travels
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def record(self, batch_size, latency_s) -> None:
         """Record one dispatched batch of *batch_size* samples."""
         with self._lock:

@@ -235,6 +235,15 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
                         help="kernel backend for every replica")
     parser.add_argument("--mode", default="thread",
                         choices=("thread", "process"))
+    parser.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                        help="comma-separated repro.cluster worker "
+                        "addresses; every advertised replica slot joins "
+                        "the pool as a RemoteReplica (launch workers with "
+                        "python -m repro.cluster.worker)")
+    parser.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                        help="autoscaler pool-size bounds over --workers "
+                        "(p99- and trace-tail-driven add/drain; requires "
+                        "--workers)")
     parser.add_argument("--policy", default="reject",
                         choices=("reject", "reject-oldest", "degrade"))
     parser.add_argument("--tiers", default=None,
@@ -283,13 +292,47 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
         from ..trace import Tracer
 
         tracer = Tracer(sample_every=args.trace_sample)
+
+    # cluster flags travel as SessionConfig fields — the single bundled
+    # configuration value every layer already accepts
+    config = None
+    if args.workers or args.autoscale:
+        from ..runtime import SessionConfig
+
+        workers = tuple(
+            w.strip() for w in (args.workers or "").split(",") if w.strip()
+        )
+        autoscale = None
+        if args.autoscale:
+            lo, sep, hi = args.autoscale.partition(":")
+            if not sep:
+                parser.error("--autoscale takes MIN:MAX, e.g. 2:8")
+            try:
+                autoscale = (int(lo), int(hi))
+            except ValueError:
+                parser.error(f"--autoscale bounds must be integers, "
+                             f"got {args.autoscale!r}")
+        try:
+            config = SessionConfig(backend=args.backend, workers=workers,
+                                   autoscale=autoscale)
+        except ValueError as exc:
+            parser.error(str(exc))
     server = Server.build(
-        args.model, args.profile, args.replicas, backends=args.backend,
+        args.model, args.profile, args.replicas,
+        config=config, backends=None if config is not None else args.backend,
         mode=args.mode, shed_policy=args.policy,
         tiers=args.tiers, certify=not args.no_certify,
         queue_capacity=args.capacity, max_batch_size=args.batch,
         max_wait_ms=args.wait_ms, tracer=tracer,
     )
+    if config is not None and config.workers:
+        remote = sum(
+            1 for r in server.pool if getattr(r, "info", None) is not None
+        )
+        print(f"cluster: {remote} remote replica slot(s) from "
+              f"{len(config.workers)} worker(s)"
+              + (f", autoscale bounds {config.autoscale}"
+                 if config.autoscale else ""))
     if args.policy == "degrade":
         print(f"degrade ladder: {' -> '.join(server.queue.tiers)} "
               f"({'certified' if not args.no_certify else 'UNCERTIFIED'})")

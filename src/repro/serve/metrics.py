@@ -14,14 +14,17 @@ from __future__ import annotations
 from ..trace import STAGES
 
 
-def snapshot(pool, queue=None, scheduler=None, tracer=None) -> dict:
+def snapshot(pool, queue=None, scheduler=None, tracer=None,
+             autoscaler=None) -> dict:
     """Aggregate a serving stack into one plain-dict metrics snapshot.
 
-    ``pool`` is required; ``queue``, ``scheduler`` and ``tracer`` are
-    optional so partial stacks (e.g. a bare pool in a test) can still
-    report.  With a :class:`repro.trace.Tracer` the snapshot gains a
-    ``"trace"`` section: span counters plus per-stage latency
-    percentiles over the retained spans.
+    ``pool`` is required; ``queue``, ``scheduler``, ``tracer`` and
+    ``autoscaler`` are optional so partial stacks (e.g. a bare pool in
+    a test) can still report.  With a :class:`repro.trace.Tracer` the
+    snapshot gains a ``"trace"`` section: span counters plus per-stage
+    latency percentiles over the retained spans.  With a
+    :class:`repro.cluster.Autoscaler` it gains an ``"autoscaler"``
+    section: bounds, worker roster and the recent decision events.
     """
     merged = pool.merged_stats()
     out = {
@@ -40,6 +43,8 @@ def snapshot(pool, queue=None, scheduler=None, tracer=None) -> dict:
         out["scheduler"] = scheduler.snapshot()
     if tracer is not None:
         out["trace"] = tracer.snapshot()
+    if autoscaler is not None:
+        out["autoscaler"] = autoscaler.snapshot()
     return out
 
 
@@ -111,11 +116,24 @@ def render_report(snap) -> str:
                 f"  p95 {st['p95_ms']:7.3f} ms"
                 f"  p99 {st['p99_ms']:7.3f} ms"
             )
+    auto = snap.get("autoscaler")
+    if auto is not None:
+        upper = auto["max_replicas"]
+        lines.append(
+            f"autoscaler: bounds [{auto['min_replicas']}, "
+            f"{'unbounded' if upper is None else upper}]"
+            f" over {len(auto['workers'])} worker(s)"
+            f"  added {len(auto['autoscaled_replicas'])}"
+        )
+        for event in auto["events"][-3:]:
+            detail = {k: v for k, v in event.items() if k != "event"}
+            lines.append(f"  event {event['event']}: {detail}")
     for name, rep in snap["replicas"].items():
         stats = rep["stats"]
         flag = "up  " if rep["healthy"] else "DOWN"
+        where = f" @ {rep['address']}" if rep.get("remote") else ""
         lines.append(
-            f"  {name} [{flag}] {stats['requests']:6d} requests"
+            f"  {name} [{flag}]{where} {stats['requests']:6d} requests"
             f"  p95 {_fmt_ms(stats['p95_ms'])} ms"
             f"  outstanding {rep['outstanding']}"
             f"  failures {rep['consecutive_failures']}"

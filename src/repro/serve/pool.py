@@ -360,6 +360,9 @@ class ReplicaPool:
         if len(set(names)) != len(names):
             raise ValueError(f"replica names must be unique, got {names}")
         self.replicas = replicas
+        #: optional :class:`repro.cluster.SharedWeightStore` when the
+        #: pool was built with ``shared_weights=True``
+        self.weight_store = None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -367,7 +370,7 @@ class ReplicaPool:
     def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
               config=None, backends=None, seed=0, pretrained_state=None,
               tiers=None, degraded=False, mode="thread", unhealthy_after=3,
-              instrument=False):
+              instrument=False, shared_weights=False):
         """Build *n_replicas* identical-weight replicas from the registry.
 
         Parameters
@@ -397,6 +400,18 @@ class ReplicaPool:
             legacy single-rung spelling of ``tiers=("reduced",)``.
         mode:
             ``"thread"`` or ``"process"`` (see the module docstring).
+        shared_weights:
+            map one :class:`repro.cluster.SharedWeightStore` weight set
+            (anonymous shared mmap, versioned header) and rebind every
+            replica's primary-model parameters onto it *before* session
+            construction — so packed plans serve straight out of the
+            single mapping, process-mode forks inherit the pages
+            instead of duplicating them, and :meth:`refresh` bumps one
+            shared ``weights_version`` every co-located replica
+            observes.  (Quantized tier sessions still derive their
+            integer weights per replica — those are a different dtype,
+            not a duplicate of the float set.)  The store is exposed as
+            :attr:`weight_store`.
         """
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -421,14 +436,26 @@ class ReplicaPool:
                                 pretrained_state=pretrained_state,
                                 inference=True)
         state = reference.state_dict()
+        store = None
+        if shared_weights:
+            # lazy import: repro.cluster sits on top of repro.serve
+            from ..cluster.shmem import SharedWeightStore
+
+            store = SharedWeightStore.create(state)
         replicas = []
         for i in range(int(n_replicas)):
             replica_config = config.with_backend(backends[i % len(backends)])
             stats = SessionStats()
+            replica_model = build_model(model, profile=profile, seed=seed,
+                                        pretrained_state=state,
+                                        inference=True)
+            if store is not None:
+                # rebind parameters onto the shared mapping before the
+                # session packs its plan, so the plan references the
+                # mapped arrays (fork then shares the pages)
+                store.adopt(replica_model)
             session = InferenceSession(
-                build_model(model, profile=profile, seed=seed,
-                            pretrained_state=state, inference=True),
-                stats=stats, config=replica_config,
+                replica_model, stats=stats, config=replica_config,
             )
             tier_sessions = {
                 spec.name: spec.build_session(
@@ -442,7 +469,48 @@ class ReplicaPool:
                 kind(f"replica-{i}", session, tier_sessions or None,
                      unhealthy_after=unhealthy_after)
             )
-        return cls(replicas)
+        pool = cls(replicas)
+        pool.weight_store = store
+        return pool
+
+    # ------------------------------------------------------------------
+    # elasticity
+    # ------------------------------------------------------------------
+    def add(self, replica) -> None:
+        """Put a new replica (e.g. a freshly connected
+        :class:`repro.cluster.RemoteReplica`) into routing."""
+        with self._lock:
+            if any(r.name == replica.name for r in self.replicas):
+                raise ValueError(
+                    f"replica name {replica.name!r} already in the pool"
+                )
+            self.replicas.append(replica)
+
+    def remove(self, name, drain=True, timeout_s=10.0):
+        """Take a replica out of routing; returns it (caller closes).
+
+        With *drain* (default) this waits — bounded by ``timeout_s`` —
+        for the replica's outstanding leases to finish before
+        returning, so in-flight batches complete on it.  The last
+        replica cannot be removed.
+        """
+        with self._lock:
+            if len(self.replicas) == 1:
+                raise ValueError("cannot remove the last replica")
+            for i, replica in enumerate(self.replicas):
+                if replica.name == name:
+                    del self.replicas[i]
+                    break
+            else:
+                raise KeyError(name)
+        if drain:
+            deadline = time.monotonic() + float(timeout_s)
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if replica.outstanding <= 0:
+                        break
+                time.sleep(0.01)
+        return replica
 
     # ------------------------------------------------------------------
     def acquire(self):
@@ -479,9 +547,18 @@ class ReplicaPool:
     # ------------------------------------------------------------------
     def refresh(self) -> None:
         """Re-freeze every replica's sessions (all tiers) after a
-        weight mutation; each replica's ``weights_version`` ticks."""
-        for replica in self.replicas:
+        weight mutation; each replica's ``weights_version`` ticks.
+
+        With a shared weight store the store's header version is
+        bumped exactly once and every replica adopts it, so all
+        co-located replicas report the same generation."""
+        store_version = None
+        if self.weight_store is not None:
+            store_version = self.weight_store.bump_version()
+        for replica in self:
             replica.refresh()
+            if store_version is not None:
+                replica.weights_version = store_version
 
     def health(self) -> dict:
         """Per-replica health, keyed by replica name."""
@@ -491,20 +568,25 @@ class ReplicaPool:
     def merged_stats(self) -> SessionStats:
         """All replica statistics folded into one fresh SessionStats."""
         merged = SessionStats()
-        for replica in self.replicas:
+        for replica in self:
             merged.merge(replica.stats)
         return merged
 
     def close(self) -> None:
         """Release every replica's resources (process workers join)."""
-        for replica in self.replicas:
+        for replica in self:
             replica.close()
+        if self.weight_store is not None:
+            self.weight_store.close()
 
     def __len__(self):
         return len(self.replicas)
 
     def __iter__(self):
-        return iter(self.replicas)
+        # iterate a snapshot so an elastic add/remove during a metrics
+        # sweep cannot invalidate the iterator
+        with self._lock:
+            return iter(list(self.replicas))
 
 
 __all__ = ["Replica", "ProcessReplica", "ReplicaPool"]

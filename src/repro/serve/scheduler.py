@@ -42,6 +42,57 @@ import numpy as np
 from .errors import DeadlineExceeded, ReplicaUnavailable, ServerStopped
 
 
+class _DispatchSlots:
+    """A resizable counting semaphore for dispatch backpressure.
+
+    ``BoundedSemaphore`` fixes its limit at construction, which welds
+    the in-flight bound to the pool size the scheduler started with.
+    An elastic pool (the cluster autoscaler adds and drains replicas
+    mid-flight) needs :meth:`resize`: growing wakes blocked acquirers,
+    shrinking lets in-flight batches finish and simply admits fewer new
+    ones.  Built on a :class:`threading.Condition` waiting on its own
+    lock, so the wait is the bounded hand-off pattern the concurrency
+    lint recognises.
+    """
+
+    def __init__(self, limit):
+        limit = int(limit)
+        if limit < 1:
+            raise ValueError(f"slot limit must be >= 1, got {limit}")
+        self._cond = threading.Condition()
+        self._limit = limit  # protected by _cond
+        self._used = 0       # protected by _cond
+
+    def acquire(self) -> None:
+        with self._cond:
+            while self._used >= self._limit:
+                self._cond.wait()
+            self._used += 1
+
+    def release(self) -> None:
+        with self._cond:
+            if self._used <= 0:
+                raise ValueError("release() without a matching acquire()")
+            self._used -= 1
+            self._cond.notify()
+
+    def resize(self, limit) -> None:
+        """Change the limit; growth wakes every blocked acquirer."""
+        limit = int(limit)
+        if limit < 1:
+            raise ValueError(f"slot limit must be >= 1, got {limit}")
+        with self._cond:
+            grew = limit > self._limit
+            self._limit = limit
+            if grew:
+                self._cond.notify_all()
+
+    @property
+    def limit(self) -> int:
+        with self._cond:
+            return self._limit
+
+
 class Scheduler:
     """Batches the admission queue onto a :class:`ReplicaPool`.
 
@@ -84,9 +135,12 @@ class Scheduler:
         # the replicas' unbounded executor queues and the admission
         # bound (and its shedding policies) would never engage.  Each
         # dispatch holds a slot until its batch finishes; 2 per replica
-        # keeps a replica busy while its next batch forms.
-        self._slots = threading.BoundedSemaphore(
-            len(pool) * int(inflight_per_replica)
+        # keeps a replica busy while its next batch forms.  The slots
+        # are resizable so an elastic pool keeps the bound proportional
+        # (see sync_slots).
+        self.inflight_per_replica = int(inflight_per_replica)
+        self._slots = _DispatchSlots(
+            len(pool) * self.inflight_per_replica
         )
         self.tracer = tracer
         self._lock = threading.Lock()
@@ -105,22 +159,60 @@ class Scheduler:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Start the collector thread and per-replica executors."""
+        # snapshot the pool before taking _lock: the elastic pool's
+        # __iter__ acquires ReplicaPool._lock, and nesting it under
+        # Scheduler._lock would put an edge in the lock-order graph
+        # (a replica added between snapshot and start gets its
+        # executor lazily via _executor_for)
+        replicas = list(self.pool)
         with self._lock:
             if self._collector is not None:
                 return
             if self._stopped:
                 raise ServerStopped("scheduler already stopped")
-            for replica in self.pool:
-                self._executors[replica.name] = ThreadPoolExecutor(
-                    max_workers=1,
-                    thread_name_prefix=f"repro-serve-{replica.name}",
-                )
+            for replica in replicas:
+                self._make_executor_locked(replica.name)
             self._collector = threading.Thread(
                 target=self._collect_loop,
                 name="repro-serve-collector",
                 daemon=True,
             )
             self._collector.start()
+
+    # ------------------------------------------------------------------
+    # elasticity (used by Server.add_replica / remove_replica)
+    # ------------------------------------------------------------------
+    def _make_executor_locked(self, name):
+        """Create *name*'s single-thread executor; caller holds _lock."""
+        executor = self._executors.get(name)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=1,
+                thread_name_prefix=f"repro-serve-{name}",
+            )
+            self._executors[name] = executor
+        return executor
+
+    def _executor_for(self, replica):
+        """The replica's executor, created lazily for replicas added
+        after :meth:`start` (the elastic path)."""
+        with self._lock:
+            return self._make_executor_locked(replica.name)
+
+    def sync_slots(self) -> None:
+        """Re-proportion the dispatch-slot bound to the current pool
+        size; call after every pool add/remove."""
+        self._slots.resize(
+            max(1, len(self.pool)) * self.inflight_per_replica
+        )
+
+    def retire_executor(self, name, wait=True) -> None:
+        """Shut down a removed replica's executor (drains its queued
+        batch first when *wait* is true)."""
+        with self._lock:
+            executor = self._executors.pop(name, None)
+        if executor is not None:
+            executor.shutdown(wait=wait)
 
     # ------------------------------------------------------------------
     def _collect_loop(self):
@@ -238,7 +330,7 @@ class Scheduler:
                 self.pool.release(replica)
                 self._slots.release()
 
-        self._executors[replica.name].submit(run)
+        self._executor_for(replica).submit(run)
 
     def _execute(self, replica, live, tier, tracer):
         """Stack, run and deliver one already-deadline-checked group.
@@ -291,7 +383,9 @@ class Scheduler:
                 self.failed += failed
         if collector is not None:
             collector.join()
-            for executor in self._executors.values():
+            with self._lock:
+                executors = list(self._executors.values())
+            for executor in executors:
                 executor.shutdown(wait=True)
 
     def snapshot(self) -> dict:

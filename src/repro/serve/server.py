@@ -80,6 +80,9 @@ class Server:
                                    max_wait_ms=max_wait_ms,
                                    tracer=tracer)
         self.default_deadline_ms = default_deadline_ms
+        #: a :class:`repro.cluster.Autoscaler` when one was attached
+        #: (via config.autoscale or manually); closed with the server
+        self.autoscaler = None
         self._closed = False
         self.scheduler.start()
 
@@ -117,11 +120,29 @@ class Server:
             seed=seed, pretrained_state=pretrained_state, mode=mode,
             tiers=ladder, instrument=instrument,
         )
+        if config is not None and config.workers:
+            # shard across cluster workers: one RemoteReplica per
+            # advertised replica slot joins the local pool before the
+            # scheduler sizes its dispatch slots
+            from ..cluster import connect_worker
+
+            for address in config.workers:
+                for replica in connect_worker(address):
+                    pool.add(replica)
         if ladder is not None:
             server_kw.setdefault("tiers", tuple(t.name for t in ladder))
         if config is not None and config.tracer is not None:
             server_kw.setdefault("tracer", config.tracer)
-        return cls(pool, **server_kw)
+        server = cls(pool, **server_kw)
+        if config is not None and config.autoscale is not None:
+            from ..cluster import Autoscaler
+
+            lo, hi = config.autoscale
+            server.autoscaler = Autoscaler(
+                server, config.workers,
+                min_replicas=lo, max_replicas=hi,
+            ).start()
+        return server
 
     # ------------------------------------------------------------------
     def submit(self, x, *, priority=Priority.NORMAL, deadline_ms=None):
@@ -182,6 +203,27 @@ class Server:
         ).result(timeout=timeout)
 
     # ------------------------------------------------------------------
+    # elasticity
+    # ------------------------------------------------------------------
+    def add_replica(self, replica) -> None:
+        """Put *replica* into routing and grow the dispatch bound.
+
+        The scheduler creates the replica's executor lazily on its
+        first dispatch, so adding is safe while serving.
+        """
+        self.pool.add(replica)
+        self.scheduler.sync_slots()
+
+    def remove_replica(self, name, drain=True):
+        """Take a replica out of routing (draining its in-flight work
+        by default), shrink the dispatch bound, retire its executor —
+        and return it, still open, for the caller to close."""
+        replica = self.pool.remove(name, drain=drain)
+        self.scheduler.sync_slots()
+        self.scheduler.retire_executor(name, wait=drain)
+        return replica
+
+    # ------------------------------------------------------------------
     def health(self) -> dict:
         """Liveness summary: per-replica health + queue depth."""
         replicas = self.pool.health()
@@ -196,7 +238,7 @@ class Server:
     def metrics(self) -> dict:
         """One aggregated metrics snapshot (see :mod:`~repro.serve.metrics`)."""
         return snapshot(self.pool, self.queue, self.scheduler,
-                        tracer=self.tracer)
+                        tracer=self.tracer, autoscaler=self.autoscaler)
 
     def metrics_report(self) -> str:
         """The text rendering of :meth:`metrics`."""
@@ -209,6 +251,8 @@ class Server:
         if self._closed:
             return
         self._closed = True
+        if self.autoscaler is not None:
+            self.autoscaler.close()  # stop scaling before the drain
         self.scheduler.stop(drain=drain)
         self.pool.close()
 

@@ -339,6 +339,129 @@ class TestCON003:
 
 
 # ----------------------------------------------------------------------
+# CON003 — socket calls (the repro.cluster wire protocol)
+# ----------------------------------------------------------------------
+
+SOCKET_BAD = """
+    import socket
+    import threading
+
+    class Client:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._sock = socket.create_connection(("127.0.0.1", 9))
+
+        def call(self, data):
+            with self._lock:
+                self._sock.sendall(data)
+                return self._sock.recv(64)
+"""
+
+SOCKET_GOOD = """
+    import socket
+    import threading
+
+    class Client:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._sock = socket.create_connection(("127.0.0.1", 9))
+
+        def call(self, data):
+            with self._lock:
+                pass
+            self._sock.sendall(data)
+            return self._sock.recv(64)
+"""
+
+
+class TestCON003Sockets:
+    def test_send_recv_under_lock_fire(self):
+        diags = _fired(SOCKET_BAD, "CON003")
+        assert len(diags) == 2
+        names = " ".join(d.message for d in diags)
+        assert "sendall" in names and "recv" in names
+
+    def test_send_recv_outside_lock_quiet(self):
+        assert_quiet("CON003", SOCKET_GOOD)
+
+    def test_accept_under_lock_fires(self):
+        assert_fires("CON003", """
+            import socket
+            import threading
+
+            class Acceptor:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._listener = socket.socket()
+
+                def accept_one(self):
+                    with self._lock:
+                        return self._listener.accept()
+        """)
+
+    def test_connect_under_lock_fires(self):
+        assert_fires("CON003", """
+            import socket
+            import threading
+
+            class Dialer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._sock = socket.socket()
+
+                def dial(self, address):
+                    with self._lock:
+                        self._sock.connect(address)
+        """)
+
+    def test_create_connection_under_lock_fires(self):
+        assert_fires("CON003", """
+            import socket
+            import threading
+
+            class Dialer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._sock = None
+
+                def dial(self, address):
+                    with self._lock:
+                        self._sock = socket.create_connection(address)
+        """)
+
+    def test_socket_constructors_typed(self):
+        # both constructors hand back the blocking-capable receiver type
+        src = SourceFile("<s>", textwrap.dedent(SOCKET_BAD),
+                         rel="cluster/snippet.py", domain="library")
+        model = build_model([src])
+        assert model.classes["Client"].attr_types["_sock"] == "socket.socket"
+
+    def test_serialized_round_trip_suppression_quiet(self):
+        # the WorkerClient idiom: the lock deliberately serializes the
+        # whole send->recv round trip; the sanctioned suppression both
+        # silences CON003 and counts as used
+        text = textwrap.dedent("""
+            import socket
+            import threading
+
+            class Client:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._sock = socket.create_connection(("127.0.0.1", 9))
+
+                def call(self, data):
+                    with self._lock:
+                        self._sock.sendall(data)  # repro-lint: ignore[CON003] serialized round trip
+                        return self._sock.recv(64)  # repro-lint: ignore[CON003] serialized round trip
+        """)
+        src = SourceFile("<s>", text, rel="cluster/snippet.py",
+                         domain="library")
+        from repro.lint.concurrency.analyzer import analyze_sources
+        assert analyze_sources([src]) == []
+        assert unused_suppression_diagnostics([src]) == []
+
+
+# ----------------------------------------------------------------------
 # CON004 — fork-captured state
 # ----------------------------------------------------------------------
 
@@ -444,12 +567,27 @@ class TestCleanTree:
                   if "CON003" in ids]
         assert len(con003) == 4
 
+    def test_sanctioned_transport_suppressions_exist(self):
+        # WorkerClient serializes its socket round-trip under _lock on
+        # purpose (mirrors ProcessReplica's pipe); exactly the sendall
+        # and recv suppressions documenting that must stay
+        import repro.cluster.transport as transport
+
+        src = SourceFile(transport.__file__,
+                         open(transport.__file__).read())
+        con003 = [ids for ids in src.suppressions.values()
+                  if "CON003" in ids]
+        assert len(con003) == 2
+
     def test_model_covers_the_threaded_classes(self):
         model = package_lock_model()
         for name in ("Scheduler", "AdmissionQueue", "ProcessReplica",
-                     "MicroBatcher", "SessionStats", "Tracer"):
+                     "MicroBatcher", "SessionStats", "Tracer",
+                     "WorkerClient", "ClusterWorker", "Autoscaler",
+                     "SharedWeightStore"):
             assert name in model.classes, name
         assert model.guard_nodes("Scheduler") == ("Scheduler._lock",)
+        assert model.guard_nodes("WorkerClient") == ("WorkerClient._lock",)
 
 
 # ----------------------------------------------------------------------

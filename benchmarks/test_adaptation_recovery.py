@@ -1,0 +1,163 @@
+"""Streaming adaptation benchmark: accuracy recovered while serving.
+
+The scenario :mod:`repro.adapt` exists for, measured end to end: a
+trained tiny model serves a request stream whose input distribution
+*rotates* away mid-stream (label-preserving covariate shift from
+:class:`repro.data.DriftSchedule`).  Two identical replays of the same
+seeded drifted schedule:
+
+* **baseline** — no adaptation; accuracy falls off a cliff when the
+  drift ramps in and stays down;
+* **adapted** — ``SessionConfig(adapt=...)`` attaches the streaming
+  :class:`~repro.adapt.AdaptationController`; labelled requests feed
+  the sample tap, the shadow trainer fine-tunes the final ODE block +
+  head, and every ``publish_every`` steps the new weights are
+  hot-swapped into the serving replica mid-run.
+
+Three claims, all hard-gated on every machine (the run is seeded and
+the recovery margin is large — prototyped ~0.85 adapted vs ~0.29
+unadapted on the drifted tail):
+
+1. **Serving is never disturbed** — both runs complete with zero hung
+   futures and zero unexpected errors across >= 1 hot weight swap.
+2. **Adaptation adapts** — at least one swap lands during the adapted
+   run and the adaptation loop finishes without an error.
+3. **Accuracy recovers** — the adapted run's final-window served
+   accuracy (last fifth of the request timeline, fully drifted) beats
+   the no-adapt baseline's.
+
+Artifact: ``BENCH_adaptation_recovery.json`` with both
+accuracy-vs-requests-served window curves.
+
+Runs standalone:
+
+    pytest benchmarks/test_adaptation_recovery.py -q -s
+"""
+
+import numpy as np
+
+from repro.adapt import AdaptConfig
+from repro.data import DriftSchedule, make_drift_stream
+from repro.runtime import SessionConfig
+from repro.serve import Server, run_load
+
+from _artifacts import record_bench
+from conftest import show
+
+PROFILE = "tiny"
+SEED = 0
+N_REQUESTS = 360
+RATE_HZ = 45.0          # ~8s of wall clock; leaves the shadow
+                        # trainer plenty of steps on 1-CPU runners
+DRIFT = dict(kind="rotation", severity=3.0, start=0.2, ramp=0.2)
+WINDOWS = 10
+
+
+def _drifted_stream():
+    schedule = DriftSchedule(**DRIFT)
+    images, labels, _ = make_drift_stream(
+        N_REQUESTS, schedule, size=32, seed=SEED
+    )
+    return schedule, images, labels
+
+
+def _replay(state, images, labels, *, adapt):
+    """Serve the drifted stream once; returns (report, metrics)."""
+    config = None
+    if adapt:
+        config = SessionConfig(adapt=AdaptConfig(
+            lr=0.05, batch_size=16, min_samples=32, publish_every=8,
+            tap_capacity=256, seed=SEED,
+        ))
+    server = Server.build(
+        "ode_botnet", PROFILE, 1, config=config,
+        pretrained_state=state, queue_capacity=N_REQUESTS,
+    )
+    try:
+        offsets = np.arange(N_REQUESTS) / RATE_HZ
+        report = run_load(server, images, offsets, seed=SEED,
+                          labels=labels)
+        metrics = server.metrics()
+    finally:
+        server.close()
+    return report, metrics
+
+
+def _curve(report):
+    return [
+        None if w["accuracy"] != w["accuracy"] else round(w["accuracy"], 4)
+        for w in report.accuracy_windows(WINDOWS)
+    ]
+
+
+def test_adaptation_recovers_served_accuracy(trained_tiny_proposed):
+    state = trained_tiny_proposed.state_dict()
+    schedule, images, labels = _drifted_stream()
+
+    base_report, _ = _replay(state, images, labels, adapt=False)
+    adapt_report, adapt_metrics = _replay(state, images, labels,
+                                          adapt=True)
+
+    snap = adapt_metrics["adaptation"]
+    base_final = base_report.final_accuracy(0.2)
+    adapt_final = adapt_report.final_accuracy(0.2)
+
+    rows = [f"{'':14s} " + "  ".join(f"w{i}" for i in range(WINDOWS))]
+    for name, report in (("baseline", base_report),
+                         ("adapted", adapt_report)):
+        curve = "  ".join(
+            " -" if c is None else f"{c:.2f}" for c in _curve(report)
+        )
+        rows.append(f"{name:14s} {curve}")
+    rows.append(
+        f"final fifth: baseline {base_final:.3f} vs adapted "
+        f"{adapt_final:.3f}  ({snap['publisher']['swaps']} swaps, "
+        f"{snap['trainer']['steps']} online steps, max pause "
+        f"{snap['publisher']['max_pause_ms']:.2f} ms)"
+    )
+    show(f"adaptation recovery under {schedule.describe()}",
+         "\n".join(rows))
+
+    # claim 1: serving is never disturbed, in either run
+    for name, report in (("baseline", base_report),
+                         ("adapted", adapt_report)):
+        assert report.hung == 0, f"{name}: hung futures"
+        assert report.errors == 0, f"{name}: {report.error_examples}"
+        assert report.completed == N_REQUESTS, name
+
+    # claim 2: the loop actually ran and swapped, without an error
+    assert snap["error"] is None
+    assert snap["publisher"]["swaps"] >= 1
+    assert snap["trainer"]["steps"] >= 1
+    assert snap["tap"]["offered"] == N_REQUESTS
+
+    # claim 3: served accuracy recovered on the fully-drifted tail
+    assert adapt_final > base_final, (
+        f"adapted final-window accuracy {adapt_final:.3f} did not beat "
+        f"the no-adapt baseline {base_final:.3f}"
+    )
+
+    record_bench("adaptation_recovery", {
+        "drift": schedule.describe(),
+        "requests": N_REQUESTS,
+        "rate_hz": RATE_HZ,
+        "windows": WINDOWS,
+        "baseline": {
+            "curve": _curve(base_report),
+            "final_accuracy": round(base_final, 4),
+            "completed": base_report.completed,
+            "hung": base_report.hung,
+        },
+        "adapted": {
+            "curve": _curve(adapt_report),
+            "final_accuracy": round(adapt_final, 4),
+            "completed": adapt_report.completed,
+            "hung": adapt_report.hung,
+            "swaps": snap["publisher"]["swaps"],
+            "online_steps": snap["trainer"]["steps"],
+            "weights_version": snap["publisher"]["last_version"],
+            "max_pause_ms": round(snap["publisher"]["max_pause_ms"], 3),
+            "tap": snap["tap"],
+        },
+        "gate_active": True,
+    })

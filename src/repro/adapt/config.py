@@ -1,0 +1,73 @@
+"""Configuration for the streaming-adaptation loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: parameter-name prefixes the online loop is allowed to update: the
+#: final (MHSA) ODE block, the head norm and the classifier — the
+#: backbone (stem, early ODE blocks, downsamplers) stays frozen, which
+#: both bounds the per-step cost on the shadow replica and mirrors the
+#: edge-domain-adaptation setting (only the task head retrains on
+#: device; cf. Kawakami et al., PAPERS.md).
+DEFAULT_ADAPT_PREFIXES = ("block3.", "head_norm.", "fc.")
+
+
+@dataclass(frozen=True)
+class AdaptConfig:
+    """Knobs for :class:`repro.adapt.AdaptationController`.
+
+    Attributes
+    ----------
+    lr, momentum:
+        SGD hyperparameters for the online steps.
+    batch_size:
+        samples drawn from the tap per online step.
+    min_samples:
+        tap fill level before the first step runs (a few batches of
+        drifted data, so early steps aren't dominated by one request).
+    publish_every:
+        online steps between weight publishes (hot swaps).
+    tap_capacity:
+        bound of the sample tap; the oldest sample is dropped on
+        overflow, never the submitting request.
+    seed:
+        seeds the online batch sampler (SRV001: adaptation randomness
+        is replayable).
+    prefixes:
+        parameter-name prefixes to adapt; everything else is frozen.
+    """
+
+    lr: float = 0.05
+    momentum: float = 0.9
+    batch_size: int = 16
+    min_samples: int = 32
+    publish_every: int = 8
+    tap_capacity: int = 512
+    seed: int = 0
+    prefixes: tuple = field(default=DEFAULT_ADAPT_PREFIXES)
+
+    def __post_init__(self):
+        if self.lr <= 0:
+            raise ValueError(f"lr must be > 0, got {self.lr}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.publish_every < 1:
+            raise ValueError(
+                f"publish_every must be >= 1, got {self.publish_every}"
+            )
+        if self.tap_capacity < self.batch_size:
+            raise ValueError(
+                f"tap_capacity ({self.tap_capacity}) must hold at least one "
+                f"batch ({self.batch_size})"
+            )
+        if not self.prefixes:
+            raise ValueError("prefixes must name at least one adapted subtree")
+        object.__setattr__(self, "prefixes", tuple(self.prefixes))
+
+
+__all__ = ["AdaptConfig", "DEFAULT_ADAPT_PREFIXES"]

@@ -1,0 +1,149 @@
+"""The train-while-serving loop: tap -> online steps -> hot swaps.
+
+:class:`AdaptationController` glues the three adaptation pieces to a
+live serving pool: a :class:`~repro.adapt.SampleTap` fed by
+:meth:`repro.serve.Server.submit` (requests carrying labels), an
+:class:`~repro.adapt.OnlineTrainer` stepping a *shadow* model on a
+background thread, and a :class:`~repro.adapt.WeightPublisher` that
+hot-swaps the shadow's state into every replica after each
+``publish_every`` steps.
+
+The shadow model is a separate registry build loaded with the pool's
+reference weights, so training never touches arrays a replica is
+serving from — a swap is the only moment serving observes the loop, and
+it is a bounded in-place write plus one version bump per host.
+
+The controller thread owns the trainer exclusively; cross-thread
+observation (metrics, tests) uses :meth:`snapshot`, which only reads
+lock-guarded counters from the tap/publisher and monotonic ints from
+the trainer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..models import build_model
+from .config import AdaptConfig
+from .online import OnlineTrainer
+from .publisher import WeightPublisher
+from .tap import SampleTap
+
+#: idle poll while the tap is below ``min_samples`` (seconds)
+_IDLE_WAIT_S = 0.01
+
+
+class AdaptationController:
+    """Owns the adaptation loop for one serving pool.
+
+    Parameters
+    ----------
+    pool:
+        the :class:`~repro.serve.ReplicaPool` to adapt.  Pools built
+        with :meth:`ReplicaPool.build` carry their registry build args
+        and reference state; pass ``model=``/``profile=``/``state=``
+        explicitly for hand-assembled pools.
+    config:
+        an :class:`AdaptConfig` (default-constructed when ``None``).
+    tracer:
+        optional tracer; swaps record ``weights.swap`` spans.
+    """
+
+    def __init__(self, pool, *, config=None, tracer=None, model=None,
+                 profile=None, state=None, seed=None):
+        self.config = config if config is not None else AdaptConfig()
+        build_args = getattr(pool, "build_args", None) or {}
+        model = model if model is not None else build_args.get("model")
+        profile = profile if profile is not None else build_args.get("profile")
+        seed = seed if seed is not None else build_args.get("seed", 0)
+        if state is None:
+            state = getattr(pool, "reference_state", None)
+        if model is None or profile is None or state is None:
+            raise ValueError(
+                "pool carries no registry build info; pass model=, "
+                "profile= and state= explicitly"
+            )
+        shadow = build_model(model, profile=profile, seed=seed,
+                             pretrained_state=state)
+        self.tap = SampleTap(self.config.tap_capacity)
+        self.trainer = OnlineTrainer(
+            shadow,
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            batch_size=self.config.batch_size,
+            seed=self.config.seed,
+            prefixes=self.config.prefixes,
+        )
+        self.publisher = WeightPublisher(pool, tracer=tracer)
+        self.error = None
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-adapt", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run the loop on a background (shadow-replica) thread."""
+        if self._started:
+            return
+        self._started = True
+        self._thread.start()
+
+    def _loop(self):
+        steps_since_publish = 0
+        try:
+            while not self._stop.is_set():
+                if len(self.tap) < self.config.min_samples:
+                    self._stop.wait(_IDLE_WAIT_S)
+                    continue
+                if self.trainer.step_from(self.tap) is None:
+                    self._stop.wait(_IDLE_WAIT_S)
+                    continue
+                steps_since_publish += 1
+                if steps_since_publish >= self.config.publish_every:
+                    self.publish()
+                    steps_since_publish = 0
+        except Exception as exc:  # adaptation dies; serving must not
+            self.error = exc
+
+    def publish(self) -> dict:
+        """Hot-swap the shadow's current state into the pool."""
+        info = self.publisher.publish(self.trainer.state_dict())
+        self.trainer.callbacks.on_publish(
+            self.trainer, info["version"], info
+        )
+        return info
+
+    # ------------------------------------------------------------------
+    def step_once(self) -> dict | None:
+        """Synchronous single step (tests / docs); see :meth:`start`
+        for the production path."""
+        return self.trainer.step_from(self.tap)
+
+    def snapshot(self) -> dict:
+        """Adaptation state for the metrics report."""
+        return {
+            "running": self._started and self._thread.is_alive(),
+            "error": repr(self.error) if self.error is not None else None,
+            "tap": self.tap.snapshot(),
+            "trainer": self.trainer.snapshot(),
+            "publisher": self.publisher.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Stop the loop thread; idempotent, never raises."""
+        self._stop.set()
+        if self._started:
+            self._thread.join(timeout=10)
+
+    def __repr__(self):
+        snap = self.snapshot()
+        return (
+            f"AdaptationController(steps={snap['trainer']['steps']}, "
+            f"swaps={snap['publisher']['swaps']}, "
+            f"tap={snap['tap']['size']}/{snap['tap']['capacity']})"
+        )
+
+
+__all__ = ["AdaptationController"]

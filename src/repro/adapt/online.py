@@ -1,0 +1,135 @@
+"""Online fine-tuning of a shadow model from the sample tap.
+
+:class:`OnlineTrainer` is the step-oriented sibling of
+:class:`repro.train.Trainer`, built on the same callback/History seam
+(:mod:`repro.train.callbacks`): instead of epochs over a loader it takes
+one SGD step at a time on batches drawn from a :class:`SampleTap`, and
+only the *adapted* parameter subset (final ODE block + head by default,
+see :data:`~repro.adapt.config.DEFAULT_ADAPT_PREFIXES`) receives
+updates — the backbone stays frozen, including its BatchNorm running
+statistics (the model runs in eval mode, whose forward is equally
+differentiable; only the affine scale/shift of the adapted norms move).
+
+The trainer is single-threaded by design: exactly one thread (the
+:class:`~repro.adapt.AdaptationController` loop) drives :meth:`step`,
+so it owns no lock and stays out of the concurrency model; cross-thread
+reads go through immutable snapshots (:meth:`snapshot`).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..train.callbacks import CallbackList, History
+from ..train.loss import CrossEntropyLoss
+from ..train.optim import SGD
+from .config import DEFAULT_ADAPT_PREFIXES
+
+
+def adapt_parameters(model, prefixes=DEFAULT_ADAPT_PREFIXES):
+    """The parameters the online loop updates, by name prefix.
+
+    Raises if no parameter matches — a silent empty set would make the
+    loop a no-op and the recovery gate fail mysteriously later.
+    """
+    prefixes = tuple(prefixes)
+    params = [
+        p for name, p in model.named_parameters()
+        if name.startswith(prefixes)
+    ]
+    if not params:
+        names = [name for name, _ in model.named_parameters()]
+        raise ValueError(
+            f"no parameter matches adapt prefixes {prefixes}; "
+            f"model has {names[:5]}..."
+        )
+    return params
+
+
+class OnlineTrainer:
+    """Step-wise fine-tuning of *model*'s adapted parameter subset.
+
+    Parameters
+    ----------
+    model:
+        the shadow model (same registry build as the serving replicas,
+        loaded with the serving weights).  Put into eval mode here:
+        frozen-backbone adaptation must not move BatchNorm running
+        statistics or re-enable dropout.
+    lr, momentum, batch_size, seed, prefixes:
+        see :class:`repro.adapt.AdaptConfig`.
+    callbacks:
+        extra :class:`repro.train.Callback` objects; a
+        :class:`repro.train.History` is always installed first as
+        :attr:`history`.
+    """
+
+    def __init__(self, model, *, lr=0.05, momentum=0.9, batch_size=16,
+                 seed=0, loss_fn=None, callbacks=None,
+                 prefixes=DEFAULT_ADAPT_PREFIXES):
+        self.model = model
+        self.model.eval()
+        self.params = adapt_parameters(model, prefixes)
+        self.optimizer = SGD(
+            self.params, lr=lr, momentum=momentum, weight_decay=0.0
+        )
+        self.loss_fn = loss_fn if loss_fn is not None else CrossEntropyLoss()
+        self.batch_size = int(batch_size)
+        self.history = History()
+        self.callbacks = CallbackList([self.history, *(callbacks or ())])
+        self._rng = np.random.default_rng(seed)
+        self.steps = 0
+        self.last_loss = float("nan")
+
+    def step(self, images, labels) -> dict:
+        """One SGD step on an explicit batch; returns the step logs."""
+        self.callbacks.on_step_start(self, self.steps)
+        t0 = time.perf_counter()
+        x = Tensor(np.asarray(images, dtype=np.float32), _copy=False)
+        logits = self.model(x)
+        loss = self.loss_fn(logits, labels)
+        # clear *every* grad, not just the adapted subset: backward
+        # writes grads throughout the graph and frozen-parameter grads
+        # would otherwise accumulate without bound
+        self.model.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        logs = {
+            "loss": float(loss.item()),
+            "accuracy": float(
+                (np.argmax(logits.data, axis=-1) == labels).mean()
+            ),
+            "batch": int(len(labels)),
+            "step_seconds": time.perf_counter() - t0,
+        }
+        self.steps += 1
+        self.last_loss = logs["loss"]
+        self.callbacks.on_step_end(self, self.steps - 1, logs)
+        return logs
+
+    def step_from(self, tap):
+        """Draw one batch from *tap* and step; ``None`` if it is empty."""
+        batch = tap.sample(self.batch_size, self._rng)
+        if batch is None:
+            return None
+        images, labels = batch
+        return self.step(images, labels)
+
+    def state_dict(self):
+        """The shadow model's full state (for the publisher)."""
+        return self.model.state_dict()
+
+    def snapshot(self) -> dict:
+        """Step counters for the metrics report."""
+        return {
+            "steps": self.steps,
+            "last_loss": self.last_loss,
+            "batch_size": self.batch_size,
+            "adapted_params": len(self.params),
+        }
+
+
+__all__ = ["OnlineTrainer", "adapt_parameters"]

@@ -169,6 +169,24 @@ class RemoteReplica(Replica):
             self._client.request("refresh", timeout_s=self.timeout_s)
         )
 
+    def publish(self, state) -> int:
+        """Push a new weight generation to the worker hosting this slot.
+
+        Ships the full ``state_dict`` over the wire; the worker writes
+        it into its host-local weight set (shared store, or per-replica
+        load for a thread-mode worker) and reports the new version
+        back.  One publish per *worker* suffices — sibling slots of the
+        same worker observe the same host-side swap, so a publisher
+        should dedupe by :attr:`address` (see
+        :class:`repro.adapt.WeightPublisher`).
+        """
+        self.weights_version = int(
+            self._client.request(
+                "publish", {"state": state}, timeout_s=self.timeout_s
+            )
+        )
+        return self.weights_version
+
     def close(self) -> None:
         """Close this slot's connection (the worker keeps serving)."""
         self._client.close()

@@ -143,6 +143,54 @@ class SharedWeightStore:
             _VERSION_FIELD.pack_into(self._mm, _VERSION_OFFSET, version)
             return version
 
+    def write_arrays(self, state) -> None:
+        """Copy *state*'s values into the mapping in place (no bump).
+
+        *state* is a ``Module.state_dict()`` (or any subset of the
+        stored keys).  Writes happen under the store lock so two
+        publishers cannot interleave, but readers are deliberately not
+        excluded — a hot swap must never pause serving.  In-flight
+        forwards may therefore mix adjacent weight generations for one
+        batch; the *version header* itself is only moved by
+        :meth:`bump_version`, after all arrays are written, so a reader
+        that observes the new version sees fully written arrays.
+        """
+        views = self.arrays()
+        for name in state:
+            key = str(name)
+            if key not in views:
+                raise KeyError(f"store has no array named {key!r}")
+            shape = np.shape(state[name])
+            if views[key].shape != shape and (
+                # scalar counters (BN num_batches_tracked) are stored
+                # (1,) by inference builds but () by train builds —
+                # size-preserving, so not a real mismatch
+                views[key].size != np.size(state[name])
+                or np.squeeze(views[key]).shape != np.squeeze(
+                    np.asarray(state[name])).shape
+            ):
+                raise ValueError(
+                    f"shape mismatch for {key}: store {views[key].shape} "
+                    f"vs state {shape}"
+                )
+        with self._lock:
+            for name, value in state.items():
+                view = views[str(name)]
+                view[...] = np.reshape(value, view.shape)
+
+    def refresh(self, state=None) -> int:
+        """Publish a new weight generation: optionally write *state*'s
+        arrays in place, then bump the shared ``weights_version``.
+
+        Returns the new version.  This is the cluster-host half of a
+        hot weight swap (see :mod:`repro.adapt`): every process mapping
+        the store observes the arrays and the bumped header without any
+        per-replica message.
+        """
+        if state is not None:
+            self.write_arrays(state)
+        return self.bump_version()
+
     def describe(self) -> dict:
         """The decoded header, for hello frames and one-copy asserts."""
         magic, schema, version, index_len = _HEADER.unpack_from(self._mm, 0)

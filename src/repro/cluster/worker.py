@@ -16,7 +16,9 @@ pool spreads their concurrent batches over its local replicas.
 Ops: ``run`` (one batch, optional worker-side trace capture shipped
 back with the reply), ``health`` (the worker pool's own report),
 ``stats`` (merged :class:`~repro.runtime.SessionStats`), ``refresh``
-(re-freeze all sessions / bump the shared weights version), ``ping``.
+(re-freeze all sessions / bump the shared weights version),
+``publish`` (apply a pushed weight generation — the cluster half of
+:class:`repro.adapt.WeightPublisher`'s hot swap), ``ping``.
 An unknown op or an op-level exception travels back typed on the same
 connection; only transport-level failures close it.
 
@@ -163,6 +165,32 @@ class ClusterWorker:
         self.pool.refresh()
         return self.pool.replicas[0].weights_version
 
+    def _op_publish(self, payload):
+        """Apply a pushed weight generation to this host's replicas.
+
+        The cluster half of :class:`repro.adapt.WeightPublisher`: with a
+        shared store the arrays are written in place and the single
+        header bump (inside :meth:`ReplicaPool.refresh`) moves every
+        co-located process to the new generation; a thread-mode worker
+        without a store loads the state into each replica model
+        directly.  A process-mode worker without ``--shared-weights``
+        has no channel to its children's private weight copies and
+        rejects the op.
+        """
+        state = payload["state"]
+        if self.weight_store is not None:
+            self.weight_store.write_arrays(state)
+        elif self.mode == "process":
+            raise ValueError(
+                "cannot publish weights to a process-mode worker without "
+                "--shared-weights; restart the worker with a shared store"
+            )
+        else:
+            for replica in self.pool:
+                replica.session.model.load_state_dict(state)
+        self.pool.refresh()
+        return self.pool.replicas[0].weights_version
+
     def _op_ping(self, payload):
         return "pong"
 
@@ -171,6 +199,7 @@ class ClusterWorker:
         "health": _op_health,
         "stats": _op_stats,
         "refresh": _op_refresh,
+        "publish": _op_publish,
         "ping": _op_ping,
     }
 

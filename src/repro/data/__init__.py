@@ -12,7 +12,12 @@ substitution rationale.
 from .cache import cached_synthstl_arrays
 from .dataset import ArrayDataset, DataLoader, Dataset
 from .spectrogram import SynthSpectrogram, make_spectrogram_arrays
-from .synthstl import SynthSTL, make_synthstl_arrays
+from .synthstl import (
+    DriftSchedule,
+    SynthSTL,
+    make_drift_stream,
+    make_synthstl_arrays,
+)
 from .transforms import (
     ColorJitter,
     Compose,
@@ -27,6 +32,8 @@ __all__ = [
     "DataLoader",
     "SynthSTL",
     "make_synthstl_arrays",
+    "DriftSchedule",
+    "make_drift_stream",
     "cached_synthstl_arrays",
     "SynthSpectrogram",
     "make_spectrogram_arrays",

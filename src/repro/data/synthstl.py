@@ -45,8 +45,15 @@ def _class_params(c: int):
     return angle, freq, color, layout_angle
 
 
-def _render_batch(labels, size, rng):
-    """Render a batch of images for *labels*; returns (B, 3, size, size)."""
+def _render_batch(labels, size, rng, angle_offset=None, extra_noise=None):
+    """Render a batch of images for *labels*; returns (B, 3, size, size).
+
+    ``angle_offset`` / ``extra_noise`` are optional per-sample arrays used
+    by the drift machinery: the offset rotates both the grating and the
+    blob layout (a label-preserving covariate shift), the extra noise is
+    an additional per-sample Gaussian sigma.  ``None`` keeps the clean
+    rendering path bit-identical to earlier releases.
+    """
     b = len(labels)
     yy, xx = np.meshgrid(
         np.linspace(-1, 1, size), np.linspace(-1, 1, size), indexing="ij"
@@ -69,6 +76,16 @@ def _render_batch(labels, size, rng):
     blob_jit = rng.normal(0, 0.08, size=(b, 2, 2))
     contrast = rng.uniform(0.8, 1.2, size=b)
     noise = rng.normal(0, 0.10, size=(b, 3, size, size)).astype(np.float32)
+
+    if angle_offset is not None:
+        off = np.asarray(angle_offset, dtype=np.float64)
+        angle_j = angle_j + off
+        layouts = layouts + off
+    if extra_noise is not None:
+        sigma = np.asarray(extra_noise, dtype=np.float32)[:, None, None, None]
+        noise = noise + sigma * rng.standard_normal(
+            (b, 3, size, size), dtype=np.float32
+        )
 
     # grating: cos(freq * (x cos a + y sin a) * pi + phase)
     ca = np.cos(angle_j)[:, None, None]
@@ -124,6 +141,127 @@ def make_synthstl_arrays(split="train", size=96, n_per_class=None, seed=0):
     images = np.concatenate(chunks, axis=0)
     perm = rng.permutation(n)
     return images[perm], labels[perm].astype(np.int64)
+
+
+DRIFT_KINDS = ("rotation", "noise", "prior")
+
+# full-severity magnitudes: one class-angle step of rotation (textures and
+# layouts land between the class prototypes), a noise floor ~3.5x the
+# nominal jitter, and a ~4:1 tilt of the class prior
+_ROTATION_FULL = np.pi / _N_CLASSES
+_NOISE_FULL = 0.35
+_PRIOR_FULL = 1.4
+
+
+class DriftSchedule:
+    """A parameterized distribution drift over a request timeline.
+
+    The timeline position ``t`` runs over ``[0, 1]`` (fraction of the
+    request stream served so far).  Drift is zero until ``start``, ramps
+    linearly over ``ramp``, then holds at ``severity``:
+
+    * ``rotation`` — rotates each class's grating *and* blob layout by up
+      to ``severity`` class-angle steps (label-preserving covariate
+      shift; the cue geometry moves, the labels do not);
+    * ``noise`` — adds per-sample Gaussian noise with sigma up to
+      ``severity * 0.35``;
+    * ``prior`` — tilts the class prior exponentially toward low class
+      ids (label shift; rendering is unchanged).
+
+    Everything is deterministic given ``(schedule, seed)``.
+    """
+
+    def __init__(self, kind="rotation", severity=1.0, start=0.2, ramp=0.4):
+        if kind not in DRIFT_KINDS:
+            raise ValueError(f"unknown drift kind {kind!r}; choose {DRIFT_KINDS}")
+        if not 0.0 <= start <= 1.0:
+            raise ValueError(f"drift start must be in [0, 1], got {start}")
+        if ramp <= 0:
+            raise ValueError(f"drift ramp must be > 0, got {ramp}")
+        if severity < 0:
+            raise ValueError(f"drift severity must be >= 0, got {severity}")
+        self.kind = kind
+        self.severity = float(severity)
+        self.start = float(start)
+        self.ramp = float(ramp)
+
+    def level(self, t):
+        """Drift level in ``[0, severity]`` at timeline position(s) *t*."""
+        t = np.asarray(t, dtype=np.float64)
+        frac = np.clip((t - self.start) / self.ramp, 0.0, 1.0)
+        return frac * self.severity
+
+    def angle_offset(self, t):
+        """Per-sample grating/layout rotation (radians) at *t*."""
+        if self.kind != "rotation":
+            return np.zeros_like(np.asarray(t, dtype=np.float64))
+        return self.level(t) * _ROTATION_FULL
+
+    def noise_sigma(self, t):
+        """Per-sample additional noise sigma at *t*."""
+        if self.kind != "noise":
+            return np.zeros_like(np.asarray(t, dtype=np.float64))
+        return self.level(t) * _NOISE_FULL
+
+    def class_weights(self, t):
+        """Class-prior weights at *t*; shape ``t.shape + (n_classes,)``."""
+        level = self.level(t)[..., None]
+        if self.kind != "prior":
+            return np.broadcast_to(
+                np.full(_N_CLASSES, 1.0 / _N_CLASSES), level.shape[:-1] + (_N_CLASSES,)
+            ).copy()
+        c = np.arange(_N_CLASSES, dtype=np.float64)
+        w = np.exp(-level * _PRIOR_FULL * c / (_N_CLASSES - 1))
+        return w / w.sum(axis=-1, keepdims=True)
+
+    def describe(self):
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "start": self.start,
+            "ramp": self.ramp,
+        }
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (
+            f"DriftSchedule(kind={self.kind!r}, severity={self.severity}, "
+            f"start={self.start}, ramp={self.ramp})"
+        )
+
+
+def make_drift_stream(n, schedule=None, size=96, seed=0):
+    """Generate a labelled request stream drifting over its own timeline.
+
+    Request ``i`` is rendered at timeline position ``t = i / (n - 1)``
+    under *schedule* (``None`` means a clean, drift-free stream).
+    Returns ``(images, labels, t)`` with ``images`` of shape
+    ``(n, 3, size, size)``, int64 ``labels`` and the per-request timeline
+    positions.  Fully deterministic given ``(n, schedule, size, seed)``.
+    """
+    if n <= 0:
+        raise ValueError(f"stream length must be > 0, got {n}")
+    if schedule is None:
+        schedule = DriftSchedule(severity=0.0)
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 2]))
+    t = np.linspace(0.0, 1.0, n) if n > 1 else np.zeros(1)
+
+    # class draw under the (possibly drifting) prior
+    weights = schedule.class_weights(t)  # (n, C)
+    cdf = np.cumsum(weights, axis=1)
+    u = rng.random(n)
+    labels = (u[:, None] > cdf).sum(axis=1).astype(np.int64)
+
+    angle = schedule.angle_offset(t)
+    sigma = schedule.noise_sigma(t)
+    chunks = []
+    for start in range(0, n, 1000):
+        sl = slice(start, start + 1000)
+        chunks.append(
+            _render_batch(
+                labels[sl], size, rng, angle_offset=angle[sl], extra_noise=sigma[sl]
+            )
+        )
+    return np.concatenate(chunks, axis=0), labels, t
 
 
 class SynthSTL:

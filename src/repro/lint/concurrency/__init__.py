@@ -101,7 +101,8 @@ def _package_sources():
 def analyze_package():
     """Analyze the installed ``repro`` package's threaded subtrees.
 
-    Locates ``serve/``, ``runtime/``, ``trace/`` and ``cluster/``
+    Locates ``serve/``, ``runtime/``, ``trace/``, ``cluster/`` and
+    ``adapt/``
     relative to the imported package — this is what the runtime
     sanitizer uses to rebuild the static lock graph inside a soak
     process.

@@ -87,7 +87,7 @@ CONCURRENCY_RULES = (
 )
 
 #: the package subtrees the analyzer covers by default (rel prefixes)
-CONCURRENCY_SCOPE = ("serve/", "runtime/", "trace/", "cluster/")
+CONCURRENCY_SCOPE = ("serve/", "runtime/", "trace/", "cluster/", "adapt/")
 
 
 def _diag(rule, cls, line, message, suggestion=""):

@@ -2,11 +2,16 @@
 
 The serving subsystem has two invariants of its own:
 
-* ``SRV001`` — load generation is *reproducible by construction*:
-  inside ``serve/``, ``np.random.default_rng()`` must receive an
-  explicit seed argument, and any function in ``serve/loadgen.py``
-  that constructs a generator must expose a ``seed`` parameter so the
-  seed reaches the call site from the harness, not from OS entropy.
+* ``SRV001`` — load generation and training are *reproducible by
+  construction*: inside ``serve/``, ``adapt/`` and ``train/``,
+  ``np.random.default_rng()`` must receive an explicit seed argument,
+  and any function in ``serve/loadgen.py`` that constructs a generator
+  must expose a ``seed`` parameter so the seed reaches the call site
+  from the harness, not from OS entropy.  (``train/`` and ``adapt/``
+  joined the scope with the online-adaptation loop: ``Trainer.evaluate``
+  and ``OnlineTrainer`` share one RNG-discipline path, so an unseeded
+  generator anywhere in either loop breaks replayability of the
+  accuracy-recovery gate.)
 * ``SRV002`` — scheduler/dispatch paths never swallow errors: a broad
   handler (``except Exception`` / ``except BaseException``) in
   ``serve/`` must either re-raise or bind the exception and actually
@@ -26,9 +31,16 @@ from .rules import NumpyNamespace, Rule, register
 
 _BROAD = frozenset({"Exception", "BaseException"})
 
+# packages whose randomness must be seeded end to end (SRV001)
+SEEDED_RNG_SCOPE = ("serve/", "adapt/", "train/")
+
 
 def _in_serve(src) -> bool:
     return src.rel.startswith("serve/")
+
+
+def _in_seeded_scope(src) -> bool:
+    return src.rel.startswith(SEEDED_RNG_SCOPE)
 
 
 @register
@@ -41,17 +53,18 @@ class ServeSeededRNGRule(Rule):
     name = "serve-unseeded-rng"
     severity = Severity.ERROR
     domains = ("library",)
-    description = "serve/ RNGs must take an explicit seed"
+    description = "serve/, adapt/ and train/ RNGs must take an explicit seed"
 
     def check(self, src):
-        if not _in_serve(src):
+        if not _in_seeded_scope(src):
             return
         ns = NumpyNamespace(src.tree)
+        scope = src.rel.split("/", 1)[0]
         for node in ast.walk(src.tree):
             if self._is_default_rng(node, ns) and not node.args:
                 yield self.diag(
                     src, node,
-                    "default_rng() without an explicit seed in serve/",
+                    f"default_rng() without an explicit seed in {scope}/",
                     suggestion="thread a seed parameter through to this "
                     "call (np.random.default_rng(seed))",
                 )

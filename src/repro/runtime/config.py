@@ -57,6 +57,12 @@ class SessionConfig:
         :class:`repro.cluster.Autoscaler` the server starts over
         ``workers`` (the ``--autoscale min:max`` CLI flag); requires
         ``workers`` to be non-empty.  ``None`` disables autoscaling.
+    adapt:
+        an :class:`repro.adapt.AdaptConfig` to have
+        :meth:`repro.serve.Server.build` attach a streaming
+        :class:`repro.adapt.AdaptationController` (online fine-tuning +
+        hot weight swap), or ``True`` for a default-constructed one
+        (the ``--adapt`` CLI flag); ``None`` disables adaptation.
     """
 
     backend: Optional[str] = None
@@ -65,6 +71,7 @@ class SessionConfig:
     kernel_spans: Optional[bool] = None
     workers: tuple = ()
     autoscale: Optional[tuple] = None
+    adapt: Any = None
 
     def __post_init__(self):
         object.__setattr__(
@@ -102,6 +109,16 @@ class SessionConfig:
                 "kernel_spans only applies when SessionConfig builds the "
                 "tracer (trace=True); configure your own Tracer otherwise"
             )
+        if self.adapt is not None:
+            from ..adapt import AdaptConfig
+
+            if self.adapt is True:
+                object.__setattr__(self, "adapt", AdaptConfig())
+            elif not isinstance(self.adapt, AdaptConfig):
+                raise ValueError(
+                    f"adapt must be an AdaptConfig, True or None, got "
+                    f"{self.adapt!r}"
+                )
         if self.trace is True:
             from ..trace import Tracer
 

@@ -83,6 +83,9 @@ class LoadReport:
     duration_s: float = 0.0
     latencies_ms: list = field(default_factory=list)
     error_examples: list = field(default_factory=list)
+    #: labelled-run accuracy record: (request index, correct) per
+    #: completed request, in request-timeline order
+    outcomes: list = field(default_factory=list)
 
     @property
     def achieved_rate(self) -> float:
@@ -94,6 +97,37 @@ class LoadReport:
         if not self.latencies_ms:
             return float("nan")
         return float(np.percentile(np.asarray(self.latencies_ms), pct))
+
+    def accuracy_windows(self, windows=10):
+        """Accuracy over *windows* equal slices of the request timeline.
+
+        Only meaningful for labelled runs (``run_load(labels=...)``).
+        Returns a list of ``{"start", "end", "evaluated", "accuracy"}``
+        dicts — the accuracy-recovered-vs-requests-served curve the
+        adaptation benchmark persists.  Windows with no completed
+        request report NaN accuracy.
+        """
+        if not self.outcomes:
+            return []
+        edges = np.linspace(0, self.offered, int(windows) + 1)
+        out = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            hits = [ok for i, ok in self.outcomes if lo <= i < hi]
+            out.append({
+                "start": int(lo),
+                "end": int(hi),
+                "evaluated": len(hits),
+                "accuracy": float(np.mean(hits)) if hits else float("nan"),
+            })
+        return out
+
+    def final_accuracy(self, frac=0.2) -> float:
+        """Accuracy over the last *frac* of the request timeline."""
+        if not self.outcomes:
+            return float("nan")
+        cut = self.offered * (1.0 - float(frac))
+        hits = [ok for i, ok in self.outcomes if i >= cut]
+        return float(np.mean(hits)) if hits else float("nan")
 
     def summary(self) -> str:
         """One text block, CI-log friendly."""
@@ -113,13 +147,24 @@ class LoadReport:
                 f"  p95 {self.latency_percentile(95):.2f}"
                 f"  p99 {self.latency_percentile(99):.2f}"
             )
+        if self.outcomes:
+            curve = "  ".join(
+                "-" if w["accuracy"] != w["accuracy"]
+                else f"{w['accuracy']:.2f}"
+                for w in self.accuracy_windows()
+            )
+            lines.append(
+                f"accuracy: {len(self.outcomes)} evaluated,"
+                f" windows [{curve}],"
+                f" final fifth {self.final_accuracy():.3f}"
+            )
         for example in self.error_examples:
             lines.append(f"  error example: {example}")
         return "\n".join(lines)
 
 
 def run_load(server, samples, offsets, *, seed, deadline_ms=None,
-             priority_weights=None, collect_timeout_s=60.0):
+             priority_weights=None, collect_timeout_s=60.0, labels=None):
     """Replay *offsets* open-loop against *server*; classify everything.
 
     Parameters
@@ -140,6 +185,12 @@ def run_load(server, samples, offsets, *, seed, deadline_ms=None,
     collect_timeout_s:
         hard per-future wait when collecting; a future that misses it
         counts as ``hung`` (the failure soak tests exist to catch).
+    labels:
+        optional ground-truth labels aligned with ``samples`` (cycled
+        the same way).  Each label is forwarded to ``submit`` — feeding
+        a live adaptation tap — and every completed response is scored
+        against it into :attr:`LoadReport.outcomes`, giving the
+        accuracy-vs-requests-served curve.
     """
     samples = np.asarray(samples)
     offsets = np.asarray(offsets, dtype=float)
@@ -148,6 +199,11 @@ def run_load(server, samples, offsets, *, seed, deadline_ms=None,
         priorities = [Priority.NORMAL] * n
     else:
         priorities = pick_priorities(n, seed, priority_weights)
+    if labels is not None and len(labels) != len(samples):
+        raise ValueError(
+            f"labels ({len(labels)}) must align with samples "
+            f"({len(samples)})"
+        )
 
     report = LoadReport(offered=n)
     futures = []
@@ -161,17 +217,19 @@ def run_load(server, samples, offsets, *, seed, deadline_ms=None,
         delay = t0 + offset - time.perf_counter()
         if delay > 0:
             time.sleep(delay)
+        label = None if labels is None else int(labels[i % len(labels)])
         fut = server.submit(
             samples[i % len(samples)],
             priority=priorities[i],
             deadline_ms=deadline_ms,
+            label=label,
         )
         fut.add_done_callback(stamp)
-        futures.append((t0 + offset, fut))
+        futures.append((i, label, t0 + offset, fut))
 
-    for scheduled, fut in futures:
+    for i, label, scheduled, fut in futures:
         try:
-            fut.result(timeout=collect_timeout_s)
+            row = fut.result(timeout=collect_timeout_s)
         except DeadlineExceeded:
             report.deadline_exceeded += 1
         except QueueFull:
@@ -190,6 +248,10 @@ def run_load(server, samples, offsets, *, seed, deadline_ms=None,
             report.completed += 1
             finished = done_at.get(id(fut), time.perf_counter())
             report.latencies_ms.append(max(0.0, (finished - scheduled)) * 1e3)
+            if label is not None:
+                report.outcomes.append(
+                    (i, bool(int(np.argmax(row)) == label))
+                )
     report.duration_s = time.perf_counter() - t0
     return report
 
@@ -264,6 +326,30 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
                         "--load-factor")
     parser.add_argument("--deadline-ms", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--adapt", action="store_true",
+                        help="attach a streaming AdaptationController "
+                        "(repro.adapt): labelled requests feed an online "
+                        "trainer whose snapshots are hot-swapped into "
+                        "every replica; the run fails unless >=1 swap "
+                        "lands with zero hung futures")
+    parser.add_argument("--adapt-lr", type=float, default=0.05)
+    parser.add_argument("--adapt-batch", type=int, default=16)
+    parser.add_argument("--adapt-publish-every", type=int, default=8,
+                        help="hot-swap a snapshot every N online steps")
+    parser.add_argument("--adapt-min-samples", type=int, default=32,
+                        help="tap fill level before online steps start")
+    parser.add_argument("--drift", default=None,
+                        choices=("rotation", "noise", "prior"),
+                        help="drive the request stream through a "
+                        "repro.data DriftSchedule instead of static "
+                        "noise samples (implies labelled traffic)")
+    parser.add_argument("--drift-severity", type=float, default=1.0)
+    parser.add_argument("--drift-start", type=float, default=0.25,
+                        help="drift onset as a fraction of the request "
+                        "timeline")
+    parser.add_argument("--drift-ramp", type=float, default=0.25,
+                        help="fraction of the timeline over which drift "
+                        "ramps to full severity")
     parser.add_argument("--trace", default=None, metavar="OUT.json",
                         help="record request traces and write a Chrome/"
                         "Perfetto trace JSON here")
@@ -293,10 +379,10 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
 
         tracer = Tracer(sample_every=args.trace_sample)
 
-    # cluster flags travel as SessionConfig fields — the single bundled
-    # configuration value every layer already accepts
+    # cluster/adaptation flags travel as SessionConfig fields — the
+    # single bundled configuration value every layer already accepts
     config = None
-    if args.workers or args.autoscale:
+    if args.workers or args.autoscale or args.adapt:
         from ..runtime import SessionConfig
 
         workers = tuple(
@@ -312,9 +398,20 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
             except ValueError:
                 parser.error(f"--autoscale bounds must be integers, "
                              f"got {args.autoscale!r}")
+        adapt = None
+        if args.adapt:
+            from ..adapt import AdaptConfig
+
+            adapt = AdaptConfig(
+                lr=args.adapt_lr,
+                batch_size=args.adapt_batch,
+                publish_every=args.adapt_publish_every,
+                min_samples=args.adapt_min_samples,
+                seed=args.seed,
+            )
         try:
             config = SessionConfig(backend=args.backend, workers=workers,
-                                   autoscale=autoscale)
+                                   autoscale=autoscale, adapt=adapt)
         except ValueError as exc:
             parser.error(str(exc))
     server = Server.build(
@@ -347,9 +444,27 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
                   f"replica; offering {rate:.1f}/s "
                   f"({args.load_factor:.2f}x)")
         offsets = arrival_offsets(rate, args.duration, args.seed)
+        labels = None
+        if args.drift is not None or args.adapt:
+            # labelled, optionally drifting traffic: one synthetic STL
+            # sample per scheduled request, drift level following the
+            # request timeline
+            from ..data import DriftSchedule, make_drift_stream
+
+            schedule = None
+            if args.drift is not None:
+                schedule = DriftSchedule(
+                    kind=args.drift, severity=args.drift_severity,
+                    start=args.drift_start, ramp=args.drift_ramp,
+                )
+                print(f"drift: {schedule.describe()}")
+            samples, labels, _ = make_drift_stream(
+                len(offsets), schedule, size=size, seed=args.seed,
+            )
         report = run_load(server, samples, offsets, seed=args.seed,
                           deadline_ms=args.deadline_ms,
-                          priority_weights=(0.1, 0.8, 0.1))
+                          priority_weights=(0.1, 0.8, 0.1),
+                          labels=labels)
         print(report.summary())
         print(server.metrics_report())
         if tracer is not None:
@@ -364,7 +479,8 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
             print(render_tail_attribution(tail_attribution(spans)))
             print(f"trace: {n_events} events -> {args.trace} "
                   f"(load at https://ui.perfetto.dev)")
-        queue_snap = server.metrics()["queue"]
+        metrics = server.metrics()
+        queue_snap = metrics["queue"]
         bounded = queue_snap["high_water"] <= (
             server.queue.capacity + server.queue.degrade_headroom
         )
@@ -375,6 +491,18 @@ def main(argv=None) -> int:  # repro-lint: ignore[SRV001] seed arrives via --see
         if report.hung or report.errors:
             print(f"FAIL: {report.hung} hung futures, "
                   f"{report.errors} unexpected errors")
+        if args.adapt:
+            adapt_snap = metrics.get("adaptation") or {}
+            if adapt_snap.get("error"):
+                print(f"FAIL: adaptation loop error: "
+                      f"{adapt_snap['error']}")
+                ok = False
+            swaps = (adapt_snap.get("publisher") or {}).get("swaps", 0)
+            if swaps < 1:
+                print("FAIL: --adapt run finished without a single hot "
+                      "weight swap (lower --adapt-min-samples / "
+                      "--adapt-publish-every or raise --duration)")
+                ok = False
         rc = 0 if ok else 1
     finally:
         server.close()

@@ -15,16 +15,20 @@ from ..trace import STAGES
 
 
 def snapshot(pool, queue=None, scheduler=None, tracer=None,
-             autoscaler=None) -> dict:
+             autoscaler=None, adaptation=None) -> dict:
     """Aggregate a serving stack into one plain-dict metrics snapshot.
 
-    ``pool`` is required; ``queue``, ``scheduler``, ``tracer`` and
-    ``autoscaler`` are optional so partial stacks (e.g. a bare pool in
-    a test) can still report.  With a :class:`repro.trace.Tracer` the
-    snapshot gains a ``"trace"`` section: span counters plus per-stage
-    latency percentiles over the retained spans.  With a
-    :class:`repro.cluster.Autoscaler` it gains an ``"autoscaler"``
-    section: bounds, worker roster and the recent decision events.
+    ``pool`` is required; ``queue``, ``scheduler``, ``tracer``,
+    ``autoscaler`` and ``adaptation`` are optional so partial stacks
+    (e.g. a bare pool in a test) can still report.  With a
+    :class:`repro.trace.Tracer` the snapshot gains a ``"trace"``
+    section: span counters plus per-stage latency percentiles over the
+    retained spans.  With a :class:`repro.cluster.Autoscaler` it gains
+    an ``"autoscaler"`` section: bounds, worker roster and the recent
+    decision events.  With an
+    :class:`repro.adapt.AdaptationController` it gains an
+    ``"adaptation"`` section: tap fill/drop counters, online steps and
+    hot-swap (``weights_version``) history.
     """
     merged = pool.merged_stats()
     out = {
@@ -45,6 +49,8 @@ def snapshot(pool, queue=None, scheduler=None, tracer=None,
         out["trace"] = tracer.snapshot()
     if autoscaler is not None:
         out["autoscaler"] = autoscaler.snapshot()
+    if adaptation is not None:
+        out["adaptation"] = adaptation.snapshot()
     return out
 
 
@@ -128,6 +134,27 @@ def render_report(snap) -> str:
         for event in auto["events"][-3:]:
             detail = {k: v for k, v in event.items() if k != "event"}
             lines.append(f"  event {event['event']}: {detail}")
+    adapt = snap.get("adaptation")
+    if adapt is not None:
+        tap = adapt["tap"]
+        trainer = adapt["trainer"]
+        pub = adapt["publisher"]
+        state = "running" if adapt["running"] else "stopped"
+        if adapt.get("error"):
+            state = f"ERROR {adapt['error']}"
+        lines.append(
+            f"adaptation [{state}]: {trainer['steps']} steps"
+            f"  last loss {trainer['last_loss']:.4f}"
+            f"  tap {tap['size']}/{tap['capacity']}"
+            f" (offered {tap['offered']}, dropped {tap['dropped']})"
+        )
+        if pub["swaps"]:
+            lines.append(
+                f"  swaps: {pub['swaps']}"
+                f"  weights v{pub['last_version']}"
+                f"  pause last {pub['last_pause_ms']:.2f} ms"
+                f" / max {pub['max_pause_ms']:.2f} ms"
+            )
     for name, rep in snap["replicas"].items():
         stats = rep["stats"]
         flag = "up  " if rep["healthy"] else "DOWN"

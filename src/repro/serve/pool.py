@@ -363,6 +363,11 @@ class ReplicaPool:
         #: optional :class:`repro.cluster.SharedWeightStore` when the
         #: pool was built with ``shared_weights=True``
         self.weight_store = None
+        #: registry build arguments and reference state for pools made
+        #: with :meth:`build` — how :class:`repro.adapt` constructs its
+        #: shadow model; ``None`` for hand-assembled pools
+        self.build_args = None
+        self.reference_state = None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -471,6 +476,8 @@ class ReplicaPool:
             )
         pool = cls(replicas)
         pool.weight_store = store
+        pool.build_args = {"model": model, "profile": profile, "seed": seed}
+        pool.reference_state = state
         return pool
 
     # ------------------------------------------------------------------

@@ -50,15 +50,18 @@ class Request:
         :class:`~repro.serve.DeadlineExceeded` instead of running.
     seq:
         monotone sequence number (FIFO order within a priority class).
+    label:
+        optional ground-truth class label for the adaptation tap
+        (:mod:`repro.adapt`); ignored by admission and dispatch.
     """
 
     __slots__ = (
         "payload", "priority", "seq", "future",
-        "t_submit", "t_expiry", "deadline_ms", "tier", "trace_id",
+        "t_submit", "t_expiry", "deadline_ms", "tier", "trace_id", "label",
     )
 
     def __init__(self, payload, *, priority=Priority.NORMAL, deadline_ms=None,
-                 seq=0, now=None):
+                 seq=0, now=None, label=None):
         now = time.perf_counter() if now is None else now
         self.payload = np.asarray(payload)
         self.priority = Priority(priority)
@@ -76,6 +79,10 @@ class Request:
         #: set by Server.submit when the request is sampled for tracing
         #: (a repro.trace trace id); None = untraced
         self.trace_id = None
+        #: optional ground-truth label riding along with the sample —
+        #: feedback for the streaming-adaptation tap (repro.adapt);
+        #: never consulted on the serving path itself
+        self.label = None if label is None else int(label)
 
     # ------------------------------------------------------------------
     @property

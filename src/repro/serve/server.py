@@ -83,6 +83,10 @@ class Server:
         #: a :class:`repro.cluster.Autoscaler` when one was attached
         #: (via config.autoscale or manually); closed with the server
         self.autoscaler = None
+        #: a :class:`repro.adapt.AdaptationController` when one was
+        #: attached (via config.adapt or manually); labelled submits
+        #: feed its sample tap and :meth:`close` stops its loop
+        self.adaptation = None
         self._closed = False
         self.scheduler.start()
 
@@ -91,7 +95,7 @@ class Server:
     def build(cls, model="ode_botnet", profile="tiny", n_replicas=2, *,
               config=None, backends=None, seed=0, pretrained_state=None,
               mode="thread", instrument=False, tiers=None, certify=True,
-              **server_kw):
+              shared_weights=False, **server_kw):
         """Build pool and server from the model registry in one call.
 
         ``config`` is a shared :class:`~repro.runtime.SessionConfig`
@@ -115,10 +119,16 @@ class Server:
             ladder = resolve_ladder(tiers)
             if certify:
                 certify_ladder(ladder, model, profile, seed=seed)
+        if config is not None and config.adapt is not None and \
+                mode == "process":
+            # fork+pipe children hold private weight copies; a shared
+            # store is the only hot-swap channel into them
+            shared_weights = True
         pool = ReplicaPool.build(
             model, profile, n_replicas, config=config, backends=backends,
             seed=seed, pretrained_state=pretrained_state, mode=mode,
             tiers=ladder, instrument=instrument,
+            shared_weights=shared_weights,
         )
         if config is not None and config.workers:
             # shard across cluster workers: one RemoteReplica per
@@ -142,21 +152,38 @@ class Server:
                 server, config.workers,
                 min_replicas=lo, max_replicas=hi,
             ).start()
+        if config is not None and config.adapt is not None:
+            from ..adapt import AdaptationController
+
+            server.adaptation = AdaptationController(
+                pool, config=config.adapt, tracer=server.tracer,
+            )
+            server.adaptation.start()
         return server
 
     # ------------------------------------------------------------------
-    def submit(self, x, *, priority=Priority.NORMAL, deadline_ms=None):
+    def submit(self, x, *, priority=Priority.NORMAL, deadline_ms=None,
+               label=None):
         """Queue one sample; returns a future that always resolves.
 
         ``deadline_ms`` defaults to the server's ``default_deadline_ms``;
         a request that cannot be dispatched inside its deadline fails
         fast with :class:`~repro.serve.DeadlineExceeded` without
         running the model.
+
+        ``label`` optionally attaches the sample's ground truth: when
+        an :attr:`adaptation` controller is live, a copy of the sample
+        lands in its bounded tap in O(1) — regardless of the request's
+        own fate, since even a request that is later shed carries
+        fresh-distribution signal.  Without a controller the label is
+        carried but unused.
         """
         if deadline_ms is None:
             deadline_ms = self.default_deadline_ms
         request = Request(x, priority=priority, deadline_ms=deadline_ms,
-                          seq=self.queue.next_seq())
+                          seq=self.queue.next_seq(), label=label)
+        if label is not None and self.adaptation is not None:
+            self.adaptation.tap.offer(request.payload, label)
         if self.tracer is not None:
             request.trace_id = self.tracer.new_trace()
             if request.trace_id is not None:
@@ -238,7 +265,8 @@ class Server:
     def metrics(self) -> dict:
         """One aggregated metrics snapshot (see :mod:`~repro.serve.metrics`)."""
         return snapshot(self.pool, self.queue, self.scheduler,
-                        tracer=self.tracer, autoscaler=self.autoscaler)
+                        tracer=self.tracer, autoscaler=self.autoscaler,
+                        adaptation=self.adaptation)
 
     def metrics_report(self) -> str:
         """The text rendering of :meth:`metrics`."""
@@ -253,6 +281,8 @@ class Server:
         self._closed = True
         if self.autoscaler is not None:
             self.autoscaler.close()  # stop scaling before the drain
+        if self.adaptation is not None:
+            self.adaptation.close()  # no swaps during/after the drain
         self.scheduler.stop(drain=drain)
         self.pool.close()
 

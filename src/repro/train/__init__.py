@@ -5,6 +5,7 @@ weight decay 1e-4, CosineAnnealingWarmRestarts (T_0 = 10, T_mult = 2,
 eta_min = 1e-4, initial LR 0.1), cross-entropy objective.
 """
 
+from .callbacks import Callback, CallbackList, History
 from .checkpoint import load_checkpoint, save_checkpoint
 from .loss import CrossEntropyLoss
 from .metrics import accuracy, confusion_matrix, topk_accuracy
@@ -22,6 +23,9 @@ __all__ = [
     "ConstantLR",
     "Trainer",
     "TrainingHistory",
+    "Callback",
+    "CallbackList",
+    "History",
     "save_checkpoint",
     "load_checkpoint",
     "accuracy",

@@ -1,0 +1,121 @@
+"""Callback / History seam shared by offline and online training.
+
+Modelled on the fasttrain exemplar: a trainer accepts a list of
+:class:`Callback` objects and drives them through well-known hooks, and
+a :class:`History` callback records every ``logs`` dict it sees so the
+loop is observable without threading state through the trainer itself.
+
+Two loops share this seam:
+
+* :class:`repro.train.Trainer` (epoch-oriented) fires
+  ``on_fit_start`` / ``on_epoch_start`` / ``on_epoch_end`` /
+  ``on_fit_end``;
+* :class:`repro.adapt.OnlineTrainer` (step-oriented, train-while-serve)
+  fires ``on_step_start`` / ``on_step_end`` / ``on_publish``.
+
+Hooks a callback does not override are no-ops, so one callback class can
+serve both loops.
+"""
+
+from __future__ import annotations
+
+
+class Callback:
+    """Base class: override any subset of hooks.
+
+    Every hook receives the owning trainer first; ``logs`` is a plain
+    dict of floats/ints for that epoch, step or publish event.
+    """
+
+    def on_fit_start(self, trainer):
+        pass
+
+    def on_fit_end(self, trainer):
+        pass
+
+    def on_epoch_start(self, trainer, epoch):
+        pass
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        pass
+
+    def on_step_start(self, trainer, step):
+        pass
+
+    def on_step_end(self, trainer, step, logs):
+        pass
+
+    def on_publish(self, trainer, version, logs):
+        """Fired after a weight publish (online loop only)."""
+
+
+class CallbackList(Callback):
+    """Dispatch every hook to each callback in order."""
+
+    def __init__(self, callbacks=None):
+        self.callbacks = list(callbacks or ())
+
+    def append(self, callback):
+        self.callbacks.append(callback)
+
+    def __iter__(self):
+        return iter(self.callbacks)
+
+    def __len__(self):
+        return len(self.callbacks)
+
+    def on_fit_start(self, trainer):
+        for cb in self.callbacks:
+            cb.on_fit_start(trainer)
+
+    def on_fit_end(self, trainer):
+        for cb in self.callbacks:
+            cb.on_fit_end(trainer)
+
+    def on_epoch_start(self, trainer, epoch):
+        for cb in self.callbacks:
+            cb.on_epoch_start(trainer, epoch)
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        for cb in self.callbacks:
+            cb.on_epoch_end(trainer, epoch, logs)
+
+    def on_step_start(self, trainer, step):
+        for cb in self.callbacks:
+            cb.on_step_start(trainer, step)
+
+    def on_step_end(self, trainer, step, logs):
+        for cb in self.callbacks:
+            cb.on_step_end(trainer, step, logs)
+
+    def on_publish(self, trainer, version, logs):
+        for cb in self.callbacks:
+            cb.on_publish(trainer, version, logs)
+
+
+class History(Callback):
+    """Record every logs dict, keyed by hook kind.
+
+    ``history.epochs`` / ``history.steps`` / ``history.publishes`` are
+    lists of ``(index, logs)`` pairs; :meth:`series` pulls one metric out
+    as a flat list for plotting.
+    """
+
+    def __init__(self):
+        self.epochs = []
+        self.steps = []
+        self.publishes = []
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        self.epochs.append((epoch, dict(logs)))
+
+    def on_step_end(self, trainer, step, logs):
+        self.steps.append((step, dict(logs)))
+
+    def on_publish(self, trainer, version, logs):
+        self.publishes.append((version, dict(logs)))
+
+    def series(self, key, kind="steps"):
+        """Values of ``logs[key]`` across ``epochs``/``steps``/``publishes``."""
+        records = getattr(self, kind)
+        return [logs[key] for _, logs in records if key in logs]

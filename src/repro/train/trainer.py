@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..tensor import Tensor
+from .callbacks import CallbackList
 from .loss import CrossEntropyLoss
 from .metrics import accuracy
 
@@ -53,13 +54,14 @@ class Trainer:
     """
 
     def __init__(self, model, optimizer, scheduler=None, loss_fn=None,
-                 clip_grad=None):
+                 clip_grad=None, callbacks=None):
         self.model = model
         self.optimizer = optimizer
         self.scheduler = scheduler
         self.loss_fn = loss_fn if loss_fn is not None else CrossEntropyLoss()
         self.clip_grad = clip_grad
         self.history = TrainingHistory()
+        self.callbacks = CallbackList(callbacks)
 
     def train_epoch(self, loader) -> tuple:
         """One pass over *loader*; returns (mean loss, accuracy)."""
@@ -107,8 +109,15 @@ class Trainer:
 
     def fit(self, train_loader, test_loader=None, epochs=10, verbose=False,
             eval_every=1):
-        """Train for *epochs*; evaluates every ``eval_every`` epochs."""
+        """Train for *epochs*; evaluates every ``eval_every`` epochs.
+
+        Callbacks passed at construction observe the loop through the
+        :mod:`repro.train.callbacks` seam (``on_fit_start``,
+        ``on_epoch_start``, ``on_epoch_end``, ``on_fit_end``).
+        """
+        self.callbacks.on_fit_start(self)
         for epoch in range(epochs):
+            self.callbacks.on_epoch_start(self, epoch)
             t0 = time.perf_counter()
             loss, train_acc = self.train_epoch(train_loader)
             test_acc = (
@@ -127,9 +136,21 @@ class Trainer:
             h.test_accuracy.append(test_acc)
             h.lr.append(lr)
             h.epoch_seconds.append(dt)
+            self.callbacks.on_epoch_end(
+                self,
+                epoch,
+                {
+                    "loss": loss,
+                    "train_accuracy": train_acc,
+                    "test_accuracy": test_acc,
+                    "lr": lr,
+                    "epoch_seconds": dt,
+                },
+            )
             if verbose:
                 print(
                     f"epoch {epoch:3d}  loss {loss:.4f}  train {train_acc:.3f}"
                     f"  test {test_acc:.3f}  lr {lr:.5f}  ({dt:.1f}s)"
                 )
+        self.callbacks.on_fit_end(self)
         return self.history

@@ -1,0 +1,420 @@
+"""repro.adapt: streaming domain adaptation with hot weight swap.
+
+The adaptation loop's contract, pinned:
+
+* drift streams are deterministic given ``(n, schedule, seed)`` and a
+  ``severity=0`` schedule is bit-identical to the clean stream;
+* the tap is a bounded O(1) ring: overflow drops the *oldest* sample,
+  draws are seeded and replayable;
+* the online trainer moves exactly the adapted parameter subset — the
+  frozen backbone (including BatchNorm running stats) stays bit-frozen;
+* a publish moves *every* replica to the new weight generation, serving
+  stays correct across the swap, and in-flight requests never hang;
+* the controller wires it all to a live ``Server`` via
+  ``SessionConfig(adapt=...)`` and labelled submits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    AdaptConfig,
+    AdaptationController,
+    DEFAULT_ADAPT_PREFIXES,
+    OnlineTrainer,
+    PublishError,
+    SampleTap,
+    WeightPublisher,
+    adapt_parameters,
+)
+from repro.data import DriftSchedule, make_drift_stream
+from repro.models import build_model
+from repro.runtime import SessionConfig
+from repro.serve import ReplicaPool, Server, run_load
+
+
+def _stream(n=8, size=32, seed=0, schedule=None):
+    return make_drift_stream(n, schedule, size=size, seed=seed)
+
+
+# ----------------------------------------------------------------------
+class TestDriftSchedule:
+    def test_level_ramps_from_start_and_saturates(self):
+        sched = DriftSchedule(kind="noise", severity=2.0, start=0.25,
+                              ramp=0.5)
+        np.testing.assert_allclose(
+            sched.level([0.0, 0.25, 0.5, 0.75, 1.0]),
+            [0.0, 0.0, 1.0, 2.0, 2.0],
+        )
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown drift kind"):
+            DriftSchedule(kind="wobble")
+        with pytest.raises(ValueError, match="start"):
+            DriftSchedule(start=1.5)
+        with pytest.raises(ValueError, match="ramp"):
+            DriftSchedule(ramp=0.0)
+
+    def test_each_kind_only_moves_its_own_knob(self):
+        t = np.array([1.0])
+        rot = DriftSchedule(kind="rotation", severity=1.0)
+        assert rot.angle_offset(t)[0] > 0
+        assert rot.noise_sigma(t)[0] == 0
+        noise = DriftSchedule(kind="noise", severity=1.0)
+        assert noise.angle_offset(t)[0] == 0
+        assert noise.noise_sigma(t)[0] > 0
+
+    def test_prior_drift_tilts_toward_low_classes(self):
+        sched = DriftSchedule(kind="prior", severity=1.0)
+        w = sched.class_weights(np.array([1.0]))[0]
+        assert w[0] > w[-1] * 2
+        np.testing.assert_allclose(w.sum(), 1.0)
+        # pre-drift the prior is uniform
+        w0 = sched.class_weights(np.array([0.0]))[0]
+        np.testing.assert_allclose(w0, 1.0 / len(w0))
+
+
+class TestDriftStream:
+    def test_deterministic_given_seed(self):
+        a_img, a_lab, a_t = _stream(seed=3)
+        b_img, b_lab, b_t = _stream(seed=3)
+        np.testing.assert_array_equal(a_img, b_img)
+        np.testing.assert_array_equal(a_lab, b_lab)
+        np.testing.assert_array_equal(a_t, b_t)
+        c_img, _, _ = _stream(seed=4)
+        assert not np.array_equal(a_img, c_img)
+
+    def test_zero_severity_matches_clean_stream(self):
+        clean_img, clean_lab, _ = _stream(schedule=None)
+        zero = DriftSchedule(kind="rotation", severity=0.0)
+        img, lab, _ = _stream(schedule=zero)
+        np.testing.assert_array_equal(clean_img, img)
+        np.testing.assert_array_equal(clean_lab, lab)
+
+    def test_rotation_moves_pixels_not_labels(self):
+        sched = DriftSchedule(kind="rotation", severity=1.0, start=0.0,
+                              ramp=0.5)
+        clean_img, clean_lab, _ = _stream(n=6, schedule=None)
+        img, lab, _ = _stream(n=6, schedule=sched)
+        np.testing.assert_array_equal(clean_lab, lab)  # label-preserving
+        assert not np.array_equal(clean_img[-1], img[-1])
+
+    def test_shapes_and_timeline(self):
+        img, lab, t = _stream(n=5, size=32)
+        assert img.shape == (5, 3, 32, 32)
+        assert lab.shape == (5,) and lab.dtype == np.int64
+        np.testing.assert_allclose(t, np.linspace(0, 1, 5))
+
+
+# ----------------------------------------------------------------------
+class TestSampleTap:
+    def test_offer_copies_and_len_tracks(self):
+        tap = SampleTap(capacity=4)
+        sample = np.ones((3, 2, 2), np.float32)
+        tap.offer(sample, 1)
+        sample[:] = 7.0  # caller mutates after the fact
+        images, labels = tap.sample(1, np.random.default_rng(0))
+        np.testing.assert_array_equal(images[0], 1.0)
+        assert labels[0] == 1 and len(tap) == 1
+
+    def test_overflow_drops_oldest(self):
+        tap = SampleTap(capacity=2)
+        for label in range(4):
+            tap.offer(np.full((2,), label, np.float32), label)
+        snap = tap.snapshot()
+        assert snap == {"capacity": 2, "size": 2, "offered": 4,
+                        "dropped": 2}
+        images, labels = tap.sample(2, np.random.default_rng(0))
+        assert set(labels.tolist()) == {2, 3}  # newest two survive
+        np.testing.assert_array_equal(images.ravel(),
+                                      np.repeat(sorted(labels), 2))
+
+    def test_sample_is_seeded_and_bounded(self):
+        tap = SampleTap(capacity=8)
+        for label in range(5):
+            tap.offer(np.zeros(2, np.float32), label)
+        assert tap.sample(3, np.random.default_rng(1)) is not None
+        a = tap.sample(3, np.random.default_rng(7))[1]
+        b = tap.sample(3, np.random.default_rng(7))[1]
+        np.testing.assert_array_equal(a, b)
+        _, labels = tap.sample(99, np.random.default_rng(0))
+        assert len(labels) == 5  # clamped to fill level
+
+    def test_empty_tap_returns_none(self):
+        tap = SampleTap(capacity=2)
+        assert tap.sample(1, np.random.default_rng(0)) is None
+        with pytest.raises(ValueError, match="capacity"):
+            SampleTap(capacity=0)
+
+
+# ----------------------------------------------------------------------
+class TestOnlineTrainer:
+    def test_only_adapted_params_move(self):
+        model = build_model("ode_botnet", profile="tiny", seed=0)
+        frozen_before = {
+            name: np.array(p.data)
+            for name, p in model.named_parameters()
+            if not name.startswith(DEFAULT_ADAPT_PREFIXES)
+        }
+        adapted_before = {
+            name: np.array(p.data)
+            for name, p in model.named_parameters()
+            if name.startswith(DEFAULT_ADAPT_PREFIXES)
+        }
+        trainer = OnlineTrainer(model, lr=0.1, seed=0)
+        images, labels, _ = _stream(n=4)
+        trainer.step(images, labels)
+        for name, p in model.named_parameters():
+            if name in frozen_before:
+                np.testing.assert_array_equal(
+                    p.data, frozen_before[name],
+                    err_msg=f"frozen param {name} moved",
+                )
+        assert any(
+            not np.array_equal(model.state_dict()[name], before)
+            for name, before in adapted_before.items()
+        ), "no adapted parameter moved"
+
+    def test_bn_running_stats_stay_frozen(self):
+        model = build_model("ode_botnet", profile="tiny", seed=0)
+        before = {
+            name: np.array(value)
+            for name, value in model.state_dict().items()
+            if "running" in name
+        }
+        assert before, "expected BatchNorm running stats in state"
+        trainer = OnlineTrainer(model, seed=0)
+        images, labels, _ = _stream(n=4)
+        trainer.step(images, labels)
+        after = model.state_dict()
+        for name, value in before.items():
+            np.testing.assert_array_equal(after[name], value)
+
+    def test_step_logs_and_history(self):
+        model = build_model("ode_botnet", profile="tiny", seed=0)
+        trainer = OnlineTrainer(model, seed=0)
+        images, labels, _ = _stream(n=4)
+        logs = trainer.step(images, labels)
+        assert set(logs) >= {"loss", "accuracy", "batch", "step_seconds"}
+        assert logs["batch"] == 4
+        assert trainer.steps == 1
+        assert trainer.history.steps[0][1]["loss"] == logs["loss"]
+        assert trainer.history.series("loss") == [logs["loss"]]
+
+    def test_step_from_tap(self):
+        model = build_model("ode_botnet", profile="tiny", seed=0)
+        trainer = OnlineTrainer(model, batch_size=2, seed=0)
+        tap = SampleTap(capacity=8)
+        assert trainer.step_from(tap) is None
+        images, labels, _ = _stream(n=3)
+        for img, lab in zip(images, labels):
+            tap.offer(img, lab)
+        logs = trainer.step_from(tap)
+        assert logs is not None and logs["batch"] == 2
+
+    def test_no_matching_prefix_raises(self):
+        model = build_model("ode_botnet", profile="tiny", seed=0)
+        with pytest.raises(ValueError, match="no parameter matches"):
+            adapt_parameters(model, prefixes=("nonexistent.",))
+
+
+# ----------------------------------------------------------------------
+class TestAdaptConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lr"):
+            AdaptConfig(lr=0.0)
+        with pytest.raises(ValueError, match="batch_size"):
+            AdaptConfig(batch_size=0)
+        with pytest.raises(ValueError, match="tap_capacity"):
+            AdaptConfig(tap_capacity=4, batch_size=16)
+        with pytest.raises(ValueError, match="prefixes"):
+            AdaptConfig(prefixes=())
+
+    def test_session_config_resolves_adapt(self):
+        cfg = SessionConfig(adapt=True)
+        assert isinstance(cfg.adapt, AdaptConfig)
+        custom = AdaptConfig(lr=0.01)
+        assert SessionConfig(adapt=custom).adapt is custom
+        assert SessionConfig().adapt is None
+        with pytest.raises(ValueError, match="adapt"):
+            SessionConfig(adapt="yes")
+
+
+# ----------------------------------------------------------------------
+class TestWeightPublisher:
+    def test_swap_moves_every_replica_and_serving_tracks(self):
+        pool = ReplicaPool.build("ode_botnet", "tiny", 2, seed=0)
+        try:
+            x = _stream(n=3)[0]
+            before = pool.replicas[0].run(x)
+            new_model = build_model("ode_botnet", profile="tiny", seed=99)
+            publisher = WeightPublisher(pool)
+            info = publisher.publish(new_model.state_dict())
+            assert info["replicas"] == 2
+            assert {r.weights_version for r in pool} == {info["version"]}
+            after = [r.run(x) for r in pool.replicas]
+            # both replicas agree on the new generation's outputs...
+            np.testing.assert_array_equal(after[0], after[1])
+            # ...which differ from the old generation's
+            assert not np.array_equal(before, after[0])
+            assert publisher.snapshot()["swaps"] == 1
+        finally:
+            pool.close()
+
+    def test_shared_store_swap_bumps_once(self):
+        pool = ReplicaPool.build("ode_botnet", "tiny", 2, seed=0,
+                                 shared_weights=True)
+        try:
+            state = build_model("ode_botnet", profile="tiny",
+                                seed=99).state_dict()
+            info = WeightPublisher(pool).publish(state)
+            assert pool.weight_store.version == info["version"] == 2
+            views = pool.weight_store.arrays()
+            for name, value in state.items():
+                np.testing.assert_array_equal(views[name],
+                                              np.asarray(value))
+        finally:
+            pool.close()
+
+    def test_fork_pool_without_store_is_a_publish_error(self):
+        pool = ReplicaPool.build("ode_botnet", "tiny", 1, mode="process")
+        try:
+            state = build_model("ode_botnet", profile="tiny",
+                                seed=1).state_dict()
+            with pytest.raises(PublishError, match="shared_weights=True"):
+                WeightPublisher(pool).publish(state)
+        finally:
+            pool.close()
+
+    def test_swap_records_trace_span(self):
+        from repro.trace import Tracer
+
+        pool = ReplicaPool.build("ode_botnet", "tiny", 1, seed=0)
+        tracer = Tracer()
+        try:
+            state = build_model("ode_botnet", profile="tiny",
+                                seed=1).state_dict()
+            WeightPublisher(pool, tracer=tracer).publish(state)
+            spans = [s for s in tracer.spans()
+                     if s.name == "weights.swap"]
+            assert len(spans) == 1
+            assert spans[0].attrs["version"] == 2
+            assert spans[0].attrs["replicas"] == 1
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+class TestAdaptationController:
+    def test_requires_registry_build_info(self):
+        from repro.runtime import InferenceSession
+        from repro.serve import Replica
+
+        pool = ReplicaPool([Replica("a", InferenceSession(lambda b: b))])
+        with pytest.raises(ValueError, match="registry build info"):
+            AdaptationController(pool)
+
+    def test_step_and_publish_roundtrip(self):
+        pool = ReplicaPool.build("ode_botnet", "tiny", 1, seed=0)
+        try:
+            config = AdaptConfig(batch_size=2, min_samples=2,
+                                 tap_capacity=8, publish_every=1)
+            controller = AdaptationController(pool, config=config)
+            images, labels, _ = _stream(n=4)
+            for img, lab in zip(images, labels):
+                controller.tap.offer(img, lab)
+            assert controller.step_once() is not None
+            info = controller.publish()
+            assert info["version"] == 2
+            # the publish callback landed in the trainer's History
+            assert controller.trainer.history.publishes[0][0] == 2
+            snap = controller.snapshot()
+            assert snap["trainer"]["steps"] == 1
+            assert snap["publisher"]["swaps"] == 1
+            assert snap["error"] is None
+            controller.close()
+        finally:
+            pool.close()
+
+    def test_server_build_wires_and_swaps_live(self):
+        config = SessionConfig(adapt=AdaptConfig(
+            batch_size=2, min_samples=2, tap_capacity=16,
+            publish_every=1,
+        ))
+        server = Server.build("ode_botnet", "tiny", 1, config=config)
+        try:
+            assert server.adaptation is not None
+            images, labels, _ = _stream(n=6)
+            futs = [
+                server.submit(img, label=lab)
+                for img, lab in zip(images, labels)
+            ]
+            rows = [f.result(timeout=60) for f in futs]
+            assert all(r is not None for r in rows)
+            # labelled submits landed in the tap; wait for the
+            # background loop to step and swap at least once
+            deadline = 30.0
+            import time as _time
+
+            t0 = _time.perf_counter()
+            while _time.perf_counter() - t0 < deadline:
+                snap = server.metrics()["adaptation"]
+                if snap["publisher"]["swaps"] >= 1:
+                    break
+                _time.sleep(0.02)
+            assert snap["error"] is None
+            assert snap["tap"]["offered"] == 6
+            assert snap["publisher"]["swaps"] >= 1
+            # serving still answers after the swap
+            assert server.predict(images[0]) is not None
+            assert "adaptation [running]" in server.metrics_report()
+        finally:
+            server.close()
+        assert server.metrics()["adaptation"]["running"] is False
+
+    def test_unlabelled_submits_bypass_the_tap(self):
+        config = SessionConfig(adapt=True)
+        server = Server.build("ode_botnet", "tiny", 1, config=config)
+        try:
+            server.predict(_stream(n=1)[0][0])
+            assert server.metrics()["adaptation"]["tap"]["offered"] == 0
+        finally:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+class TestLoadgenAccuracy:
+    def test_labelled_run_records_outcomes_and_windows(self):
+        server = Server.build("ode_botnet", "tiny", 1)
+        try:
+            images, labels, _ = _stream(n=10)
+            offsets = np.linspace(0.0, 0.2, 10)
+            report = run_load(server, images, offsets, seed=0,
+                              labels=labels)
+            assert report.completed == 10
+            assert len(report.outcomes) == 10
+            windows = report.accuracy_windows(windows=2)
+            assert [w["evaluated"] for w in windows] == [5, 5]
+            assert all(0.0 <= w["accuracy"] <= 1.0 for w in windows)
+            assert 0.0 <= report.final_accuracy(0.5) <= 1.0
+            assert "accuracy:" in report.summary()
+        finally:
+            server.close()
+
+    def test_labels_must_align_with_samples(self):
+        server = Server.build("ode_botnet", "tiny", 1)
+        try:
+            images = _stream(n=4)[0]
+            with pytest.raises(ValueError, match="align"):
+                run_load(server, images, np.zeros(4), seed=0,
+                         labels=np.zeros(3, np.int64))
+        finally:
+            server.close()
+
+    def test_unlabelled_report_has_no_accuracy_surface(self):
+        from repro.serve.loadgen import LoadReport
+
+        report = LoadReport(offered=4)
+        assert report.accuracy_windows() == []
+        assert np.isnan(report.final_accuracy())
+        assert "accuracy:" not in report.summary()

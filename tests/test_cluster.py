@@ -60,6 +60,7 @@ from repro.cluster.wire import (
     recv_frame,
     send_frame,
 )
+from repro.adapt import WeightPublisher
 from repro.models import build_model
 from repro.models.registry import MODELS, PROFILES
 from repro.runtime import InferenceSession, SessionConfig
@@ -537,6 +538,143 @@ class TestSharedWeightStore:
                 store.adopt(other)
         finally:
             store.close()
+
+    def test_write_arrays_validates_before_writing(self):
+        state = build_model("ode_botnet", profile="tiny", seed=0,
+                            inference=True).state_dict()
+        store = SharedWeightStore.create(state)
+        try:
+            name = next(
+                n for n in store.names if store.arrays()[n].ndim >= 2
+            )
+            before = store.arrays()[name].copy()
+            bad = dict(state)
+            bad[name] = np.zeros(
+                tuple(d + 1 for d in before.shape), np.float32
+            )
+            with pytest.raises(ValueError, match="shape mismatch"):
+                store.write_arrays(bad)
+            # validate-then-write: nothing was touched
+            np.testing.assert_array_equal(store.arrays()[name], before)
+            with pytest.raises(KeyError, match="no array named"):
+                store.write_arrays({"nope": np.zeros(1)})
+            assert store.version == 1  # writes never move the header
+        finally:
+            store.close()
+
+    def test_refresh_never_exposes_torn_versions(self):
+        """Readers racing ``refresh`` see monotone, fully-published
+        versions — and a version implies its arrays were written.
+
+        Each generation ``g`` writes every array to the constant ``g``
+        before the header moves to ``g + 1``.  A reader that samples
+        the version, then an array, then the version again and finds
+        both versions equal to ``v`` must observe array values from
+        generation ``v - 1`` *or newer* — never older (the header only
+        moves after the arrays), and never a decreasing version.
+        """
+        state = {
+            "a": np.zeros((64, 64), np.float32),
+            "b": np.zeros((128,), np.float32),
+        }
+        store = SharedWeightStore.create(state)
+        generations = 40
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            last = 0
+            while not stop.is_set():
+                v0 = store.version
+                a = float(store.arrays()["a"][0, 0])
+                v1 = store.version
+                if v0 < last:
+                    errors.append(f"version went backwards: {last}->{v0}")
+                    return
+                last = v0
+                if v0 == v1 and a < v0 - 1:
+                    errors.append(
+                        f"torn read: version {v0} but array from "
+                        f"generation {a}"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            for g in range(1, generations + 1):
+                store.refresh({
+                    "a": np.full((64, 64), float(g), np.float32),
+                    "b": np.full((128,), float(g), np.float32),
+                })
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors, errors
+            assert store.version == generations + 1
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+            store.close()
+
+    def test_refresh_races_inflight_run_ops(self):
+        """Hot swaps land while replicas serve: zero failed requests,
+        monotone non-torn versions, and post-swap outputs bit-exact
+        with the final published generation."""
+        pool = ReplicaPool.build("ode_botnet", "tiny", 2,
+                                 shared_weights=True)
+        try:
+            x = _samples(2)
+            states = [
+                build_model("ode_botnet", profile="tiny",
+                            seed=s).state_dict()
+                for s in (0, 7)
+            ]
+            errors = []
+            stop = threading.Event()
+
+            def serve(replica):
+                last = 0
+                while not stop.is_set():
+                    try:
+                        out = replica.run(x)
+                    except Exception as exc:
+                        errors.append(repr(exc))
+                        return
+                    if out.shape[0] != len(x):
+                        errors.append(f"bad output {out.shape}")
+                        return
+                    version = pool.weight_store.version
+                    if version < last:
+                        errors.append(
+                            f"version reversed {last}->{version}")
+                        return
+                    last = version
+
+            threads = [
+                threading.Thread(target=serve, args=(r,)) for r in pool
+            ]
+            for t in threads:
+                t.start()
+            publisher = WeightPublisher(pool)
+            for i in range(12):
+                publisher.publish(states[i % 2])
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors, errors
+            assert pool.weight_store.version == 13
+            # settled state == the last published generation, bit-exact
+            final = build_model("ode_botnet", profile="tiny", seed=7,
+                                pretrained_state=states[1],
+                                inference=True)
+            expected = InferenceSession(final).predict_batch(x)
+            for replica in pool:
+                np.testing.assert_array_equal(replica.run(x), expected)
+        finally:
+            pool.close()
 
 
 # ----------------------------------------------------------------------

@@ -44,6 +44,7 @@ MIN_BLOCKS = {
     os.path.join("docs", "OBSERVABILITY.md"): 4,
     os.path.join("docs", "SERVING.md"): 1,
     os.path.join("docs", "CLUSTER.md"): 4,
+    os.path.join("docs", "ADAPTATION.md"): 5,
 }
 
 # User-facing markdown whose relative links must resolve.  Work-log /

@@ -309,6 +309,38 @@ RULE_FIXTURES = [
         {"rel": "serve/loadgen.py"},
     ),
     (
+        "SRV001",
+        """\
+        import numpy as np
+        def sample(tap):
+            rng = np.random.default_rng()
+            return tap.sample(8, rng)
+        """,
+        """\
+        import numpy as np
+        def sample(tap, seed):
+            rng = np.random.default_rng(seed)
+            return tap.sample(8, rng)
+        """,
+        {"rel": "adapt/online.py"},
+    ),
+    (
+        "SRV001",
+        """\
+        import numpy as np
+        def shuffle(n):
+            rng = np.random.default_rng()
+            return rng.permutation(n)
+        """,
+        """\
+        import numpy as np
+        def shuffle(n, seed):
+            rng = np.random.default_rng(seed)
+            return rng.permutation(n)
+        """,
+        {"rel": "train/trainer.py"},
+    ),
+    (
         "SRV002",
         """\
         def dispatch(run, futures):
@@ -427,6 +459,24 @@ class TestEngine:
         src = "import numpy as np\nx = np.random.rand(3)\n"
         assert _rules_fired(src, rule="RNG001", domain="library")
         assert not _rules_fired(src, rule="RNG001", domain="tests")
+
+    def test_seeded_rng_scope_bounds_srv001(self):
+        # SRV001 polices serve/, adapt/ and train/ — the paths where an
+        # unseeded default_rng() breaks replay determinism — and stays
+        # quiet elsewhere (RNG001 covers general library hygiene)
+        from repro.lint.rules_serve import SEEDED_RNG_SCOPE
+
+        assert set(SEEDED_RNG_SCOPE) == {"serve/", "adapt/", "train/"}
+        src = (
+            "import numpy as np\n"
+            "def draw():\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng.random(3)\n"
+        )
+        for scope in SEEDED_RNG_SCOPE:
+            assert _rules_fired(src, rule="SRV001",
+                                rel=f"{scope}mod.py")
+        assert not _rules_fired(src, rule="SRV001", rel="data/mod.py")
 
     def test_bare_except_fires_in_every_domain(self):
         src = "try:\n    x = 1\nexcept:\n    x = 2\n"

@@ -584,10 +584,17 @@ class TestCleanTree:
         for name in ("Scheduler", "AdmissionQueue", "ProcessReplica",
                      "MicroBatcher", "SessionStats", "Tracer",
                      "WorkerClient", "ClusterWorker", "Autoscaler",
-                     "SharedWeightStore"):
+                     "SharedWeightStore", "SampleTap", "WeightPublisher",
+                     "AdaptationController"):
             assert name in model.classes, name
         assert model.guard_nodes("Scheduler") == ("Scheduler._lock",)
         assert model.guard_nodes("WorkerClient") == ("WorkerClient._lock",)
+        # the adaptation tap and publisher each own exactly one lock,
+        # held only around their own state (the lock graph gains no
+        # edges from the adapt/ subtree)
+        assert model.guard_nodes("SampleTap") == ("SampleTap._lock",)
+        assert model.guard_nodes("WeightPublisher") == (
+            "WeightPublisher._lock",)
 
 
 # ----------------------------------------------------------------------

@@ -10,10 +10,11 @@ generation **without pausing serving**:
   (:meth:`SharedWeightStore.refresh`) moves every co-located replica —
   thread or forked — at once;
 * plain thread replicas get an in-place
-  :meth:`~repro.nn.Module.load_state_dict` (packed plans hold ``.data``
-  by reference, so the write is the swap) plus a
-  :meth:`~repro.serve.Replica.refresh` to re-freeze tiers and tick
-  ``weights_version``;
+  :meth:`~repro.serve.Replica.load_weights` — the primary *and* every
+  degrade-tier float model, which hold private copies without a store
+  (packed plans hold ``.data`` by reference, so the write is the swap)
+  — plus a :meth:`~repro.serve.Replica.refresh` to re-freeze tiers and
+  tick ``weights_version``;
 * :class:`~repro.cluster.RemoteReplica` slots ship the state over the
   wire via the worker's ``publish`` op — once per worker *address*
   (sibling slots observe the same host-side swap and only sync their
@@ -90,7 +91,10 @@ class WeightPublisher:
                     "hot-swap process-mode replicas"
                 )
             for replica in local:
-                replica.session.model.load_state_dict(state)
+                # load_weights moves the primary *and* every tier's
+                # float model (tiers hold private copies without a
+                # store); refresh re-derives packed/quantized plans
+                replica.load_weights(state)
                 replica.refresh()
         else:
             version = store.refresh(state)
@@ -101,12 +105,16 @@ class WeightPublisher:
         published = {}  # worker address -> version
         for replica in remote:
             address = getattr(replica, "address", None)
-            if address in published:
+            if address is not None and address in published:
                 # sibling slot of an already-published worker: the host
                 # swap covered it, just sync the parent-side counter
                 replica.weights_version = published[address]
             else:
-                published[address] = replica.publish(state)
+                version = replica.publish(state)
+                if address is not None:
+                    # address-less publishables never dedupe — each one
+                    # must receive the state itself
+                    published[address] = version
 
         versions = [r.weights_version for r in (*local, *remote)]
         version = max(versions) if versions else None

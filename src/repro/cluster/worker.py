@@ -172,8 +172,9 @@ class ClusterWorker:
         shared store the arrays are written in place and the single
         header bump (inside :meth:`ReplicaPool.refresh`) moves every
         co-located process to the new generation; a thread-mode worker
-        without a store loads the state into each replica model
-        directly.  A process-mode worker without ``--shared-weights``
+        without a store loads the state into each replica's models —
+        primary *and* degrade-tier floats, which are private copies
+        without a store.  A process-mode worker without ``--shared-weights``
         has no channel to its children's private weight copies and
         rejects the op.
         """
@@ -187,7 +188,7 @@ class ClusterWorker:
             )
         else:
             for replica in self.pool:
-                replica.session.model.load_state_dict(state)
+                replica.load_weights(state)
         self.pool.refresh()
         return self.pool.replicas[0].weights_version
 

@@ -249,7 +249,11 @@ def make_drift_stream(n, schedule=None, size=96, seed=0):
     weights = schedule.class_weights(t)  # (n, C)
     cdf = np.cumsum(weights, axis=1)
     u = rng.random(n)
-    labels = (u[:, None] > cdf).sum(axis=1).astype(np.int64)
+    # clamp: float rounding can leave cdf[-1] a hair under u, which
+    # would otherwise draw the out-of-range label n_classes
+    labels = np.minimum(
+        (u[:, None] > cdf).sum(axis=1), _N_CLASSES - 1
+    ).astype(np.int64)
 
     angle = schedule.angle_offset(t)
     sigma = schedule.noise_sigma(t)

@@ -44,9 +44,14 @@ import time
 import numpy as np
 
 from ..models import build_model
+from ..nn import Module
 from ..runtime import InferenceSession, SessionConfig, SessionStats
 from .errors import ReplicaUnavailable
 from .tiers import resolve_ladder
+
+#: pipe sentinel (in the ``tier`` slot) asking a forked worker to
+#: re-freeze its sessions after a shared-store weight swap
+_REFRESH = "__refresh__"
 
 
 def _as_tier_sessions(tier_sessions, degraded_session):
@@ -145,6 +150,24 @@ class Replica:
             self.degraded_dispatches += 1
             self.dispatches_by_tier[used] += 1
         return out
+
+    def load_weights(self, state) -> None:
+        """Load *state* into the primary model **and** every tier's
+        float model.
+
+        Tier sessions built without a shared weight store hold private
+        weight copies (:meth:`TierSpec.build_session` loads the state
+        dict into a fresh model), so a hot swap that only touched the
+        primary would leave degraded dispatches serving the old
+        generation.  Call :meth:`refresh` afterwards so packed and
+        quantized plans re-derive from the new arrays.
+        """
+        self.session.model.load_state_dict(state)
+        for session in self.tier_sessions.values():
+            net = session.model
+            if not isinstance(net, Module):
+                net = net.model  # quantized executor wraps the float net
+            net.load_state_dict(state)
 
     def refresh(self) -> None:
         """Re-freeze every session (primary and all tiers) after a
@@ -247,6 +270,18 @@ class ProcessReplica(Replica):
             if msg is None:
                 return
             seq, tier, samples, want_trace = msg
+            if tier == _REFRESH:
+                # shared-store swap: floats updated in place through the
+                # inherited mapping; re-freeze so quantized tier plans
+                # re-derive their integer weights from the new arrays
+                try:
+                    session.refresh()
+                    for extra in tier_sessions.values():
+                        extra.refresh()
+                    conn.send((seq, "ok", None, None))
+                except Exception as exc:
+                    conn.send((seq, "err", exc, None))
+                continue
             use = tier_sessions.get(tier, session) if tier else session
             try:
                 if want_trace:
@@ -326,6 +361,54 @@ class ProcessReplica(Replica):
             self.dispatches_by_tier[used] += 1
         self._stats.record(samples.shape[0], time.perf_counter() - start)
         return payload
+
+    def load_weights(self, state) -> None:
+        """Fork+pipe replicas have no weight channel to the child's
+        private copies — only a shared store can move them (and then a
+        swap is an in-place store write, not a state load)."""
+        raise RuntimeError(
+            f"replica {self.name} runs in a forked worker with private "
+            "weight copies; build the pool with shared_weights=True to "
+            "hot-swap process-mode replicas"
+        )
+
+    def refresh(self) -> None:
+        """Re-freeze the *child's* forked sessions, then the parent's.
+
+        The worker process holds its own forked session objects; the
+        primary (and any float tier) serves straight out of the shared
+        mapping, but quantized tier plans carry privately derived
+        integer weights that must be re-derived child-side after a
+        store swap.  The sentinel round-trips under the same
+        one-in-flight pipe discipline as :meth:`run`.
+        """
+        with self._pipe_lock:
+            self._seq += 1
+            seq = self._seq
+            self._parent_conn.send(  # repro-lint: ignore[CON003] lock serializes the round-trip; timeout-bounded
+                (seq, _REFRESH, None, False)
+            )
+            deadline = (
+                None if self.timeout_s is None
+                else time.perf_counter() + self.timeout_s
+            )
+            while True:
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not self._parent_conn.poll(  # repro-lint: ignore[CON003] lock serializes the round-trip; timeout-bounded
+                        remaining
+                    ):
+                        raise TimeoutError(
+                            f"replica {self.name} did not refresh "
+                            f"within {self.timeout_s}s"
+                        )
+                reply_seq, kind, payload, _spans = self._parent_conn.recv()  # repro-lint: ignore[CON003] lock serializes the round-trip; timeout-bounded
+                if reply_seq == seq:
+                    break
+                # stale reply to a request that already timed out
+        if kind == "err":
+            raise payload
+        super().refresh()
 
     def close(self) -> None:
         """Stop the worker process and join it."""
@@ -408,15 +491,16 @@ class ReplicaPool:
         shared_weights:
             map one :class:`repro.cluster.SharedWeightStore` weight set
             (anonymous shared mmap, versioned header) and rebind every
-            replica's primary-model parameters onto it *before* session
-            construction — so packed plans serve straight out of the
-            single mapping, process-mode forks inherit the pages
-            instead of duplicating them, and :meth:`refresh` bumps one
-            shared ``weights_version`` every co-located replica
-            observes.  (Quantized tier sessions still derive their
-            integer weights per replica — those are a different dtype,
-            not a duplicate of the float set.)  The store is exposed as
-            :attr:`weight_store`.
+            replica's primary **and tier** float-model parameters onto
+            it *before* session construction — so packed plans serve
+            straight out of the single mapping, process-mode forks
+            inherit the pages instead of duplicating them, and
+            :meth:`refresh` bumps one shared ``weights_version`` every
+            co-located replica observes.  (Quantized tier sessions
+            still derive their integer weights per replica — those are
+            a different dtype, not a duplicate of the float set — and
+            re-derive them from the shared floats on refresh.)  The
+            store is exposed as :attr:`weight_store`.
         """
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -465,7 +549,7 @@ class ReplicaPool:
             tier_sessions = {
                 spec.name: spec.build_session(
                     model, profile, seed=seed, state=state,
-                    config=replica_config, stats=stats,
+                    config=replica_config, stats=stats, store=store,
                 )
                 for spec in ladder
             }

@@ -25,7 +25,11 @@ Every tier shares the primary session's weight set: tier sessions are
 built from the same ``state_dict`` and the quantized tiers derive their
 integer weights from it exactly once per replica (the plan's
 ``version`` counter tracks re-derivations after
-:meth:`~repro.serve.Replica.refresh`).
+:meth:`~repro.serve.Replica.refresh`).  Pools built on a
+:class:`~repro.cluster.SharedWeightStore` adopt each tier's float model
+onto the shared mapping, so a hot weight swap reaches every rung; pools
+without a store move tiers via :meth:`~repro.serve.Replica.load_weights`
+before the refresh.
 
 :data:`DEFAULT_LADDER` is the three-rung order above.  A ladder is
 always *ordered*: earlier tiers absorb overload first, deeper tiers
@@ -97,7 +101,7 @@ class TierSpec:
                            pretrained_state=state, inference=True)
 
     def build_session(self, model, profile, *, seed=0, state=None,
-                      config=None, stats=None):
+                      config=None, stats=None, store=None):
         """Build this tier's :class:`~repro.runtime.InferenceSession`.
 
         The session shares *state* (the primary session's weight set)
@@ -106,6 +110,15 @@ class TierSpec:
         under the ``quantized`` kernel backend, so the session packs a
         scale-folded :class:`~repro.fixedpoint.QuantizedPlan` — the
         integer weights are derived exactly once here.
+
+        With a *store* (a :class:`repro.cluster.SharedWeightStore`) the
+        tier's float model is rebound onto the shared mapping before
+        the session packs its plan — the reduced profile keeps every
+        parameter shape, so the tier literally shares the primary's
+        arrays and a hot weight swap (in-place store write + refresh)
+        moves this tier too; quantized tiers re-derive their integer
+        weights from the updated floats on
+        :meth:`~repro.serve.Replica.refresh`.
         """
         from ..fixedpoint import QuantizedODENetExecutor
         from ..runtime import InferenceSession, SessionConfig
@@ -113,6 +126,8 @@ class TierSpec:
         if config is None:
             config = SessionConfig()
         net = self.build_model(model, profile, seed=seed, state=state)
+        if store is not None:
+            store.adopt(net)
         if not self.is_quantized:
             return InferenceSession(net, stats=stats, config=config)
         ffmt, pfmt = self.formats()

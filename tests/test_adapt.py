@@ -276,6 +276,112 @@ class TestWeightPublisher:
         finally:
             pool.close()
 
+    def test_publish_moves_tier_sessions_without_store(self):
+        """Degrade-tier sessions hold private weight copies; a publish
+        must move them too, not just the primary (review: stale-tier
+        swap bug)."""
+        from repro.serve.tiers import BUILTIN_TIERS
+
+        tiers = ("reduced", "int8")
+        pool = ReplicaPool.build("ode_botnet", "tiny", 1, seed=0,
+                                 tiers=tiers)
+        try:
+            x = _stream(n=2)[0]
+            replica = pool.replicas[0]
+            before = {t: replica.run(x, tier=t) for t in tiers}
+            state = build_model("ode_botnet", profile="tiny",
+                                seed=99).state_dict()
+            WeightPublisher(pool).publish(state)
+            for tier in tiers:
+                after = replica.run(x, tier=tier)
+                assert not np.array_equal(before[tier], after), tier
+                # bit-exact with a session built directly on the new
+                # generation: the tier genuinely serves the new weights
+                expected = BUILTIN_TIERS[tier].build_session(
+                    "ode_botnet", "tiny", state=state,
+                ).predict_batch(x)
+                np.testing.assert_array_equal(after, expected, err_msg=tier)
+        finally:
+            pool.close()
+
+    def test_shared_store_publish_moves_tier_sessions(self):
+        """With a store the tier floats are adopted onto the mapping,
+        so the in-place store write + refresh moves every rung."""
+        from repro.serve.tiers import BUILTIN_TIERS
+
+        tiers = ("reduced", "int8")
+        pool = ReplicaPool.build("ode_botnet", "tiny", 2, seed=0,
+                                 shared_weights=True, tiers=tiers)
+        try:
+            x = _stream(n=2)[0]
+            before = {t: pool.replicas[0].run(x, tier=t) for t in tiers}
+            state = build_model("ode_botnet", profile="tiny",
+                                seed=99).state_dict()
+            WeightPublisher(pool).publish(state)
+            for tier in tiers:
+                expected = BUILTIN_TIERS[tier].build_session(
+                    "ode_botnet", "tiny", state=state,
+                ).predict_batch(x)
+                for replica in pool:
+                    after = replica.run(x, tier=tier)
+                    assert not np.array_equal(before[tier], after), tier
+                    np.testing.assert_array_equal(after, expected,
+                                                  err_msg=tier)
+        finally:
+            pool.close()
+
+    def test_process_shared_store_publish_moves_forked_tiers(self):
+        """Forked workers must re-derive quantized tier weights from
+        the shared floats after a swap (refresh sentinel over the
+        pipe)."""
+        from repro.serve.tiers import BUILTIN_TIERS
+
+        pool = ReplicaPool.build("ode_botnet", "tiny", 1, seed=0,
+                                 mode="process", shared_weights=True,
+                                 tiers=("int8",))
+        try:
+            x = _stream(n=2)[0]
+            replica = pool.replicas[0]
+            before = replica.run(x, tier="int8")
+            state = build_model("ode_botnet", profile="tiny",
+                                seed=99).state_dict()
+            info = WeightPublisher(pool).publish(state)
+            assert replica.weights_version == info["version"]
+            after = replica.run(x, tier="int8")
+            assert not np.array_equal(before, after)
+            expected = BUILTIN_TIERS["int8"].build_session(
+                "ode_botnet", "tiny", state=state,
+            ).predict_batch(x)
+            np.testing.assert_array_equal(after, expected)
+        finally:
+            pool.close()
+
+    def test_addressless_publishable_replicas_each_receive_state(self):
+        """Publish-capable replicas without an address must not
+        collapse onto one dedupe key — each gets the state itself."""
+
+        class _Publishable:
+            def __init__(self, name):
+                self.name = name
+                self.healthy = True
+                self.outstanding = 0
+                self.weights_version = 1
+                self.published = []
+
+            def publish(self, state):
+                self.published.append(state)
+                self.weights_version += 1
+                return self.weights_version
+
+            def close(self):
+                pass
+
+        a, b = _Publishable("a"), _Publishable("b")
+        pool = ReplicaPool([a, b])
+        info = WeightPublisher(pool).publish({"w": np.zeros(1)})
+        assert len(a.published) == 1 and len(b.published) == 1
+        assert info["replicas"] == 2
+
     def test_fork_pool_without_store_is_a_publish_error(self):
         pool = ReplicaPool.build("ode_botnet", "tiny", 1, mode="process")
         try:

@@ -451,6 +451,33 @@ class TestClusterWorker:
         finally:
             replica.close()
 
+    def test_remote_publish_moves_tier_sessions(self):
+        """A worker-side publish must move the degrade-tier sessions
+        too — thread-mode tiers hold private weight copies."""
+        from repro.serve.tiers import BUILTIN_TIERS
+
+        tiers = ("reduced", "int8")
+        x = _samples(2)
+        with ClusterWorker.build("ode_botnet", "tiny", 1, mode="thread",
+                                 tiers=tiers) as w:
+            w.start()
+            replica = RemoteReplica(w.address, timeout_s=60)
+            try:
+                before = {t: replica.run(x, tier=t) for t in tiers}
+                state = build_model("ode_botnet", profile="tiny",
+                                    seed=99).state_dict()
+                replica.publish(state)
+                for tier in tiers:
+                    after = replica.run(x, tier=tier)
+                    assert not np.array_equal(before[tier], after), tier
+                    expected = BUILTIN_TIERS[tier].build_session(
+                        "ode_botnet", "tiny", state=state,
+                    ).predict_batch(x)
+                    np.testing.assert_array_equal(after, expected,
+                                                  err_msg=tier)
+            finally:
+                replica.close()
+
     def test_refresh_propagates_the_shared_version(self, worker):
         replica = RemoteReplica(worker.address, timeout_s=30)
         try:

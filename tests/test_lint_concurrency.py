@@ -558,14 +558,15 @@ class TestCleanTree:
         assert not _find_cycles(package_lock_graph())
 
     def test_sanctioned_con003_suppressions_exist(self):
-        # ProcessReplica serializes its pipe round-trip under _pipe_lock
-        # on purpose; the suppressions documenting that must stay
+        # ProcessReplica serializes its pipe round-trips (run, the
+        # refresh sentinel, and close's shutdown) under _pipe_lock on
+        # purpose; the suppressions documenting that must stay
         import repro.serve.pool as pool
 
         src = SourceFile(pool.__file__, open(pool.__file__).read())
         con003 = [ids for ids in src.suppressions.values()
                   if "CON003" in ids]
-        assert len(con003) == 4
+        assert len(con003) == 7
 
     def test_sanctioned_transport_suppressions_exist(self):
         # WorkerClient serializes its socket round-trip under _lock on
